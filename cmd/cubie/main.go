@@ -1,0 +1,471 @@
+// Command cubie runs the Cubie benchmark suite and regenerates the paper's
+// figures and tables as text.
+//
+// Usage:
+//
+//	cubie <command> [flags]
+//
+// Commands:
+//
+//	suite      list the ten workloads, their cases and variants (Table 2)
+//	specs      print the simulated GPU specifications (Table 5)
+//	quadrants  print the four-quadrant utilization categorization (Figure 2)
+//	dwarfs     print the Berkeley-dwarf coverage comparison (Table 7)
+//	observe    print the nine key observations with Table 1's mapping
+//	datasets   print the Table 3 graphs and Table 4 matrices
+//	peaks      print the peak-throughput evolution (Figure 12)
+//	perf       run the full performance grid (Figure 3)
+//	speedup    print variant speedups (Figures 4, 5, 6)
+//	edp        print the energy-delay products (Figure 7)
+//	power      print the power-trace summaries (Figure 8)
+//	error      print the FP64 accuracy table (Table 6)
+//	roofline   print the cache-aware roofline (Figure 9)
+//	coverage   run the PCA coverage analyses (Figures 10, 11)
+//	ablate     run the ablation studies of the model's design choices
+//	advise     predict MMU suitability from algorithm-level traits (§4)
+//	whatif     the §11 counterfactual: Blackwell with FP64 scaling preserved
+//	sweep      bandwidth / tensor-peak provisioning sweeps with knees
+//	trace      write a Chrome-trace timeline of the measurement campaign
+//	selfbench  time this repo's own compute paths (§6 methodology)
+//	explain    resource-level breakdown of one workload/case/variant
+//	all        run everything above in paper order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/cubie"
+	"repro/internal/advisor"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/harness"
+	"repro/internal/measure"
+	"repro/internal/sparse"
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	gpu := fs.String("gpu", "H200", "GPU to simulate for single-device experiments (A100, H200, B200)")
+	of := fs.String("of", "tc-vs-baseline", "speedup pair: tc-vs-baseline, cc-vs-tc, cce-vs-tc")
+	corpus := fs.Int("corpus", 499, "corpus size for the coverage analysis")
+	format := fs.String("format", "text", "output format for perf and error: text, csv, json")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	spec, err := cubie.DeviceByName(*gpu)
+	if err != nil {
+		fatal(err)
+	}
+
+	h := cubie.NewHarness()
+	switch cmd {
+	case "suite":
+		cmdSuite()
+	case "specs":
+		cmdSpecs()
+	case "quadrants":
+		cmdQuadrants()
+	case "dwarfs":
+		cmdDwarfs()
+	case "observe":
+		cmdObserve()
+	case "datasets":
+		cmdDatasets()
+	case "peaks":
+		cubie.RenderFigure12(os.Stdout)
+	case "perf":
+		cells, err := h.Figure3(cubie.Devices())
+		if err != nil {
+			fatal(err)
+		}
+		switch *format {
+		case "csv":
+			err = harness.WritePerfCSV(os.Stdout, cells)
+		case "json":
+			err = harness.WriteJSON(os.Stdout, cells)
+		default:
+			cubie.RenderFigure3(os.Stdout, cells)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	case "speedup":
+		cmdSpeedup(h, *of)
+	case "edp":
+		rows, geo, err := h.Figure7(spec)
+		if err != nil {
+			fatal(err)
+		}
+		cubie.RenderFigure7(os.Stdout, rows, geo)
+	case "power":
+		traces, err := h.Figure8(spec)
+		if err != nil {
+			fatal(err)
+		}
+		cubie.RenderFigure8(os.Stdout, traces)
+	case "error":
+		rows, err := h.Table6()
+		if err != nil {
+			fatal(err)
+		}
+		switch *format {
+		case "csv": // the artifact's all_error.csv layout
+			err = harness.WriteTable6CSV(os.Stdout, rows)
+		case "json":
+			err = harness.WriteJSON(os.Stdout, rows)
+		default:
+			cubie.RenderTable6(os.Stdout, rows)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	case "roofline":
+		m, pts, err := h.Figure9(spec)
+		if err != nil {
+			fatal(err)
+		}
+		cubie.RenderFigure9(os.Stdout, m, pts)
+	case "coverage":
+		cmdCoverage(h, *corpus, spec)
+	case "ablate":
+		cmdAblate(h, spec)
+	case "advise":
+		cmdAdvise(spec)
+	case "trace":
+		tl := trace.NewTimeline()
+		for _, w := range h.Suite.Workloads() {
+			for _, v := range w.Variants() {
+				res, err := w.Run(w.Representative(), v)
+				if err != nil {
+					fatal(err)
+				}
+				tl.AddKernelLoop(spec, w.Name(), string(v),
+					cubie.Simulate(spec, res.Profile), w.Repeats())
+			}
+		}
+		if err := tl.Write(os.Stdout); err != nil {
+			fatal(err)
+		}
+	case "selfbench":
+		fmt.Println("Timing this repo's own compute paths (2 warmups, 5 timed runs,")
+		fmt.Println("the paper's §6 methodology at reduced counts). These are Go")
+		fmt.Println("execution times of the functional MMA layer, NOT simulated GPU times.")
+		fmt.Println()
+		for _, w := range h.Suite.Workloads() {
+			w := w
+			c := w.Representative()
+			stats, err := measure.Run(func() {
+				if _, err := w.Run(c, cubie.TC); err != nil {
+					fatal(err)
+				}
+			}, 2, 5)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-10s %s\n", w.Name(), stats)
+		}
+	case "sweep":
+		bw, err := h.SweepBandwidth(spec)
+		if err != nil {
+			fatal(err)
+		}
+		harness.RenderSweep(os.Stdout,
+			"DRAM bandwidth sweep on "+spec.Name+" (TC variants, largest cases)",
+			"bandwidth", bw)
+		fmt.Println()
+		tc, err := h.SweepTensorPeak(spec)
+		if err != nil {
+			fatal(err)
+		}
+		harness.RenderSweep(os.Stdout,
+			"FP64 tensor-peak sweep on "+spec.Name,
+			"tensor peak", tc)
+	case "whatif":
+		rows, err := h.Counterfactual()
+		if err != nil {
+			fatal(err)
+		}
+		harness.RenderCounterfactual(os.Stdout, rows)
+	case "explain":
+		args := fs.Args()
+		if len(args) < 1 {
+			fatal(fmt.Errorf("usage: cubie explain <workload> [case] [variant] [--gpu ...]"))
+		}
+		caseName := ""
+		variant := cubie.TC
+		if len(args) > 1 {
+			caseName = args[1]
+		}
+		if len(args) > 2 {
+			variant = cubie.Variant(args[2])
+		}
+		if err := h.Explain(os.Stdout, args[0], caseName, variant, spec); err != nil {
+			fatal(err)
+		}
+	case "all":
+		cmdAll(h)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func cmdSuite() {
+	s := cubie.NewSuite()
+	fmt.Println("The Cubie benchmark suite (Table 2)")
+	for _, w := range s.Workloads() {
+		fmt.Printf("\n%-10s quadrant %d, dwarf: %s\n", w.Name(), w.Quadrant(), w.Dwarf())
+		fmt.Print("  cases:   ")
+		for i, c := range w.Cases() {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Print(c.Name)
+		}
+		fmt.Print("\n  variants:")
+		for _, v := range w.Variants() {
+			fmt.Printf(" %s", v)
+		}
+		fmt.Printf("\n  figure-7 repeats: %d\n", w.Repeats())
+	}
+}
+
+func cmdSpecs() {
+	fmt.Println("Simulated GPUs (Table 5)")
+	fmt.Printf("%-6s %-10s %12s %12s %10s %8s %8s\n",
+		"GPU", "arch", "TC FP64(TF)", "CC FP64(TF)", "BW(TB/s)", "mem(GB)", "TDP(W)")
+	for _, d := range cubie.Devices() {
+		fmt.Printf("%-6s %-10s %12.1f %12.1f %10.2f %8.0f %8.0f\n",
+			d.Name, d.Arch, d.TensorFP64, d.CUDAFP64, d.DRAMBWTBs, d.MemoryGB, d.TDPWatts)
+	}
+}
+
+func cmdQuadrants() {
+	s := cubie.NewSuite()
+	fmt.Println("MMU utilization quadrants (Section 4, Figure 2)")
+	mark := func(full bool) string {
+		if full {
+			return "full"
+		}
+		return "partial"
+	}
+	for _, q := range s.Quadrants() {
+		fmt.Printf("\nQuadrant %d — input %s, output %s\n",
+			q.Quadrant, mark(q.InputFull), mark(q.OutputFull))
+		fmt.Printf("  %s\n  workloads: %v\n", q.Description, q.Workloads)
+	}
+}
+
+func cmdDwarfs() {
+	s := cubie.NewSuite()
+	fmt.Println("Berkeley-dwarf coverage (Table 7)")
+	fmt.Printf("%-24s %8s %6s %6s\n", "dwarf", "Rodinia", "SHOC", "Cubie")
+	for _, r := range s.DwarfCoverage() {
+		fmt.Printf("%-24s %8d %6d %6d\n", r.Dwarf, r.Rodinia, r.SHOC, r.Cubie)
+	}
+	fmt.Printf("\nCubie covers %d dwarfs (Rodinia and SHOC cover 5 each).\n",
+		s.DwarfsCovered())
+}
+
+func cmdObserve() {
+	fmt.Println("The nine key observations")
+	for _, o := range cubie.Observations() {
+		fmt.Printf("\nO%d (%s): %s\n", o.ID, o.Sections, o.Statement)
+	}
+	fmt.Println("\nConcern-to-observation mapping (Table 1):")
+	for _, r := range core.Table1() {
+		aud := ""
+		if r.Architecture {
+			aud += " Arch"
+		}
+		if r.Algorithm {
+			aud += " Alg"
+		}
+		if r.Application {
+			aud += " App"
+		}
+		fmt.Printf("  %-26s%-14s O%v\n", r.Concern, aud, r.Observations)
+	}
+}
+
+func cmdDatasets() {
+	fmt.Println("BFS graphs (Table 3; synthesized at reduced scale, see DESIGN.md)")
+	fmt.Printf("%-20s %10s %12s %-10s %s\n", "graph", "#vertices", "#edges", "group", "synthesis")
+	for _, d := range graph.Table3() {
+		fmt.Printf("%-20s %10d %12d %-10s %s\n", d.Name, d.Vertices, d.Edges, d.Group, d.ScaleNote)
+	}
+	fmt.Println("\nSpMV/SpGEMM matrices (Table 4; synthesized to structural class)")
+	fmt.Printf("%-16s %8s %10s %-10s %s\n", "matrix", "#rows", "#nonzeros", "group", "class")
+	for _, d := range sparse.Table4() {
+		fmt.Printf("%-16s %8d %10d %-10s %s\n", d.Name, d.Rows, d.Nonzeros, d.Group, d.Class)
+	}
+}
+
+func cmdSpeedup(h *cubie.Harness, of string) {
+	var rows []cubie.SpeedupRow
+	var err error
+	var title string
+	switch of {
+	case "tc-vs-baseline":
+		title = "Figure 4 — speedups of TC over baselines (avg of five cases)"
+		rows, err = h.Figure4(cubie.Devices())
+	case "cc-vs-tc":
+		title = "Figure 5 — speedups of CC over TC"
+		rows, err = h.Figure5(cubie.Devices())
+	case "cce-vs-tc":
+		title = "Figure 6 — speedups of CC-E over TC (Quadrants II–IV)"
+		rows, err = h.Figure6(cubie.Devices())
+	default:
+		fatal(fmt.Errorf("unknown speedup pair %q", of))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	cubie.RenderSpeedups(os.Stdout, title, rows)
+}
+
+func cmdCoverage(h *cubie.Harness, corpus int, spec cubie.Device) {
+	gr, err := cubie.Figure10Graphs(corpus, 1)
+	if err != nil {
+		fatal(err)
+	}
+	cubie.RenderCoverage(os.Stdout, "Figure 10a — graph coverage (PCA)", gr)
+	mr, err := cubie.Figure10Matrices(corpus, 2)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	cubie.RenderCoverage(os.Stdout, "Figure 10b — matrix coverage (PCA)", mr)
+	pts, disp, err := h.Figure11(spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	cubie.RenderFigure11(os.Stdout, pts, disp)
+}
+
+func cmdAblate(h *cubie.Harness, spec cubie.Device) {
+	var all []harness.AblationRow
+	rows, err := h.AblateOverlap(spec)
+	if err != nil {
+		fatal(err)
+	}
+	all = append(all, rows...)
+	if rows, err = h.AblateConstCache(spec); err != nil {
+		fatal(err)
+	}
+	all = append(all, rows...)
+	if rows, err = harness.AblateDASPPadding(); err != nil {
+		fatal(err)
+	}
+	all = append(all, rows...)
+	if rows, err = harness.AblateBFSRelabel(); err != nil {
+		fatal(err)
+	}
+	all = append(all, rows...)
+	if rows, err = harness.AblateSpGEMMPairing(h); err != nil {
+		fatal(err)
+	}
+	all = append(all, rows...)
+	harness.RenderAblations(os.Stdout, all)
+}
+
+func cmdAdvise(spec cubie.Device) {
+	fmt.Printf("Algorithm-level MMU suitability predictions on %s (Section 4's\n", spec.Name)
+	fmt.Println("\"first step toward algorithm level reasoning\", made mechanical)")
+	fmt.Printf("\n%-10s %5s %9s %14s %8s\n", "kernel", "quad", "suitable", "speedup band", "redund.")
+	for _, tr := range advisor.KnownTraits() {
+		v := advisor.Advise(tr, spec)
+		fmt.Printf("%-10s %5d %9v %6.2f - %5.2fx %7.1fx\n",
+			tr.Name, v.Quadrant, v.Suitable,
+			v.ExpectedSpeedupLow, v.ExpectedSpeedupHigh, v.RedundancyFactor)
+		for _, r := range v.Reasons {
+			fmt.Printf("             - %s\n", r)
+		}
+	}
+}
+
+func cmdAll(h *cubie.Harness) {
+	cmdSuite()
+	fmt.Println()
+	cmdSpecs()
+	fmt.Println()
+	cmdQuadrants()
+	fmt.Println()
+	cells, err := h.Figure3(cubie.Devices())
+	if err != nil {
+		fatal(err)
+	}
+	cubie.RenderFigure3(os.Stdout, cells)
+	fmt.Println()
+	cmdSpeedup(h, "tc-vs-baseline")
+	fmt.Println()
+	cmdSpeedup(h, "cc-vs-tc")
+	fmt.Println()
+	cmdSpeedup(h, "cce-vs-tc")
+	fmt.Println()
+	rows, geo, err := h.Figure7(cubie.H200())
+	if err != nil {
+		fatal(err)
+	}
+	cubie.RenderFigure7(os.Stdout, rows, geo)
+	fmt.Println()
+	traces, err := h.Figure8(cubie.H200())
+	if err != nil {
+		fatal(err)
+	}
+	cubie.RenderFigure8(os.Stdout, traces)
+	fmt.Println()
+	erows, err := h.Table6()
+	if err != nil {
+		fatal(err)
+	}
+	cubie.RenderTable6(os.Stdout, erows)
+	fmt.Println()
+	m, pts, err := h.Figure9(cubie.H200())
+	if err != nil {
+		fatal(err)
+	}
+	cubie.RenderFigure9(os.Stdout, m, pts)
+	fmt.Println()
+	cmdCoverage(h, 199, cubie.H200())
+	fmt.Println()
+	cfRows, err := h.Counterfactual()
+	if err != nil {
+		fatal(err)
+	}
+	harness.RenderCounterfactual(os.Stdout, cfRows)
+	fmt.Println()
+	cmdAblate(h, cubie.H200())
+	fmt.Println()
+	cmdDwarfs()
+	fmt.Println()
+	cubie.RenderFigure12(os.Stdout)
+	fmt.Println()
+	cmdObserve()
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: cubie <command> [flags]
+
+commands:
+  suite | specs | quadrants | dwarfs | observe | datasets | peaks
+  perf | speedup [--of tc-vs-baseline|cc-vs-tc|cce-vs-tc]
+  edp | power | error | roofline [--gpu A100|H200|B200]
+  coverage [--corpus N] | ablate | advise | whatif | sweep | trace | selfbench
+  explain <workload> [case] [variant] | all`)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cubie:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,242 @@
+// Package cubie is the public API of the Cubie reproduction: the ten
+// MMU-optimized scientific workloads of "Characterizing Matrix
+// Multiplication Units across General Parallel Patterns in Scientific
+// Computing" (PPoPP '26), their Baseline / TC / CC / CC-E variants, the
+// simulated A100 / H200 / B200 devices, and the experiment harness that
+// regenerates every figure and table of the paper.
+//
+// Quick start:
+//
+//	h := cubie.NewHarness()
+//	rows, _ := h.Figure4(cubie.Devices()) // TC-vs-baseline speedups
+//	cubie.RenderSpeedups(os.Stdout, "Figure 4", rows)
+//
+// Individual workloads:
+//
+//	s := cubie.NewSuite()
+//	w, _ := s.ByName("SpMV")
+//	res, _ := w.Run(w.Representative(), cubie.TC)
+//	report := cubie.Simulate(cubie.H200(), res.Profile)
+//	fmt.Println(report.Time, report.AvgPower)
+package cubie
+
+import (
+	"io"
+
+	"repro/internal/accuracy"
+	"repro/internal/advisor"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/factor"
+	"repro/internal/fp16"
+	"repro/internal/graph"
+	"repro/internal/harness"
+	"repro/internal/kernels/spmv"
+	"repro/internal/mtx"
+	"repro/internal/power"
+	"repro/internal/roofline"
+	"repro/internal/sim"
+	"repro/internal/sparse"
+	"repro/internal/tensor"
+	"repro/internal/workload"
+)
+
+// Workload is one Cubie kernel with its variants and Table 2 test cases.
+type Workload = workload.Workload
+
+// Case is one test case of a workload.
+type Case = workload.Case
+
+// Result is the outcome of running one (case, variant) pair.
+type Result = workload.Result
+
+// Variant identifies one of the paper's algorithmic implementation
+// variants (Section 5.2).
+type Variant = workload.Variant
+
+// The four variants.
+const (
+	Baseline = workload.Baseline
+	TC       = workload.TC
+	CC       = workload.CC
+	CCE      = workload.CCE
+)
+
+// Suite is the ten-workload Cubie benchmark suite.
+type Suite = core.Suite
+
+// NewSuite instantiates the suite in Table 2 order.
+func NewSuite() *Suite { return core.NewSuite() }
+
+// Observation is one of the paper's nine key observations.
+type Observation = core.Observation
+
+// Observations returns the paper's nine key observations.
+func Observations() []Observation { return core.Observations() }
+
+// Device is a simulated GPU specification.
+type Device = device.Spec
+
+// A100 returns the NVIDIA A100 (Ampere) spec of Table 5.
+func A100() Device { return device.A100() }
+
+// H200 returns the NVIDIA H200 (Hopper) spec of Table 5.
+func H200() Device { return device.H200() }
+
+// B200 returns the NVIDIA B200 (Blackwell) spec of Table 5.
+func B200() Device { return device.B200() }
+
+// Devices returns the three evaluated GPUs in paper order.
+func Devices() []Device { return device.All() }
+
+// DeviceByName resolves "A100", "H200", or "B200".
+func DeviceByName(name string) (Device, error) { return device.ByName(name) }
+
+// Profile is a kernel execution profile consumed by the timing model.
+type Profile = sim.Profile
+
+// Report is the simulated outcome of executing a profile on a device.
+type Report = sim.Report
+
+// Simulate runs the analytical execution model for one kernel invocation.
+func Simulate(d Device, p Profile) Report { return sim.Run(d, p) }
+
+// PowerTrace is a sampled power-over-time curve.
+type PowerTrace = power.Trace
+
+// RecordPower produces the power trace of a repeated-kernel measurement
+// loop (the Figure 8 methodology).
+func RecordPower(d Device, r Report, repeats int) PowerTrace {
+	return power.Record(d, r, repeats)
+}
+
+// Roofline is the cache-aware roofline model of Figure 9.
+type Roofline = roofline.Model
+
+// NewRoofline builds the roofline model for a device.
+func NewRoofline(d Device) Roofline { return roofline.New(d) }
+
+// AccuracyRow is one Table 6 row of FP64 error measurements.
+type AccuracyRow = accuracy.Row
+
+// MeasureAccuracy computes a workload's Table 6 row against the CPU serial
+// reference.
+func MeasureAccuracy(w Workload) (AccuracyRow, error) {
+	return accuracy.MeasureWorkload(w)
+}
+
+// Harness drives the paper's experiments end to end with run caching.
+type Harness = harness.Harness
+
+// NewHarness creates a harness over a fresh suite.
+func NewHarness() *Harness { return harness.New() }
+
+// SpeedupRow is one bar of Figures 4–6.
+type SpeedupRow = harness.SpeedupRow
+
+// PerfCell is one marker of Figure 3.
+type PerfCell = harness.PerfCell
+
+// EDPRow is one bar of Figure 7.
+type EDPRow = harness.EDPRow
+
+// CoverageReport summarizes a Figure 10 PCA coverage analysis.
+type CoverageReport = harness.CoverageReport
+
+// SynthesizeMatrix materializes one of the Table 4 sparse matrices
+// (synthetic reproduction of its SuiteSparse structural class).
+func SynthesizeMatrix(name string) (*sparse.CSR, error) { return sparse.Synthesize(name) }
+
+// SynthesizeGraph materializes one of the Table 3 graphs at reduced scale.
+func SynthesizeGraph(name string) (*graph.Graph, error) { return graph.Synthesize(name) }
+
+// SparseMatrix is a CSR sparse matrix.
+type SparseMatrix = sparse.CSR
+
+// Graph is a CSR adjacency graph.
+type Graph = graph.Graph
+
+// Render helpers (text form of the paper's figures).
+var (
+	RenderFigure3  = harness.RenderFigure3
+	RenderSpeedups = harness.RenderSpeedups
+	RenderFigure7  = harness.RenderFigure7
+	RenderFigure8  = harness.RenderFigure8
+	RenderTable6   = harness.RenderTable6
+	RenderFigure9  = harness.RenderFigure9
+	RenderCoverage = harness.RenderCoverage
+	RenderFigure11 = harness.RenderFigure11
+)
+
+// RenderFigure12 prints the Figure 12 peak-throughput chart data.
+func RenderFigure12(w io.Writer) { harness.RenderFigure12(w) }
+
+// Figure10Graphs runs the graph-coverage PCA of Figure 10a.
+func Figure10Graphs(corpusSize int, seed int64) (*CoverageReport, error) {
+	return harness.Figure10Graphs(corpusSize, seed)
+}
+
+// Figure10Matrices runs the matrix-coverage PCA of Figure 10b.
+func Figure10Matrices(corpusSize int, seed int64) (*CoverageReport, error) {
+	return harness.Figure10Matrices(corpusSize, seed)
+}
+
+// SpMVOperator is a reusable y = A·x linear operator running the DASP
+// tensor-core SpMV semantics — the building block for iterative solvers
+// (see examples/cg-solver).
+type SpMVOperator = spmv.Operator
+
+// NewSpMVOperator builds the DASP layout for m once.
+func NewSpMVOperator(m *SparseMatrix) *SpMVOperator { return spmv.NewOperator(m) }
+
+// ReadMatrixMarket parses a Matrix Market coordinate stream (the SuiteSparse
+// distribution format) into a sparse matrix.
+func ReadMatrixMarket(r io.Reader) (*SparseMatrix, error) { return mtx.Read(r) }
+
+// WriteMatrixMarket emits m as a general real coordinate Matrix Market file.
+func WriteMatrixMarket(w io.Writer, m *SparseMatrix) error { return mtx.Write(w, m) }
+
+// Half is an IEEE 754 binary16 value (the FP16 tensor-core storage format
+// whose generational throughput scaling Figure 12 contrasts with FP64).
+type Half = fp16.Half
+
+// QuantizeFP16 rounds a float64 slice to binary16.
+func QuantizeFP16(src []float64) []Half { return fp16.Quantize(src) }
+
+// GEMMFP16 multiplies FP16 operands with FP32 accumulation via the HMMA
+// m16n16k16 semantics (see examples/mixed-precision).
+func GEMMFP16(a, b []Half, m, k, n int) []float64 { return fp16.GEMM(a, b, m, k, n) }
+
+// AblationRow is one measurement of a design-choice ablation study.
+type AblationRow = harness.AblationRow
+
+// RenderAblations prints ablation rows grouped by study.
+var RenderAblations = harness.RenderAblations
+
+// AlgorithmTraits describes a kernel at the algorithm level for the MMU
+// suitability advisor (the Section 4 "algorithm level reasoning" step).
+type AlgorithmTraits = advisor.AlgorithmTraits
+
+// AdvisorVerdict is the advisor's prediction.
+type AdvisorVerdict = advisor.Verdict
+
+// Advise predicts MMU suitability of an algorithm on a device.
+func Advise(t AlgorithmTraits, d Device) AdvisorVerdict { return advisor.Advise(t, d) }
+
+// Matrix is a dense row-major FP64 matrix.
+type Matrix = tensor.Matrix
+
+// NewMatrix allocates a zeroed dense matrix.
+func NewMatrix(rows, cols int) *Matrix { return tensor.NewMatrix(rows, cols) }
+
+// Cholesky computes the lower-triangular factor of an SPD matrix with MMA
+// trailing updates (the dense-factorization extension; see
+// examples/factorization).
+func Cholesky(a *Matrix) (*Matrix, error) { return factor.Cholesky(a) }
+
+// RandomSPD builds a deterministic SPD test matrix.
+func RandomSPD(n int, seed int64) *Matrix { return factor.RandomSPD(n, seed) }
+
+// CholeskyProfile returns the execution profile of an n×n blocked Cholesky
+// for the timing model.
+func CholeskyProfile(n int) Profile { return factor.Profile(n) }

@@ -1,0 +1,160 @@
+package cubie_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/cubie"
+)
+
+func TestSuiteRoundTrip(t *testing.T) {
+	s := cubie.NewSuite()
+	if len(s.Workloads()) != 10 {
+		t.Fatalf("%d workloads", len(s.Workloads()))
+	}
+	w, err := s.ByName("GEMV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(w.Representative(), cubie.TC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := cubie.Simulate(cubie.H200(), res.Profile)
+	if r.Time <= 0 || r.AvgPower <= 0 {
+		t.Fatalf("degenerate report: %+v", r)
+	}
+}
+
+func TestDevices(t *testing.T) {
+	if len(cubie.Devices()) != 3 {
+		t.Fatal("want 3 devices")
+	}
+	d, err := cubie.DeviceByName("B200")
+	if err != nil || d.TensorFP64 != 40 {
+		t.Fatalf("B200 lookup: %v %v", d, err)
+	}
+	if cubie.A100().Arch == cubie.H200().Arch {
+		t.Fatal("arch mismatch")
+	}
+}
+
+func TestPowerAndRoofline(t *testing.T) {
+	s := cubie.NewSuite()
+	w, _ := s.ByName("Stencil")
+	res, _ := w.Run(w.Representative(), cubie.TC)
+	rep := cubie.Simulate(cubie.H200(), res.Profile)
+	tr := cubie.RecordPower(cubie.H200(), rep, 1000)
+	if tr.EDP() <= 0 {
+		t.Fatal("EDP must be positive")
+	}
+	rl := cubie.NewRoofline(cubie.H200())
+	pt := rl.Place(w.Name(), string(cubie.TC), res.Profile)
+	if pt.TFLOPS <= 0 {
+		t.Fatal("roofline point degenerate")
+	}
+}
+
+func TestAccuracyFacade(t *testing.T) {
+	s := cubie.NewSuite()
+	w, _ := s.ByName("Scan")
+	row, err := cubie.MeasureAccuracy(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.TCEqualsCC {
+		t.Fatal("Scan TC must equal CC")
+	}
+}
+
+func TestSynthesizers(t *testing.T) {
+	m, err := cubie.SynthesizeMatrix("spmsrts")
+	if err != nil || m.Rows != 29995 {
+		t.Fatalf("matrix synth: %v", err)
+	}
+	g, err := cubie.SynthesizeGraph("mycielskian17")
+	if err != nil || g.N == 0 {
+		t.Fatalf("graph synth: %v", err)
+	}
+}
+
+func TestObservationsAndRender(t *testing.T) {
+	if len(cubie.Observations()) != 9 {
+		t.Fatal("want 9 observations")
+	}
+	var buf bytes.Buffer
+	cubie.RenderFigure12(&buf)
+	if !strings.Contains(buf.String(), "FP64") {
+		t.Fatal("Figure 12 render empty")
+	}
+}
+
+func TestAdvisorFacade(t *testing.T) {
+	v := cubie.Advise(cubie.AlgorithmTraits{
+		Name: "dense", EssentialFLOPs: 1e12, DRAMBytes: 1e9,
+		GEMMFraction: 1, OperandReuse: 256, OutputDensity: 1,
+	}, cubie.H200())
+	if !v.Suitable || v.Quadrant != 1 {
+		t.Fatalf("dense GEMM-shaped kernel should be quadrant-1 suitable: %+v", v)
+	}
+}
+
+func TestCholeskyFacade(t *testing.T) {
+	a := cubie.RandomSPD(32, 7)
+	l, err := cubie.Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.At(0, 0) <= 0 {
+		t.Fatal("factor diagonal must be positive")
+	}
+	p := cubie.CholeskyProfile(1024)
+	if cubie.Simulate(cubie.H200(), p).Time <= 0 {
+		t.Fatal("profile must simulate")
+	}
+}
+
+func TestFP16Facade(t *testing.T) {
+	a := cubie.QuantizeFP16([]float64{1, 2, 3, 4})
+	b := cubie.QuantizeFP16([]float64{1, 0, 0, 1})
+	c := cubie.GEMMFP16(a, b, 2, 2, 2)
+	// [1 2; 3 4] · [1 0; 0 1] = identity product.
+	want := []float64{1, 2, 3, 4}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("FP16 GEMM = %v, want %v", c, want)
+		}
+	}
+}
+
+func TestMatrixMarketFacade(t *testing.T) {
+	m, err := cubie.SynthesizeMatrix("spmsrts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cubie.WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := cubie.ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != m.NNZ() {
+		t.Fatal("Matrix Market round trip changed nnz")
+	}
+}
+
+func TestSpMVOperatorFacade(t *testing.T) {
+	m, _ := cubie.SynthesizeMatrix("spmsrts")
+	op := cubie.NewSpMVOperator(m)
+	x := make([]float64, m.Cols)
+	for i := range x {
+		x[i] = 1
+	}
+	y := op.Apply(x)
+	if len(y) != op.Rows() {
+		t.Fatal("operator output length wrong")
+	}
+}

@@ -1,0 +1,64 @@
+package cubie_test
+
+import (
+	"fmt"
+
+	"repro/cubie"
+)
+
+// ExampleSimulate runs one kernel profile through the analytical device
+// model.
+func ExampleSimulate() {
+	s := cubie.NewSuite()
+	w, _ := s.ByName("Reduction")
+	res, _ := w.Run(w.Representative(), cubie.TC)
+	r := cubie.Simulate(cubie.H200(), res.Profile)
+	fmt.Println("bottleneck:", r.Bottleneck)
+	// Output: bottleneck: DRAM
+}
+
+// ExampleNewSuite lists the ten workloads in Table 2 order.
+func ExampleNewSuite() {
+	for _, w := range cubie.NewSuite().Workloads() {
+		fmt.Printf("%s (Q%d)\n", w.Name(), w.Quadrant())
+	}
+	// Output:
+	// GEMM (Q1)
+	// PiC (Q1)
+	// FFT (Q1)
+	// Stencil (Q1)
+	// Scan (Q2)
+	// Reduction (Q3)
+	// BFS (Q4)
+	// GEMV (Q4)
+	// SpMV (Q4)
+	// SpGEMM (Q4)
+}
+
+// ExampleDeviceByName resolves a Table 5 GPU.
+func ExampleDeviceByName() {
+	d, _ := cubie.DeviceByName("B200")
+	fmt.Printf("%s: %.0f TFLOPS FP64 tensor, %.0f TB/s\n",
+		d.Name, d.TensorFP64, d.DRAMBWTBs)
+	// Output: B200: 40 TFLOPS FP64 tensor, 8 TB/s
+}
+
+// ExampleAdvise predicts MMU suitability from algorithm-level traits.
+func ExampleAdvise() {
+	v := cubie.Advise(cubie.AlgorithmTraits{
+		Name:           "my-dense-solver",
+		EssentialFLOPs: 1e12, DRAMBytes: 1e9,
+		GEMMFraction: 1, OperandReuse: 512, OutputDensity: 1,
+	}, cubie.H200())
+	fmt.Println("quadrant:", v.Quadrant, "suitable:", v.Suitable)
+	// Output: quadrant: 1 suitable: true
+}
+
+// ExampleMeasureAccuracy computes one Table 6 row.
+func ExampleMeasureAccuracy() {
+	s := cubie.NewSuite()
+	w, _ := s.ByName("Scan")
+	row, _ := cubie.MeasureAccuracy(w)
+	fmt.Println("TC and CC bit-identical:", row.TCEqualsCC)
+	// Output: TC and CC bit-identical: true
+}

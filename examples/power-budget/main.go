@@ -1,0 +1,66 @@
+// Power-budget: choose a GPU for an energy-constrained HPC procurement.
+//
+// The center's mixed workload is approximated by the Cubie suite; the
+// example computes the energy and energy-delay product of every workload's
+// TC variant on A100, H200, and B200, aggregates per device, and flags the
+// Blackwell FP64 tensor regression the paper warns about (Section 11).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/cubie"
+)
+
+func main() {
+	suite := cubie.NewSuite()
+	fmt.Println("Suite-wide energy accounting (TC variants, representative cases)")
+	fmt.Printf("\n%-10s", "workload")
+	for _, d := range cubie.Devices() {
+		fmt.Printf(" %18s", d.Name+" E(J)/run")
+	}
+	fmt.Println()
+
+	totalE := map[string]float64{}
+	logEDP := map[string]float64{}
+	n := 0
+	for _, w := range suite.Workloads() {
+		res, err := w.Run(w.Representative(), cubie.TC)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s", w.Name())
+		for _, d := range cubie.Devices() {
+			r := cubie.Simulate(d, res.Profile)
+			tr := cubie.RecordPower(d, r, w.Repeats())
+			fmt.Printf(" %18.2f", tr.Energy()/float64(w.Repeats()))
+			totalE[d.Name] += tr.Energy()
+			logEDP[d.Name] += math.Log(tr.EDP())
+		}
+		fmt.Println()
+		n++
+	}
+
+	fmt.Println("\nPer-device aggregate over the suite's measurement loops:")
+	fmt.Printf("%-6s %16s %20s\n", "GPU", "energy (kJ)", "geomean EDP (J·s)")
+	bestGPU, bestEDP := "", math.Inf(1)
+	for _, d := range cubie.Devices() {
+		geo := math.Exp(logEDP[d.Name] / float64(n))
+		fmt.Printf("%-6s %16.1f %20.2f\n", d.Name, totalE[d.Name]/1e3, geo)
+		if geo < bestEDP {
+			bestEDP, bestGPU = geo, d.Name
+		}
+	}
+	fmt.Printf("\nRecommendation: %s minimizes geomean EDP for this mix.\n", bestGPU)
+
+	h, b := cubie.H200(), cubie.B200()
+	if b.TensorFP64 < h.TensorFP64 {
+		fmt.Printf("\nCaveat (Section 11): B200's FP64 tensor peak regressed to %.0f TFLOPS\n",
+			b.TensorFP64)
+		fmt.Printf("(H200: %.1f). Compute-bound FP64 kernels lose headroom on Blackwell\n",
+			h.TensorFP64)
+		fmt.Println("even though its 8 TB/s memory system helps memory-bound ones.")
+	}
+}

@@ -1,0 +1,116 @@
+// Package accuracy reproduces the paper's FP64 numerical-error methodology
+// (Section 8, Table 6): each GPU variant's output is compared element-wise
+// against a naive CPU serial implementation, reporting
+// Average_Error = (1/n)·Σ|gpu_i − cpu_i| and Max_Error = max|gpu_i − cpu_i|.
+package accuracy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/workload"
+)
+
+// Errors holds the Table 6 metrics for one (workload, variant) pair.
+type Errors struct {
+	Workload string
+	Variant  workload.Variant
+	Avg, Max float64
+	Samples  int
+}
+
+// Measure computes the error metrics of output against the serial
+// reference.
+func Measure(name string, v workload.Variant, output, reference []float64) (Errors, error) {
+	if len(output) != len(reference) {
+		return Errors{}, fmt.Errorf("accuracy: %s/%s: %d outputs vs %d references",
+			name, v, len(output), len(reference))
+	}
+	if len(output) == 0 {
+		return Errors{}, fmt.Errorf("accuracy: %s/%s: empty output", name, v)
+	}
+	e := Errors{Workload: name, Variant: v, Samples: len(output)}
+	var sum float64
+	for i := range output {
+		d := math.Abs(output[i] - reference[i])
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			return Errors{}, fmt.Errorf("accuracy: %s/%s: non-finite error at %d", name, v, i)
+		}
+		sum += d
+		if d > e.Max {
+			e.Max = d
+		}
+	}
+	e.Avg = sum / float64(len(output))
+	return e, nil
+}
+
+// Row is one Table 6 row: one workload's errors per variant, with TC and CC
+// grouped (they are empirically identical, as the table notes).
+type Row struct {
+	Workload   string
+	Baseline   *Errors // nil for PiC (no baseline)
+	TCCC       Errors  // TC and CC grouped
+	CCE        *Errors // nil for Quadrant I workloads
+	TCEqualsCC bool    // bit-identity check between TC and CC outputs
+}
+
+// MeasureWorkload runs the representative case of w for every variant and
+// assembles its Table 6 row. BFS is rejected: it performs no floating-point
+// computation.
+func MeasureWorkload(w workload.Workload) (Row, error) {
+	if w.Name() == "BFS" {
+		return Row{}, fmt.Errorf("accuracy: BFS performs no floating-point computation")
+	}
+	c := w.Representative()
+	ref, err := w.Reference(c)
+	if err != nil {
+		return Row{}, err
+	}
+	row := Row{Workload: w.Name()}
+
+	tc, err := w.Run(c, workload.TC)
+	if err != nil {
+		return Row{}, err
+	}
+	row.TCCC, err = Measure(w.Name(), workload.TC, tc.Output, ref)
+	if err != nil {
+		return Row{}, err
+	}
+
+	cc, err := w.Run(c, workload.CC)
+	if err != nil {
+		return Row{}, err
+	}
+	row.TCEqualsCC = len(tc.Output) == len(cc.Output)
+	for i := range tc.Output {
+		if tc.Output[i] != cc.Output[i] {
+			row.TCEqualsCC = false
+			break
+		}
+	}
+
+	if workload.HasVariant(w, workload.Baseline) {
+		bl, err := w.Run(c, workload.Baseline)
+		if err != nil {
+			return Row{}, err
+		}
+		e, err := Measure(w.Name(), workload.Baseline, bl.Output, ref)
+		if err != nil {
+			return Row{}, err
+		}
+		row.Baseline = &e
+	}
+	if workload.HasVariant(w, workload.CCE) {
+		ce, err := w.Run(c, workload.CCE)
+		if err != nil {
+			return Row{}, err
+		}
+		e, err := Measure(w.Name(), workload.CCE, ce.Output, ref)
+		if err != nil {
+			return Row{}, err
+		}
+		row.CCE = &e
+	}
+	return row, nil
+}

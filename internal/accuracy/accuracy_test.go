@@ -1,0 +1,84 @@
+package accuracy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kernels/bfs"
+	"repro/internal/kernels/gemv"
+	"repro/internal/kernels/reduction"
+	"repro/internal/workload"
+)
+
+func TestMeasureBasics(t *testing.T) {
+	e, err := Measure("X", workload.TC,
+		[]float64{1, 2, 3}, []float64{1, 2.5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.Avg-0.5) > 1e-15 {
+		t.Errorf("avg = %v, want 0.5", e.Avg)
+	}
+	if e.Max != 1 {
+		t.Errorf("max = %v, want 1", e.Max)
+	}
+	if e.Samples != 3 {
+		t.Errorf("samples = %d", e.Samples)
+	}
+}
+
+func TestMeasureErrors(t *testing.T) {
+	if _, err := Measure("X", workload.TC, []float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Measure("X", workload.TC, nil, nil); err == nil {
+		t.Error("empty output accepted")
+	}
+	if _, err := Measure("X", workload.TC, []float64{math.NaN()}, []float64{0}); err == nil {
+		t.Error("NaN accepted")
+	}
+	if _, err := Measure("X", workload.TC, []float64{math.Inf(1)}, []float64{0}); err == nil {
+		t.Error("Inf accepted")
+	}
+}
+
+func TestMeasureWorkloadGEMV(t *testing.T) {
+	row, err := MeasureWorkload(gemv.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Workload != "GEMV" {
+		t.Fatal("wrong workload")
+	}
+	if !row.TCEqualsCC {
+		t.Error("TC and CC must be bit-identical (Table 6)")
+	}
+	if row.Baseline == nil || row.CCE == nil {
+		t.Fatal("GEMV has baseline and CC-E variants")
+	}
+	// FP64 errors on (-2,2) inputs are tiny across the board.
+	for _, e := range []Errors{row.TCCC, *row.Baseline, *row.CCE} {
+		if e.Max > 1e-12 {
+			t.Errorf("%s error %v too large", e.Variant, e.Max)
+		}
+	}
+}
+
+func TestMeasureWorkloadReductionShape(t *testing.T) {
+	row, err := MeasureWorkload(reduction.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.TCEqualsCC {
+		t.Error("Reduction TC ≠ CC")
+	}
+	if row.CCE == nil {
+		t.Fatal("Reduction has CC-E")
+	}
+}
+
+func TestBFSRejected(t *testing.T) {
+	if _, err := MeasureWorkload(bfs.New()); err == nil {
+		t.Fatal("BFS must be excluded from the accuracy study")
+	}
+}

@@ -1,0 +1,149 @@
+package advisor
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+func TestQuadrantPredictionsMatchFigure2(t *testing.T) {
+	// The advisor must recover the paper's quadrant assignment for all ten
+	// workloads from algorithm-level traits alone.
+	s := core.NewSuite()
+	for _, tr := range KnownTraits() {
+		w, err := s.ByName(tr.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tr.Quadrant(); got != w.Quadrant() {
+			t.Errorf("%s: predicted quadrant %d, paper says %d", tr.Name, got, w.Quadrant())
+		}
+	}
+}
+
+func TestSuitabilityMatchesFigure4(t *testing.T) {
+	// FFT is the one workload where the baseline wins; the advisor must
+	// reject it and accept the other nine on H200.
+	for _, tr := range KnownTraits() {
+		v := Advise(tr, device.H200())
+		if tr.Name == "FFT" {
+			if v.Suitable {
+				t.Error("FFT should be rejected (cuFFT wins, Section 6.1)")
+			}
+			continue
+		}
+		if !v.Suitable {
+			t.Errorf("%s: advisor rejected a workload the paper accelerates", tr.Name)
+		}
+	}
+}
+
+func TestSpeedupBandsContainMeasuredFigure4(t *testing.T) {
+	// The predicted bands must contain this repo's measured Figure 4
+	// speedups on H200.
+	measured := map[string]float64{
+		"GEMM": 2.90, "Stencil": 2.36, "Scan": 1.44, "Reduction": 1.40,
+		"BFS": 3.01, "GEMV": 1.09, "SpMV": 1.55, "SpGEMM": 3.50,
+	}
+	for _, tr := range KnownTraits() {
+		sp, ok := measured[tr.Name]
+		if !ok {
+			continue
+		}
+		v := Advise(tr, device.H200())
+		if sp < v.ExpectedSpeedupLow*0.9 || sp > v.ExpectedSpeedupHigh*1.15 {
+			t.Errorf("%s: measured %.2fx outside predicted band [%.2f, %.2f]",
+				tr.Name, sp, v.ExpectedSpeedupLow, v.ExpectedSpeedupHigh)
+		}
+	}
+}
+
+func TestRedundancyFactors(t *testing.T) {
+	for _, tr := range KnownTraits() {
+		v := Advise(tr, device.H200())
+		if v.RedundancyFactor < 1 {
+			t.Errorf("%s: redundancy %v below 1", tr.Name, v.RedundancyFactor)
+		}
+		switch tr.Name {
+		case "GEMM":
+			if v.RedundancyFactor != 1 {
+				t.Errorf("GEMM redundancy %v, want 1 (direct mapping)", v.RedundancyFactor)
+			}
+		case "Reduction":
+			if v.RedundancyFactor < 32 {
+				t.Errorf("Reduction redundancy %v, want ≥32 (single output element)",
+					v.RedundancyFactor)
+			}
+		}
+	}
+}
+
+func TestBlackwellRegressionCaveat(t *testing.T) {
+	// On B200 (no FP64 tensor peak advantage) a compute-bound GEMM-shaped
+	// kernel must carry the Figure 12 caveat and a lower floor.
+	tr := AlgorithmTraits{
+		Name: "dense-solver", EssentialFLOPs: 1e12, DRAMBytes: 1e9,
+		GEMMFraction: 1, OperandReuse: 512, OutputDensity: 1,
+	}
+	vb := Advise(tr, device.B200())
+	vh := Advise(tr, device.H200())
+	if vb.ExpectedSpeedupHigh >= vh.ExpectedSpeedupHigh {
+		t.Errorf("B200 band top %v should sit below H200's %v",
+			vb.ExpectedSpeedupHigh, vh.ExpectedSpeedupHigh)
+	}
+	found := false
+	for _, r := range vb.Reasons {
+		if len(r) > 0 && (contains(r, "regression") || contains(r, "B200")) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("B200 verdict missing the Figure 12 regression caveat")
+	}
+}
+
+func TestIrregularMemoryBoundRejected(t *testing.T) {
+	tr := AlgorithmTraits{
+		Name: "pointer-chase", EssentialFLOPs: 1e6, DRAMBytes: 1e9,
+		GEMMFraction: 0, OperandReuse: 1, OutputDensity: 1.0 / 64,
+		Irregularity: 0.9,
+	}
+	if v := Advise(tr, device.H200()); v.Suitable {
+		t.Error("highly irregular memory-bound kernel should be rejected")
+	}
+}
+
+func TestConstantOperandReasonAttached(t *testing.T) {
+	for _, tr := range KnownTraits() {
+		if !tr.ConstantOperand {
+			continue
+		}
+		v := Advise(tr, device.H200())
+		found := false
+		for _, r := range v.Reasons {
+			if contains(r, "constant operand") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: missing constant-operand reasoning", tr.Name)
+		}
+	}
+}
+
+func TestZeroTrafficIntensity(t *testing.T) {
+	tr := AlgorithmTraits{EssentialFLOPs: 100}
+	if tr.ArithmeticIntensity() != 0 {
+		t.Error("zero-byte intensity should report 0")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestSuiteHasTenWorkloadsInTable2Order(t *testing.T) {
+	s := NewSuite()
+	want := []string{"GEMM", "PiC", "FFT", "Stencil", "Scan", "Reduction",
+		"BFS", "GEMV", "SpMV", "SpGEMM"}
+	ws := s.Workloads()
+	if len(ws) != len(want) {
+		t.Fatalf("suite has %d workloads, want %d", len(ws), len(want))
+	}
+	for i, w := range ws {
+		if w.Name() != want[i] {
+			t.Errorf("position %d: %s, want %s", i, w.Name(), want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s := NewSuite()
+	w, err := s.ByName("SpMV")
+	if err != nil || w.Name() != "SpMV" {
+		t.Fatalf("ByName failed: %v", err)
+	}
+	if _, err := s.ByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestQuadrantAssignment(t *testing.T) {
+	// Figure 2: QI = GEMM, PiC, FFT, Stencil; QII = Scan; QIII = Reduction;
+	// QIV = BFS, GEMV, SpMV, SpGEMM.
+	s := NewSuite()
+	want := map[int][]string{
+		1: {"GEMM", "PiC", "FFT", "Stencil"},
+		2: {"Scan"},
+		3: {"Reduction"},
+		4: {"BFS", "GEMV", "SpMV", "SpGEMM"},
+	}
+	for q, names := range want {
+		ws := s.ByQuadrant(q)
+		if len(ws) != len(names) {
+			t.Fatalf("quadrant %d has %d workloads, want %d", q, len(ws), len(names))
+		}
+		got := map[string]bool{}
+		for _, w := range ws {
+			got[w.Name()] = true
+		}
+		for _, n := range names {
+			if !got[n] {
+				t.Errorf("quadrant %d missing %s", q, n)
+			}
+		}
+	}
+}
+
+func TestQuadrantsMetadata(t *testing.T) {
+	s := NewSuite()
+	qs := s.Quadrants()
+	if len(qs) != 4 {
+		t.Fatalf("%d quadrants", len(qs))
+	}
+	// Figure 2's full/partial pattern: (●,●), (○,●), (○,○), (●,○).
+	wantIn := []bool{true, false, false, true}
+	wantOut := []bool{true, true, false, false}
+	for i, q := range qs {
+		if q.InputFull != wantIn[i] || q.OutputFull != wantOut[i] {
+			t.Errorf("quadrant %d: in/out = %v/%v", q.Quadrant, q.InputFull, q.OutputFull)
+		}
+		if len(q.Workloads) == 0 {
+			t.Errorf("quadrant %d empty", q.Quadrant)
+		}
+	}
+}
+
+func TestMeasuredUtilizationMatchesQuadrant(t *testing.T) {
+	// Observation 2 mechanics: the measured MMA utilization of each TC
+	// variant must be consistent with its quadrant's full/partial claims.
+	s := NewSuite()
+	for _, w := range s.Workloads() {
+		res, err := w.Run(w.Representative(), workload.TC)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
+		}
+		switch w.Quadrant() {
+		case 1:
+			if res.InputUtil < 0.7 || res.OutputUtil < 0.7 {
+				t.Errorf("%s (QI): utilization in=%v out=%v, want full",
+					w.Name(), res.InputUtil, res.OutputUtil)
+			}
+		case 2:
+			if res.InputUtil >= 0.7 || res.OutputUtil < 0.7 {
+				t.Errorf("%s (QII): utilization in=%v out=%v, want partial/full",
+					w.Name(), res.InputUtil, res.OutputUtil)
+			}
+		case 3:
+			if res.InputUtil >= 0.7 || res.OutputUtil >= 0.7 {
+				t.Errorf("%s (QIII): utilization in=%v out=%v, want partial/partial",
+					w.Name(), res.InputUtil, res.OutputUtil)
+			}
+		case 4:
+			if res.OutputUtil >= 0.7 {
+				t.Errorf("%s (QIV): output utilization %v, want partial",
+					w.Name(), res.OutputUtil)
+			}
+		}
+	}
+}
+
+func TestAllWorkloadsHaveFiveCases(t *testing.T) {
+	for _, w := range NewSuite().Workloads() {
+		if len(w.Cases()) != 5 {
+			t.Errorf("%s: %d cases, want 5 (Table 2)", w.Name(), len(w.Cases()))
+		}
+		if w.Repeats() < 1 {
+			t.Errorf("%s: repeats %d", w.Name(), w.Repeats())
+		}
+		rep := w.Representative()
+		if _, err := workload.FindCase(w, rep.Name); err != nil {
+			t.Errorf("%s: representative %q not among cases", w.Name(), rep.Name)
+		}
+	}
+}
+
+func TestVariantCoverage(t *testing.T) {
+	s := NewSuite()
+	for _, w := range s.Workloads() {
+		if !workload.HasVariant(w, workload.TC) || !workload.HasVariant(w, workload.CC) {
+			t.Errorf("%s: must implement TC and CC", w.Name())
+		}
+		hasBaseline := workload.HasVariant(w, workload.Baseline)
+		if w.Name() == "PiC" {
+			if hasBaseline {
+				t.Error("PiC must not have a baseline (Table 2)")
+			}
+		} else if !hasBaseline {
+			t.Errorf("%s: missing baseline", w.Name())
+		}
+		// CC-E exists exactly for the Quadrant II–IV workloads.
+		hasCCE := workload.HasVariant(w, workload.CCE)
+		if w.Quadrant() == 1 && hasCCE {
+			t.Errorf("%s (QI): CC-E should be folded into CC", w.Name())
+		}
+		if w.Quadrant() != 1 && !hasCCE {
+			t.Errorf("%s (Q%d): missing CC-E", w.Name(), w.Quadrant())
+		}
+	}
+}
+
+func TestDwarfCoverage(t *testing.T) {
+	s := NewSuite()
+	rows := s.DwarfCoverage()
+	if len(rows) != 9 {
+		t.Fatalf("%d dwarf rows, want 9", len(rows))
+	}
+	want := map[string]int{ // Table 7's Cubie column
+		"Dense linear algebra":  2,
+		"Sparse linear algebra": 2,
+		"Spectral methods":      1,
+		"N-Body":                1,
+		"Structured grids":      1,
+		"Unstructured grids":    0,
+		"MapReduce":             2,
+		"Graph traversal":       1,
+		"Dynamic programming":   0,
+	}
+	for _, r := range rows {
+		if r.Cubie != want[r.Dwarf] {
+			t.Errorf("%s: Cubie count %d, want %d", r.Dwarf, r.Cubie, want[r.Dwarf])
+		}
+	}
+	if s.DwarfsCovered() != 7 {
+		t.Errorf("Cubie covers %d dwarfs, want 7 (Table 7)", s.DwarfsCovered())
+	}
+}
+
+func TestObservationsAndTable1(t *testing.T) {
+	obs := Observations()
+	if len(obs) != 9 {
+		t.Fatalf("%d observations, want 9", len(obs))
+	}
+	for i, o := range obs {
+		if o.ID != i+1 || o.Statement == "" || o.Sections == "" {
+			t.Errorf("observation %d malformed", i+1)
+		}
+	}
+	t1 := Table1()
+	if len(t1) != 7 {
+		t.Fatalf("Table 1 has %d rows, want 7", len(t1))
+	}
+	seen := map[int]bool{}
+	for _, r := range t1 {
+		for _, id := range r.Observations {
+			if id < 1 || id > 9 {
+				t.Errorf("row %q references invalid observation %d", r.Concern, id)
+			}
+			seen[id] = true
+		}
+	}
+	for id := 1; id <= 9; id++ {
+		if !seen[id] {
+			t.Errorf("observation %d not mapped in Table 1", id)
+		}
+	}
+}

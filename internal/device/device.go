@@ -1,0 +1,170 @@
+// Package device defines the simulated GPU targets of the study: NVIDIA
+// A100 (Ampere), H200 (Hopper), and B200 (Blackwell), with the peak numbers
+// the paper reports in Table 5 and Figure 12. These specs parameterize the
+// analytical execution model in package sim.
+package device
+
+import "fmt"
+
+// Arch identifies a GPU architecture generation.
+type Arch string
+
+// The three architectures evaluated in the paper.
+const (
+	Ampere    Arch = "Ampere"
+	Hopper    Arch = "Hopper"
+	Blackwell Arch = "Blackwell"
+)
+
+// Spec describes one simulated GPU.
+type Spec struct {
+	Name string // marketing name, e.g. "A100"
+	Arch Arch
+
+	// FP64 peak throughput in TFLOPS (Table 5).
+	TensorFP64 float64 // FP64 tensor core (MMU) peak
+	CUDAFP64   float64 // FP64 CUDA core (vector unit) peak
+
+	// FP16 tensor core peak in TFLOPS (Figure 12).
+	TensorFP16 float64
+
+	// Bit-MMA peak in Tera bit-ops/s for the b1 m8n8k128 path. Derived from
+	// the INT1 tensor throughput of each generation.
+	TensorBit float64
+
+	// Memory system.
+	MemoryGB    float64
+	DRAMBWTBs   float64 // HBM bandwidth, TB/s (Table 5)
+	L2BWTBs     float64 // aggregate L2 bandwidth, TB/s
+	L1BWTBs     float64 // aggregate L1/shared bandwidth, TB/s (Fig. 9 model)
+	ConstBWTBs  float64 // constant-cache broadcast bandwidth, TB/s
+	DRAMLatency float64 // µs-scale latency floor per dependent round trip
+
+	// Execution resources.
+	SMs      int
+	ClockGHz float64
+
+	// Power model parameters.
+	TDPWatts  float64 // board power limit
+	IdleWatts float64 // static + idle power while a kernel is resident
+
+	// LaunchOverheadUS is the per-kernel-launch fixed cost in microseconds.
+	LaunchOverheadUS float64
+}
+
+// A100 is the NVIDIA A100 PCIe 40 GB (Ampere) spec from Table 5.
+func A100() Spec {
+	return Spec{
+		Name:       "A100",
+		Arch:       Ampere,
+		TensorFP64: 19.5,
+		CUDAFP64:   9.7,
+		TensorFP16: 312,
+		TensorBit:  4992, // INT1 tensor TOPS class for GA100
+		MemoryGB:   40,
+		DRAMBWTBs:  1.555,
+		L2BWTBs:    7.0,
+		// L1 BW = SMs × LSUs × access width × clock (Fig. 9 formula).
+		L1BWTBs:          19.5,
+		ConstBWTBs:       28.0,
+		DRAMLatency:      0.6,
+		SMs:              108,
+		ClockGHz:         1.41,
+		TDPWatts:         250,
+		IdleWatts:        55,
+		LaunchOverheadUS: 1.2,
+	}
+}
+
+// H200 is the NVIDIA H200 SXM (GH200 platform, Hopper) spec from Table 5.
+// The paper quotes a 750 W thermal design power for this part (§7).
+func H200() Spec {
+	return Spec{
+		Name:             "H200",
+		Arch:             Hopper,
+		TensorFP64:       66.9,
+		CUDAFP64:         33.5,
+		TensorFP16:       989.5,
+		TensorBit:        7920,
+		MemoryGB:         96,
+		DRAMBWTBs:        4.0,
+		L2BWTBs:          12.0,
+		L1BWTBs:          33.0,
+		ConstBWTBs:       48.0,
+		DRAMLatency:      0.5,
+		SMs:              132,
+		ClockGHz:         1.83,
+		TDPWatts:         750,
+		IdleWatts:        90,
+		LaunchOverheadUS: 1.0,
+	}
+}
+
+// B200 is the NVIDIA B200 SXM (Blackwell) spec from Table 5. Note the FP64
+// tensor peak regression relative to Hopper that Section 11 highlights.
+func B200() Spec {
+	return Spec{
+		Name:             "B200",
+		Arch:             Blackwell,
+		TensorFP64:       40.0,
+		CUDAFP64:         40.0,
+		TensorFP16:       1800,
+		TensorBit:        14000,
+		MemoryGB:         180,
+		DRAMBWTBs:        8.0,
+		L2BWTBs:          18.0,
+		L1BWTBs:          42.0,
+		ConstBWTBs:       60.0,
+		DRAMLatency:      0.45,
+		SMs:              148,
+		ClockGHz:         1.8,
+		TDPWatts:         1000,
+		IdleWatts:        120,
+		LaunchOverheadUS: 1.0,
+	}
+}
+
+// All returns the three evaluated GPUs in paper order (A100, H200, B200).
+func All() []Spec { return []Spec{A100(), H200(), B200()} }
+
+// ByName returns the spec for a GPU name ("A100", "H200", "B200"),
+// case-sensitively, or an error.
+func ByName(name string) (Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("device: unknown GPU %q (want A100, H200, or B200)", name)
+}
+
+// TensorToCUDARatio returns the FP64 tensor-to-CUDA peak ratio — 2.0 on
+// Ampere and Hopper, 1.0 on Blackwell (Fig. 12).
+func (s Spec) TensorToCUDARatio() float64 { return s.TensorFP64 / s.CUDAFP64 }
+
+// PeakEntry is one bar of Figure 12's peak-throughput comparison.
+type PeakEntry struct {
+	GPU       string
+	Arch      Arch
+	Precision string // "FP16" or "FP64"
+	Unit      string // "TensorCore" or "CUDACore"
+	TFLOPS    float64
+}
+
+// Figure12Peaks returns the peak-throughput series of Figure 12: FP16 and
+// FP64 performance on CUDA cores and tensor cores across the three
+// generations.
+func Figure12Peaks() []PeakEntry {
+	// FP16 CUDA-core peaks (2× FP32 vector rate per the whitepapers).
+	cudaFP16 := map[string]float64{"A100": 78, "H200": 134, "B200": 160}
+	var out []PeakEntry
+	for _, s := range All() {
+		out = append(out,
+			PeakEntry{s.Name, s.Arch, "FP16", "TensorCore", s.TensorFP16},
+			PeakEntry{s.Name, s.Arch, "FP16", "CUDACore", cudaFP16[s.Name]},
+			PeakEntry{s.Name, s.Arch, "FP64", "TensorCore", s.TensorFP64},
+			PeakEntry{s.Name, s.Arch, "FP64", "CUDACore", s.CUDAFP64},
+		)
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package device
+
+import "testing"
+
+func TestTable5Specs(t *testing.T) {
+	// Pin the exact Table 5 numbers.
+	cases := []struct {
+		spec           Spec
+		tc, cc, bw, gb float64
+		arch           Arch
+	}{
+		{A100(), 19.5, 9.7, 1.555, 40, Ampere},
+		{H200(), 66.9, 33.5, 4.0, 96, Hopper},
+		{B200(), 40.0, 40.0, 8.0, 180, Blackwell},
+	}
+	for _, c := range cases {
+		if c.spec.TensorFP64 != c.tc {
+			t.Errorf("%s tensor FP64 = %v, want %v", c.spec.Name, c.spec.TensorFP64, c.tc)
+		}
+		if c.spec.CUDAFP64 != c.cc {
+			t.Errorf("%s CUDA FP64 = %v, want %v", c.spec.Name, c.spec.CUDAFP64, c.cc)
+		}
+		if c.spec.DRAMBWTBs != c.bw {
+			t.Errorf("%s bandwidth = %v, want %v", c.spec.Name, c.spec.DRAMBWTBs, c.bw)
+		}
+		if c.spec.MemoryGB != c.gb {
+			t.Errorf("%s memory = %v, want %v", c.spec.Name, c.spec.MemoryGB, c.gb)
+		}
+		if c.spec.Arch != c.arch {
+			t.Errorf("%s arch = %v, want %v", c.spec.Name, c.spec.Arch, c.arch)
+		}
+	}
+}
+
+func TestTensorToCUDARatio(t *testing.T) {
+	if r := A100().TensorToCUDARatio(); r < 2.0 || r > 2.02 {
+		t.Errorf("A100 ratio = %v, want ≈2", r)
+	}
+	if r := H200().TensorToCUDARatio(); r < 1.99 || r > 2.0 {
+		t.Errorf("H200 ratio = %v, want ≈2", r)
+	}
+	if r := B200().TensorToCUDARatio(); r != 1.0 {
+		t.Errorf("B200 ratio = %v, want 1", r)
+	}
+}
+
+func TestAllOrderAndByName(t *testing.T) {
+	all := All()
+	if len(all) != 3 || all[0].Name != "A100" || all[1].Name != "H200" || all[2].Name != "B200" {
+		t.Fatalf("All() order wrong: %v", all)
+	}
+	for _, name := range []string{"A100", "H200", "B200"} {
+		s, err := ByName(name)
+		if err != nil || s.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, s.Name, err)
+		}
+	}
+	if _, err := ByName("V100"); err == nil {
+		t.Error("ByName(V100) should fail")
+	}
+}
+
+func TestFigure12Peaks(t *testing.T) {
+	peaks := Figure12Peaks()
+	if len(peaks) != 12 {
+		t.Fatalf("expected 12 entries, got %d", len(peaks))
+	}
+	find := func(gpu, prec, unit string) float64 {
+		for _, p := range peaks {
+			if p.GPU == gpu && p.Precision == prec && p.Unit == unit {
+				return p.TFLOPS
+			}
+		}
+		t.Fatalf("missing entry %s/%s/%s", gpu, prec, unit)
+		return 0
+	}
+	// FP16 tensor scaling 312 → 989.5 → 1800 (§11).
+	if find("A100", "FP16", "TensorCore") != 312 ||
+		find("H200", "FP16", "TensorCore") != 989.5 ||
+		find("B200", "FP16", "TensorCore") != 1800 {
+		t.Error("FP16 tensor peaks do not match Figure 12")
+	}
+	// FP64 tensor regression on Blackwell: B200 < half of H200.
+	h, b := find("H200", "FP64", "TensorCore"), find("B200", "FP64", "TensorCore")
+	if !(b < h) {
+		t.Errorf("Blackwell FP64 tensor (%v) should regress below Hopper (%v)", b, h)
+	}
+}
+
+func TestSanityOfModelParameters(t *testing.T) {
+	for _, s := range All() {
+		if s.IdleWatts <= 0 || s.IdleWatts >= s.TDPWatts {
+			t.Errorf("%s: idle power %v out of range (TDP %v)", s.Name, s.IdleWatts, s.TDPWatts)
+		}
+		if s.L1BWTBs <= s.DRAMBWTBs {
+			t.Errorf("%s: L1 bandwidth should exceed DRAM bandwidth", s.Name)
+		}
+		if s.L2BWTBs <= s.DRAMBWTBs || s.L1BWTBs <= s.L2BWTBs {
+			t.Errorf("%s: bandwidth hierarchy should be DRAM < L2 < L1", s.Name)
+		}
+		if s.SMs <= 0 || s.ClockGHz <= 0 || s.LaunchOverheadUS <= 0 {
+			t.Errorf("%s: non-positive resource parameter", s.Name)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package factor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+)
+
+func reconstructError(t *testing.T, a, l *tensor.Matrix) float64 {
+	t.Helper()
+	n := a.Rows
+	var maxErr float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k <= min(i, j); k++ {
+				s += l.At(i, k) * l.At(j, k)
+			}
+			if d := math.Abs(s - a.At(i, j)); d > maxErr {
+				maxErr = d
+			}
+		}
+	}
+	return maxErr
+}
+
+func TestCholeskyReconstructs(t *testing.T) {
+	for _, n := range []int{1, 7, 8, 16, 33, 64, 100} {
+		a := RandomSPD(n, int64(n))
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// SPD entries scale with n; tolerate a relative bound.
+		if e := reconstructError(t, a, l); e > 1e-9*float64(n) {
+			t.Errorf("n=%d: reconstruction error %v", n, e)
+		}
+		// L must be lower triangular with positive diagonal.
+		for i := 0; i < n; i++ {
+			if l.At(i, i) <= 0 {
+				t.Fatalf("n=%d: non-positive diagonal at %d", n, i)
+			}
+			for j := i + 1; j < n; j++ {
+				if l.At(i, j) != 0 {
+					t.Fatalf("n=%d: upper entry (%d,%d) not zero", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyInputUntouched(t *testing.T) {
+	a := RandomSPD(24, 3)
+	orig := a.Clone()
+	if _, err := Cholesky(a); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(orig) {
+		t.Fatal("Cholesky modified its input")
+	}
+}
+
+func TestCholeskyRejectsBadInput(t *testing.T) {
+	if _, err := Cholesky(tensor.NewMatrix(3, 4)); err == nil {
+		t.Error("non-square accepted")
+	}
+	// Indefinite matrix: diag(1, -1).
+	m := tensor.NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(1, 1, -1)
+	if _, err := Cholesky(m); err == nil {
+		t.Error("indefinite matrix accepted")
+	}
+}
+
+func TestCholeskyIdentity(t *testing.T) {
+	n := 16
+	a := tensor.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 4)
+	}
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(l.At(i, i)-2) > 1e-15 {
+			t.Fatalf("diag %d = %v, want 2", i, l.At(i, i))
+		}
+	}
+}
+
+func TestProfileShape(t *testing.T) {
+	p := Profile(4096)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := 4096.0 * 4096 * 4096 / 3
+	if p.TensorFLOPs != want {
+		t.Errorf("tensor FLOPs %v, want %v", p.TensorFLOPs, want)
+	}
+	// On H200 the factorization should land compute-bound below GEMM's
+	// efficiency (the panel serializes).
+	r := sim.Run(device.H200(), p)
+	tflops := p.TensorFLOPs / r.Time / 1e12
+	if tflops >= 66.9*0.62 {
+		t.Errorf("Cholesky at %v TFLOPS should sit below the GEMM efficiency", tflops)
+	}
+	if tflops < 5 {
+		t.Errorf("Cholesky at %v TFLOPS implausibly slow", tflops)
+	}
+}
+
+func BenchmarkCholesky64(b *testing.B) {
+	a := RandomSPD(64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cholesky(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package fp16 implements IEEE 754 binary16 storage conversion and the
+// half-precision tensor-core MMA (HMMA m16n16k16 with FP32 accumulation) —
+// the precision path whose generational scaling Figure 12 contrasts with
+// the stagnating-then-regressing FP64 MMA. The Cubie kernels are FP64; this
+// package supports the mixed-precision comparison experiments
+// (examples/mixed-precision, BenchmarkFigure12MixedPrecision).
+package fp16
+
+import "math"
+
+// Half is an IEEE 754 binary16 value in its raw bit representation.
+type Half uint16
+
+// Bit-layout constants of binary16.
+const (
+	signMask     = 0x8000
+	expMask      = 0x7C00
+	fracMask     = 0x03FF
+	expBias      = 15
+	fracBits     = 10
+	maxFiniteExp = 30 // biased exponent of the largest finite half
+)
+
+// FromFloat converts a float64 to the nearest binary16 (round to nearest,
+// ties to even), with overflow to ±Inf and gradual underflow to subnormals.
+func FromFloat(f float64) Half {
+	b := math.Float64bits(f)
+	sign := Half(b>>48) & signMask
+	exp := int(b>>52) & 0x7FF
+	frac := b & 0x000F_FFFF_FFFF_FFFF
+
+	switch {
+	case exp == 0x7FF: // Inf or NaN
+		if frac != 0 {
+			return sign | expMask | 0x200 // quiet NaN
+		}
+		return sign | expMask
+	case exp == 0 && frac == 0:
+		return sign // signed zero
+	}
+
+	// Unbiased exponent of the double.
+	e := exp - 1023
+	switch {
+	case e > 15: // overflow → Inf
+		return sign | expMask
+	case e >= -14: // normal half range
+		// 10-bit mantissa from the 52-bit one with round-to-nearest-even.
+		mant := frac >> (52 - fracBits)
+		rem := frac & ((1 << (52 - fracBits)) - 1)
+		half := uint64(1) << (52 - fracBits - 1)
+		if rem > half || (rem == half && mant&1 == 1) {
+			mant++
+			if mant == 1<<fracBits { // mantissa overflow bumps the exponent
+				mant = 0
+				e++
+				if e > 15 {
+					return sign | expMask
+				}
+			}
+		}
+		return sign | Half((e+expBias)<<fracBits) | Half(mant)
+	case e >= -25: // subnormal half (−25 reaches the round-up-to-minimum case)
+		// Implicit leading 1 becomes explicit; shift into the subnormal
+		// position and round.
+		shift := uint(-14 - e + (52 - fracBits))
+		full := frac | 1<<52
+		mant := full >> shift
+		rem := full & ((uint64(1) << shift) - 1)
+		half := uint64(1) << (shift - 1)
+		if rem > half || (rem == half && mant&1 == 1) {
+			mant++
+		}
+		if mant == 1<<fracBits { // rounded up into the smallest normal
+			return sign | 1<<fracBits
+		}
+		return sign | Half(mant)
+	default: // underflow to signed zero
+		return sign
+	}
+}
+
+// Float converts a binary16 back to float64 (exact).
+func (h Half) Float() float64 {
+	sign := float64(1)
+	if h&signMask != 0 {
+		sign = -1
+	}
+	exp := int(h&expMask) >> fracBits
+	frac := int(h & fracMask)
+	switch {
+	case exp == 0x1F:
+		if frac != 0 {
+			return math.NaN()
+		}
+		return sign * math.Inf(1)
+	case exp == 0:
+		return sign * float64(frac) * math.Pow(2, -24)
+	default:
+		return sign * (1 + float64(frac)/1024) * math.Pow(2, float64(exp-expBias))
+	}
+}
+
+// IsNaN reports whether h encodes a NaN.
+func (h Half) IsNaN() bool { return h&expMask == expMask && h&fracMask != 0 }
+
+// IsInf reports whether h encodes ±Inf.
+func (h Half) IsInf() bool { return h&expMask == expMask && h&fracMask == 0 }
+
+// Shapes of the FP16 HMMA instruction (warp-level m16n16k16).
+const (
+	M = 16
+	N = 16
+	K = 16
+)
+
+// HMMATile executes one m16n16k16 HMMA on row-major tiles: the FP16
+// operands a (16×16) and b (16×16) multiply with products computed exactly
+// in FP32 and accumulated into the FP32 accumulator c in ascending-k order —
+// the documented mixed-precision behavior of half-precision tensor cores.
+func HMMATile(c []float32, a, b []Half) {
+	for i := 0; i < M; i++ {
+		for j := 0; j < N; j++ {
+			acc := c[i*N+j]
+			for k := 0; k < K; k++ {
+				// FP16 × FP16 is exact in FP32.
+				p := float32(a[i*K+k].Float()) * float32(b[k*N+j].Float())
+				acc += p
+			}
+			c[i*N+j] = acc
+		}
+	}
+}
+
+// Quantize converts a float64 slice to halves (rounding each element).
+func Quantize(src []float64) []Half {
+	out := make([]Half, len(src))
+	for i, v := range src {
+		out[i] = FromFloat(v)
+	}
+	return out
+}
+
+// Dequantize converts halves back to float64.
+func Dequantize(src []Half) []float64 {
+	out := make([]float64, len(src))
+	for i, h := range src {
+		out[i] = h.Float()
+	}
+	return out
+}
+
+// GEMM computes C = A·B for FP16 operands with FP32 accumulation, tiled
+// over m16n16k16 HMMAs (zero-padded edges), returning FP32 results widened
+// to float64. Dimensions are element counts: A is m×k, B is k×n.
+func GEMM(a, b []Half, m, k, n int) []float64 {
+	c32 := make([]float32, m*n)
+	aT := make([]Half, M*K)
+	bT := make([]Half, K*N)
+	cT := make([]float32, M*N)
+	for i0 := 0; i0 < m; i0 += M {
+		for j0 := 0; j0 < n; j0 += N {
+			h := minInt(M, m-i0)
+			w := minInt(N, n-j0)
+			for i := range cT {
+				cT[i] = 0
+			}
+			for k0 := 0; k0 < k; k0 += K {
+				kk := minInt(K, k-k0)
+				for i := 0; i < M; i++ {
+					for x := 0; x < K; x++ {
+						if i < h && x < kk {
+							aT[i*K+x] = a[(i0+i)*k+k0+x]
+						} else {
+							aT[i*K+x] = 0
+						}
+					}
+				}
+				for x := 0; x < K; x++ {
+					for j := 0; j < N; j++ {
+						if x < kk && j < w {
+							bT[x*N+j] = b[(k0+x)*n+j0+j]
+						} else {
+							bT[x*N+j] = 0
+						}
+					}
+				}
+				HMMATile(cT, aT, bT)
+			}
+			for i := 0; i < h; i++ {
+				for j := 0; j < w; j++ {
+					c32[(i0+i)*n+j0+j] = cT[i*N+j]
+				}
+			}
+		}
+	}
+	out := make([]float64, len(c32))
+	for i, v := range c32 {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,223 @@
+package fp16
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lcg"
+)
+
+func TestKnownConversions(t *testing.T) {
+	cases := []struct {
+		f    float64
+		bits Half
+	}{
+		{0, 0x0000},
+		{math.Copysign(0, -1), 0x8000},
+		{1, 0x3C00},
+		{-1, 0xBC00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7BFF},            // largest finite half
+		{math.Pow(2, -14), 0x0400}, // smallest normal
+		{math.Pow(2, -24), 0x0001}, // smallest subnormal
+		{math.Inf(1), 0x7C00},      // +Inf
+		{math.Inf(-1), 0xFC00},     // -Inf
+		{65520, 0x7C00},            // rounds up past max finite → Inf
+		{1e10, 0x7C00},             // overflow
+		{math.Pow(2, -26), 0x0000}, // underflow to zero (half of min subnormal rounds to even)
+		{1.0009765625, 0x3C01},     // 1 + 2^-10: exactly representable
+	}
+	for _, c := range cases {
+		if got := FromFloat(c.f); got != c.bits {
+			t.Errorf("FromFloat(%v) = %#04x, want %#04x", c.f, got, c.bits)
+		}
+	}
+}
+
+func TestNaN(t *testing.T) {
+	h := FromFloat(math.NaN())
+	if !h.IsNaN() {
+		t.Fatalf("NaN not preserved: %#04x", h)
+	}
+	if !math.IsNaN(h.Float()) {
+		t.Fatal("NaN round trip failed")
+	}
+	if FromFloat(math.Inf(1)).IsNaN() || !FromFloat(math.Inf(1)).IsInf() {
+		t.Fatal("Inf classification wrong")
+	}
+}
+
+func TestRoundTripExactForHalfValues(t *testing.T) {
+	// Every finite half value must round-trip bit-exactly.
+	for bits := 0; bits < 1<<16; bits++ {
+		h := Half(bits)
+		if h.IsNaN() {
+			continue
+		}
+		f := h.Float()
+		back := FromFloat(f)
+		if back != h {
+			t.Fatalf("round trip failed for %#04x: Float=%v, back=%#04x", h, f, back)
+		}
+	}
+}
+
+func TestRoundToNearestEven(t *testing.T) {
+	// 1 + 2^-11 sits exactly between 1.0 (0x3C00) and 1+2^-10 (0x3C01):
+	// ties-to-even picks 0x3C00.
+	if got := FromFloat(1 + math.Pow(2, -11)); got != 0x3C00 {
+		t.Errorf("tie not rounded to even: %#04x", got)
+	}
+	// 1 + 3·2^-11 sits between 0x3C01 and 0x3C02: even is 0x3C02.
+	if got := FromFloat(1 + 3*math.Pow(2, -11)); got != 0x3C02 {
+		t.Errorf("tie not rounded to even: %#04x", got)
+	}
+}
+
+func TestConversionMonotonicProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		// Clamp to finite half range.
+		clamp := func(x float64) float64 {
+			return math.Max(-65504, math.Min(65504, x))
+		}
+		a, b = clamp(a), clamp(b)
+		if a > b {
+			a, b = b, a
+		}
+		return FromFloat(a).Float() <= FromFloat(b).Float()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizationErrorBound(t *testing.T) {
+	// Relative error of binary16 rounding is at most 2^-11 for normals.
+	g := lcg.New(5)
+	for i := 0; i < 100000; i++ {
+		v := g.Symmetric()
+		if math.Abs(v) < math.Pow(2, -14) {
+			continue
+		}
+		q := FromFloat(v).Float()
+		if rel := math.Abs(q-v) / math.Abs(v); rel > math.Pow(2, -11) {
+			t.Fatalf("relative error %v for %v exceeds 2^-11", rel, v)
+		}
+	}
+}
+
+func TestHMMACorrectness(t *testing.T) {
+	g := lcg.New(9)
+	a64 := make([]float64, M*K)
+	b64 := make([]float64, K*N)
+	g.Fill(a64)
+	g.Fill(b64)
+	a := Quantize(a64)
+	b := Quantize(b64)
+	c := make([]float32, M*N)
+	HMMATile(c, a, b)
+	for i := 0; i < M; i++ {
+		for j := 0; j < N; j++ {
+			var want float64
+			for k := 0; k < K; k++ {
+				want += a[i*K+k].Float() * b[k*N+j].Float()
+			}
+			if d := math.Abs(float64(c[i*N+j]) - want); d > 1e-4 {
+				t.Fatalf("C(%d,%d) = %v, want ≈%v", i, j, c[i*N+j], want)
+			}
+		}
+	}
+}
+
+func TestGEMMMatchesNaiveOnQuantizedInputs(t *testing.T) {
+	const m, k, n = 24, 40, 19 // non-multiples exercise the padding
+	g := lcg.New(13)
+	a64 := make([]float64, m*k)
+	b64 := make([]float64, k*n)
+	g.Fill(a64)
+	g.Fill(b64)
+	a := Quantize(a64)
+	b := Quantize(b64)
+	got := GEMM(a, b, m, k, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var want float64
+			for kk := 0; kk < k; kk++ {
+				want += a[i*k+kk].Float() * b[kk*n+j].Float()
+			}
+			if d := math.Abs(got[i*n+j] - want); d > 1e-3 {
+				t.Fatalf("C(%d,%d) = %v, want ≈%v", i, j, got[i*n+j], want)
+			}
+		}
+	}
+}
+
+func TestFP16GEMMLessAccurateThanFP64(t *testing.T) {
+	// The mixed-precision story behind Figure 12: half-precision inputs
+	// lose ~3 decimal digits relative to the FP64 path.
+	const m, k, n = 32, 64, 32
+	g := lcg.New(17)
+	a64 := make([]float64, m*k)
+	b64 := make([]float64, k*n)
+	g.Fill(a64)
+	g.Fill(b64)
+	half := GEMM(Quantize(a64), Quantize(b64), m, k, n)
+	var maxErr float64
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var want float64
+			for kk := 0; kk < k; kk++ {
+				want += a64[i*k+kk] * b64[kk*n+j]
+			}
+			if d := math.Abs(half[i*n+j] - want); d > maxErr {
+				maxErr = d
+			}
+		}
+	}
+	if maxErr < 1e-4 {
+		t.Errorf("FP16 error %v suspiciously small — quantization not happening?", maxErr)
+	}
+	if maxErr > 0.5 {
+		t.Errorf("FP16 error %v too large for (-2,2) inputs at k=64", maxErr)
+	}
+}
+
+func TestQuantizeDequantizeRoundTrip(t *testing.T) {
+	g := lcg.New(21)
+	src := make([]float64, 256)
+	g.Fill(src)
+	rt := Dequantize(Quantize(src))
+	for i := range src {
+		if math.Abs(rt[i]-src[i]) > math.Abs(src[i])*math.Pow(2, -11)+1e-12 {
+			t.Fatalf("round trip error at %d: %v vs %v", i, rt[i], src[i])
+		}
+	}
+}
+
+func BenchmarkHMMATile(b *testing.B) {
+	g := lcg.New(1)
+	a64 := make([]float64, M*K)
+	b64 := make([]float64, K*N)
+	g.Fill(a64)
+	g.Fill(b64)
+	a := Quantize(a64)
+	bb := Quantize(b64)
+	c := make([]float32, M*N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HMMATile(c, a, bb)
+	}
+}
+
+func BenchmarkFromFloat(b *testing.B) {
+	var sink Half
+	for i := 0; i < b.N; i++ {
+		sink = FromFloat(1.2345 + float64(i&7))
+	}
+	_ = sink
+}

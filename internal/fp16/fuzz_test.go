@@ -1,0 +1,59 @@
+package fp16
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzFromFloat checks the conversion's contract on arbitrary doubles:
+// never panic, preserve sign and classification, and round to one of the
+// two neighboring representable halves.
+func FuzzFromFloat(f *testing.F) {
+	f.Add(0.0)
+	f.Add(1.5)
+	f.Add(-65504.0)
+	f.Add(math.Pi)
+	f.Add(6.1e-5)
+	f.Add(5.96e-8)
+	f.Add(1e300)
+	f.Add(math.Inf(1))
+	f.Fuzz(func(t *testing.T, x float64) {
+		h := FromFloat(x)
+		switch {
+		case math.IsNaN(x):
+			if !h.IsNaN() {
+				t.Fatalf("NaN lost: %#04x", h)
+			}
+			return
+		case math.IsInf(x, 0):
+			if !h.IsInf() {
+				t.Fatalf("Inf lost: %#04x", h)
+			}
+		}
+		y := h.Float()
+		if math.Signbit(y) != math.Signbit(x) && y != 0 {
+			t.Fatalf("sign flipped: %v → %v", x, y)
+		}
+		// The rounding boundary to Inf is 65520 (midpoint between the max
+		// finite half 65504 and the next binade step 65536).
+		if math.Abs(x) >= 65520 {
+			if !h.IsInf() {
+				t.Fatalf("overflow not saturated: %v → %v", x, y)
+			}
+			return
+		}
+		if h.IsInf() {
+			t.Fatalf("premature overflow: %v → Inf", x)
+		}
+		// Rounding error bounded by half a ULP of the result's binade,
+		// or the subnormal quantum.
+		ulp := math.Pow(2, -24)
+		if e := math.Abs(y); e >= math.Pow(2, -14) {
+			_, exp := math.Frexp(y)
+			ulp = math.Ldexp(1, exp-11)
+		}
+		if math.Abs(y-x) > ulp/2*(1+1e-12) {
+			t.Fatalf("rounding error too large: %v → %v (ulp %v)", x, y, ulp)
+		}
+	})
+}

@@ -1,0 +1,21 @@
+package graph
+
+import "testing"
+
+func BenchmarkToSliceSet(b *testing.B) {
+	g, err := Synthesize("kron_g500-logn21")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(g.Edges()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ToSliceSet(g)
+	}
+}
+
+func BenchmarkMycielskian12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Mycielskian(12)
+	}
+}

@@ -1,0 +1,141 @@
+package graph
+
+import (
+	"math/bits"
+
+	"repro/internal/mmu"
+)
+
+// BerryBees represents graphs as 8×128 bitmap block slices: the adjacency
+// matrix is cut into slices of 8 consecutive rows; within a slice, columns
+// are grouped into 128-wide segments, and only nonempty 8×128 blocks are
+// stored. Each block is directly usable as the A operand of the single-bit
+// m8n8k128 MMA.
+
+// BitmapBlock is one nonempty 8×128 adjacency block.
+type BitmapBlock struct {
+	ColSeg int32 // column segment index: covers columns [128·ColSeg, 128·(ColSeg+1))
+	Bits   mmu.BitFragA
+}
+
+// SliceSet is the bitmap block slice-set encoding of a graph.
+type SliceSet struct {
+	N         int
+	RowSlices int           // ceil(N/8)
+	SlicePtr  []int         // length RowSlices+1, indexes Blocks
+	Blocks    []BitmapBlock // sorted by ColSeg within each slice
+}
+
+// ToSliceSet converts a CSR graph into the 8×128 bitmap slice-set format.
+// The restructuring (and its padding) is the data-structure change that Key
+// Observation 1 attributes to MMU adoption.
+func ToSliceSet(g *Graph) *SliceSet {
+	rs := (g.N + 7) / 8
+	s := &SliceSet{N: g.N, RowSlices: rs, SlicePtr: make([]int, rs+1)}
+	for si := 0; si < rs; si++ {
+		blocks := map[int32]*BitmapBlock{}
+		var order []int32
+		for r := 0; r < 8; r++ {
+			v := si*8 + r
+			if v >= g.N {
+				break
+			}
+			for _, u := range g.Adj(v) {
+				seg := u / 128
+				blk, ok := blocks[seg]
+				if !ok {
+					blk = &BitmapBlock{ColSeg: seg}
+					blocks[seg] = blk
+					order = append(order, seg)
+				}
+				blk.Bits.SetBit(r, int(u%128))
+			}
+		}
+		for a := 1; a < len(order); a++ {
+			for b := a; b > 0 && order[b] < order[b-1]; b-- {
+				order[b], order[b-1] = order[b-1], order[b]
+			}
+		}
+		for _, seg := range order {
+			s.Blocks = append(s.Blocks, *blocks[seg])
+		}
+		s.SlicePtr[si+1] = len(s.Blocks)
+	}
+	return s
+}
+
+// BlockCount returns the number of stored 8×128 blocks.
+func (s *SliceSet) BlockCount() int { return len(s.Blocks) }
+
+// FillRatio returns edges / (blocks · 8 · 128): the bitmap payload density,
+// i.e. the MMU input utilization of the BFS workload.
+func (s *SliceSet) FillRatio(edges int) float64 {
+	if len(s.Blocks) == 0 {
+		return 0
+	}
+	return float64(edges) / float64(len(s.Blocks)*8*128)
+}
+
+// Frontier is a vertex bitset used by the bitmap BFS.
+type Frontier struct {
+	N     int
+	Words []uint64
+}
+
+// NewFrontier returns an empty frontier over n vertices.
+func NewFrontier(n int) *Frontier {
+	return &Frontier{N: n, Words: make([]uint64, (n+63)/64)}
+}
+
+// Set marks vertex v.
+func (f *Frontier) Set(v int) { f.Words[v/64] |= 1 << (v % 64) }
+
+// Has reports whether vertex v is marked.
+func (f *Frontier) Has(v int) bool { return f.Words[v/64]>>(v%64)&1 == 1 }
+
+// Count returns the number of marked vertices.
+func (f *Frontier) Count() int {
+	c := 0
+	for _, w := range f.Words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether no vertex is marked.
+func (f *Frontier) Empty() bool {
+	for _, w := range f.Words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Segment extracts the 128-bit column segment seg as the two words the
+// B operand of the bit MMA consumes.
+func (f *Frontier) Segment(seg int32) [2]uint64 {
+	var out [2]uint64
+	base := int(seg) * 2
+	if base < len(f.Words) {
+		out[0] = f.Words[base]
+	}
+	if base+1 < len(f.Words) {
+		out[1] = f.Words[base+1]
+	}
+	return out
+}
+
+// AndNot removes all vertices in g from f in place.
+func (f *Frontier) AndNot(g *Frontier) {
+	for i := range f.Words {
+		f.Words[i] &^= g.Words[i]
+	}
+}
+
+// Or merges g into f in place.
+func (f *Frontier) Or(g *Frontier) {
+	for i := range f.Words {
+		f.Words[i] |= g.Words[i]
+	}
+}

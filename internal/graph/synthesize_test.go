@@ -1,0 +1,167 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTable3Metadata(t *testing.T) {
+	ds := Table3()
+	if len(ds) != 5 {
+		t.Fatalf("Table 3 has %d entries, want 5", len(ds))
+	}
+	want := map[string][2]int{
+		"wikipedia-20070206": {3566907, 90043704},
+		"mycielskian17":      {98303, 100245742},
+		"wb-edu":             {9845725, 112468163},
+		"kron_g500-logn21":   {2097152, 182082942},
+		"com-Orkut":          {3072441, 234370166},
+	}
+	for _, d := range ds {
+		w, ok := want[d.Name]
+		if !ok {
+			t.Errorf("unexpected graph %q", d.Name)
+			continue
+		}
+		if d.Vertices != w[0] || d.Edges != w[1] {
+			t.Errorf("%s: %d/%d, want %d/%d", d.Name, d.Vertices, d.Edges, w[0], w[1])
+		}
+		if d.ScaleNote == "" {
+			t.Errorf("%s: missing scale note documenting the substitution", d.Name)
+		}
+	}
+}
+
+func TestSynthesizeAllValid(t *testing.T) {
+	for _, d := range Table3() {
+		g, err := Synthesize(d.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if g.N < 1000 || g.Edges() < 10000 {
+			t.Errorf("%s: synthesized too small (%d vertices, %d edges)",
+				d.Name, g.N, g.Edges())
+		}
+		if g.Edges() > 6_000_000 {
+			t.Errorf("%s: synthesized too large (%d edges)", d.Name, g.Edges())
+		}
+	}
+}
+
+func TestSynthesizeUnknown(t *testing.T) {
+	if _, err := Synthesize("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a, _ := Synthesize("com-Orkut")
+	b, _ := Synthesize("com-Orkut")
+	if a.Edges() != b.Edges() || a.N != b.N {
+		t.Fatal("nondeterministic synthesis")
+	}
+	for k := 0; k < a.Edges(); k += 10007 {
+		if a.Neighbors[k] != b.Neighbors[k] {
+			t.Fatal("nondeterministic edges")
+		}
+	}
+}
+
+func TestMycielskianRecurrence(t *testing.T) {
+	// M_k: n = 2n+1 per step from n=2; m = 3m+n from m=1.
+	n, m := 2, 1
+	for order := 2; order <= 9; order++ {
+		g := Mycielskian(order)
+		if g.N != n {
+			t.Fatalf("M%d has %d vertices, want %d", order, g.N, n)
+		}
+		if g.Edges() != 2*m {
+			t.Fatalf("M%d has %d directed edges, want %d", order, g.Edges(), 2*m)
+		}
+		n, m = 2*n+1, 3*m+n
+	}
+}
+
+func TestMycielskianTriangleFree(t *testing.T) {
+	// The Mycielski construction preserves triangle-freeness.
+	g := Mycielskian(6)
+	for v := 0; v < g.N; v++ {
+		for _, u := range g.Adj(v) {
+			if int(u) <= v {
+				continue
+			}
+			for _, w := range g.Adj(int(u)) {
+				if int(w) <= int(u) {
+					continue
+				}
+				// Is (v, w) an edge? Then v-u-w-v is a triangle.
+				for _, x := range g.Adj(v) {
+					if x == w {
+						t.Fatalf("triangle %d-%d-%d", v, u, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMycielskianPanicsBelow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for order 1")
+		}
+	}()
+	Mycielskian(1)
+}
+
+func TestRMATSkewedDegrees(t *testing.T) {
+	g, _ := Synthesize("kron_g500-logn21")
+	f := ExtractFeatures(g)
+	if f.MaxAvgRatio < 10 {
+		t.Errorf("RMAT max/avg degree ratio %v, want heavily skewed (>10)", f.MaxAvgRatio)
+	}
+	if f.DegreeCV < 1 {
+		t.Errorf("RMAT degree CV %v, want > 1", f.DegreeCV)
+	}
+}
+
+func TestWebGraphLocality(t *testing.T) {
+	web, _ := Synthesize("wb-edu")
+	soc, _ := Synthesize("com-Orkut")
+	fw, fs := ExtractFeatures(web), ExtractFeatures(soc)
+	if fw.Locality >= fs.Locality {
+		t.Errorf("web locality %v should be below social %v", fw.Locality, fs.Locality)
+	}
+}
+
+func TestExtractFeaturesSane(t *testing.T) {
+	g := Mycielskian(8)
+	f := ExtractFeatures(g)
+	if math.Abs(f.AvgDegree-float64(g.Edges())/float64(g.N)) > 1e-12 {
+		t.Error("avg degree wrong")
+	}
+	if len(f.Vector()) != len(FeatureNames()) {
+		t.Error("Vector / FeatureNames mismatch")
+	}
+	if f.MaxAvgRatio < 1 {
+		t.Error("max/avg < 1")
+	}
+}
+
+func TestCorpus(t *testing.T) {
+	c := Corpus(8, 5)
+	if len(c) != 8 {
+		t.Fatalf("corpus size %d", len(c))
+	}
+	for i, g := range c {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("corpus[%d]: %v", i, err)
+		}
+		if g.Edges() == 0 {
+			t.Fatalf("corpus[%d] empty", i)
+		}
+	}
+}

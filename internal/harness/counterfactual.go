@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Section 11 argues that Blackwell's FP64 tensor regression (66.9 → 40
+// TFLOPS) "may directly undermine FP64 MMU adoption for scientific
+// computing" and that future roadmaps should preserve FP64 MMU capability.
+// This counterfactual experiment makes the argument quantitative: it
+// re-runs the suite on a hypothetical Blackwell whose FP64 tensor peak had
+// continued Hopper's scaling, and reports what the regression costs each
+// workload.
+
+// HypotheticalB200 returns the B200 spec with its FP64 tensor peak scaled
+// as if the Ampere→Hopper growth (≈3.4×) had continued at half rate: about
+// 115 TFLOPS. All other parameters (bandwidth, power, vector peak) stay at
+// the shipped B200's values.
+func HypotheticalB200() device.Spec {
+	s := device.B200()
+	s.Name = "B200-cf"
+	// Hopper grew 19.5 → 66.9; continuing at half that growth rate gives
+	// 66.9 · √(66.9/19.5) ≈ 124; round conservatively.
+	s.TensorFP64 = 115
+	return s
+}
+
+// CounterfactualRow compares one workload's TC variant on the shipped and
+// hypothetical Blackwell.
+type CounterfactualRow struct {
+	Workload   string
+	Quadrant   int
+	ShippedS   float64 // TC time on the real B200
+	RestoredS  float64 // TC time on the hypothetical part
+	SpeedupCF  float64 // ShippedS / RestoredS: what the regression costs
+	Bottleneck string  // on the shipped part
+}
+
+// Counterfactual runs the comparison over the suite's largest cases.
+func (h *Harness) Counterfactual() ([]CounterfactualRow, error) {
+	shipped := device.B200()
+	restored := HypotheticalB200()
+	var rows []CounterfactualRow
+	for _, w := range h.Suite.Workloads() {
+		res, err := h.run(w, powerCase(w), workload.TC)
+		if err != nil {
+			return nil, err
+		}
+		rs := sim.Run(shipped, res.Profile)
+		rr := sim.Run(restored, res.Profile)
+		rows = append(rows, CounterfactualRow{
+			Workload:   w.Name(),
+			Quadrant:   w.Quadrant(),
+			ShippedS:   rs.Time,
+			RestoredS:  rr.Time,
+			SpeedupCF:  rs.Time / rr.Time,
+			Bottleneck: rs.Bottleneck,
+		})
+	}
+	return rows, nil
+}
+
+// RenderCounterfactual prints the Section 11 counterfactual.
+func RenderCounterfactual(w io.Writer, rows []CounterfactualRow) {
+	fmt.Fprintln(w, "Section 11 counterfactual — Blackwell with FP64 tensor scaling preserved")
+	fmt.Fprintf(w, "(shipped B200: 40 TFLOPS FP64 TC; hypothetical: %g TFLOPS)\n\n",
+		HypotheticalB200().TensorFP64)
+	fmt.Fprintf(w, "%-10s %-4s %12s %12s %10s %10s\n",
+		"workload", "quad", "shipped(ms)", "restored(ms)", "cost", "bottleneck")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %-4s %12.3f %12.3f %9.2fx %10s\n",
+			r.Workload, roman(r.Quadrant), r.ShippedS*1e3, r.RestoredS*1e3,
+			r.SpeedupCF, r.Bottleneck)
+	}
+	fmt.Fprintln(w, "\nMemory-bound kernels (cost ≈ 1.0x) ride the 8 TB/s memory system;")
+	fmt.Fprintln(w, "the compute-bound ones pay for the regression — the paper's point")
+	fmt.Fprintln(w, "that FP64 MMU capability should not be treated as secondary.")
+}
+
+// Explain prints the resource-level breakdown of one workload variant on a
+// device — the model's view of where the time goes.
+func (h *Harness) Explain(w io.Writer, name, caseName string, v workload.Variant, spec device.Spec) error {
+	wl, err := h.Suite.ByName(name)
+	if err != nil {
+		return err
+	}
+	var c workload.Case
+	if caseName == "" {
+		c = wl.Representative()
+	} else if c, err = workload.FindCase(wl, caseName); err != nil {
+		return err
+	}
+	res, err := h.run(wl, c, v)
+	if err != nil {
+		return err
+	}
+	r := sim.Run(spec, res.Profile)
+	p := res.Profile
+	fmt.Fprintf(w, "%s / %s / %s on %s\n\n", name, c.Name, v, spec.Name)
+	fmt.Fprintf(w, "issued work:   %.4g tensor FLOPs, %.4g vector FLOPs, %.4g bit ops\n",
+		p.TensorFLOPs, p.VectorFLOPs, p.BitOps)
+	fmt.Fprintf(w, "memory:        %.4g DRAM B, %.4g L2 B, %.4g L1 B, %.4g const B\n",
+		p.DRAMBytes, p.L2Bytes, p.L1Bytes, p.ConstBytes)
+	fmt.Fprintf(w, "intensity:     %.3f FLOP/B (DRAM), ridge %.2f\n",
+		p.ArithmeticIntensity(), spec.TensorFP64/spec.DRAMBWTBs)
+	b := r.Breakdown
+	fmt.Fprintf(w, "\nservice times (µs): tensor %.3f  vector %.3f  bit %.3f\n",
+		b.Tensor*1e6, b.Vector*1e6, b.Bit*1e6)
+	fmt.Fprintf(w, "                    dram %.3f  l2 %.3f  l1 %.3f  const %.3f\n",
+		b.DRAM*1e6, b.L2*1e6, b.L1*1e6, b.Const*1e6)
+	fmt.Fprintf(w, "                    launch %.3f  sync %.3f\n", b.Launch*1e6, b.Sync*1e6)
+	fmt.Fprintf(w, "\ntotal %.3f µs — bottleneck %s (overlap %.2f)\n",
+		r.Time*1e6, r.Bottleneck, effectiveOverlap(p))
+	fmt.Fprintf(w, "power %.1f W, energy %.4g J, throughput %.2f %s\n",
+		r.AvgPower, r.Energy, res.Work/r.Time/1e9, res.MetricName)
+	return nil
+}
+
+func effectiveOverlap(p sim.Profile) float64 {
+	if p.Overlap == 0 {
+		return sim.DefaultOverlap
+	}
+	return p.Overlap
+}

@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/workload"
+)
+
+func TestCounterfactualShape(t *testing.T) {
+	h := New()
+	rows, err := h.Counterfactual()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	computeBoundCost := 0
+	for _, r := range rows {
+		// Restoring FP64 tensor throughput can only help.
+		if r.SpeedupCF < 0.999 {
+			t.Errorf("%s: restored part slower (%v)", r.Workload, r.SpeedupCF)
+		}
+		if r.SpeedupCF > 1.2 {
+			computeBoundCost++
+		}
+	}
+	// Section 11's argument needs at least some workloads to pay for the
+	// regression (the compute-bound Quadrant I ones).
+	if computeBoundCost < 2 {
+		t.Errorf("only %d workloads pay for the regression; expected the compute-bound QI set", computeBoundCost)
+	}
+	var buf bytes.Buffer
+	RenderCounterfactual(&buf, rows)
+	if !strings.Contains(buf.String(), "counterfactual") {
+		t.Error("render malformed")
+	}
+}
+
+func TestHypotheticalB200OnlyChangesTensorPeak(t *testing.T) {
+	real, cf := device.B200(), HypotheticalB200()
+	if cf.TensorFP64 <= real.TensorFP64 {
+		t.Fatal("hypothetical part must restore FP64 tensor throughput")
+	}
+	if cf.DRAMBWTBs != real.DRAMBWTBs || cf.CUDAFP64 != real.CUDAFP64 ||
+		cf.TDPWatts != real.TDPWatts {
+		t.Fatal("counterfactual must only vary the FP64 tensor peak")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	h := New()
+	var buf bytes.Buffer
+	if err := h.Explain(&buf, "SpMV", "", workload.TC, device.H200()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"bottleneck", "tensor FLOPs", "intensity", "GFLOPS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q", want)
+		}
+	}
+	if err := h.Explain(&buf, "nope", "", workload.TC, device.H200()); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := h.Explain(&buf, "SpMV", "nope", workload.TC, device.H200()); err == nil {
+		t.Error("unknown case accepted")
+	}
+}

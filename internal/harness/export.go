@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/accuracy"
+	"repro/internal/power"
+)
+
+// WriteTable6CSV emits the accuracy table in the layout of the paper
+// artifact's all_error.csv: workload, variant, Average_Error, Max_Error.
+// TC and CC are grouped as in the artifact ("they are empirically
+// identical; thus, they are grouped and reported together").
+func WriteTable6CSV(w io.Writer, rows []accuracy.Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"workload", "variant", "Average_Error", "Max_Error"}); err != nil {
+		return err
+	}
+	fmtE := func(v float64) string { return strconv.FormatFloat(v, 'E', 6, 64) }
+	for _, r := range rows {
+		if r.Baseline != nil {
+			if err := cw.Write([]string{r.Workload, "Baseline",
+				fmtE(r.Baseline.Avg), fmtE(r.Baseline.Max)}); err != nil {
+				return err
+			}
+		}
+		if err := cw.Write([]string{r.Workload, "TC/CC",
+			fmtE(r.TCCC.Avg), fmtE(r.TCCC.Max)}); err != nil {
+			return err
+		}
+		if r.CCE != nil {
+			if err := cw.Write([]string{r.Workload, "CC-E",
+				fmtE(r.CCE.Avg), fmtE(r.CCE.Max)}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WritePerfCSV emits the Figure 3 grid as CSV.
+func WritePerfCSV(w io.Writer, cells []PerfCell) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"workload", "quadrant", "case", "variant",
+		"device", "time_s", "throughput", "metric", "bottleneck"}); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		if err := cw.Write([]string{
+			c.Workload, strconv.Itoa(c.Quadrant), c.Case, string(c.Variant),
+			c.Device, strconv.FormatFloat(c.TimeS, 'g', 9, 64),
+			strconv.FormatFloat(c.Throughput, 'g', 9, 64),
+			c.Metric, c.Bottleneck,
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WritePowerCSV emits Figure 8's power traces as long-form CSV:
+// workload, variant, time_s, watts — one row per sample.
+func WritePowerCSV(w io.Writer, traces []power.Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"workload", "variant", "time_s", "watts"}); err != nil {
+		return err
+	}
+	for _, t := range traces {
+		for _, s := range t.Samples {
+			if err := cw.Write([]string{t.Workload, t.Variant,
+				strconv.FormatFloat(s.TimeS, 'g', 6, 64),
+				strconv.FormatFloat(s.Watts, 'f', 1, 64)}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON marshals any experiment result set with indentation.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return fmt.Errorf("harness: encoding results: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/accuracy"
+	"repro/internal/device"
+	"repro/internal/kernels/gemv"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestWriteTable6CSV(t *testing.T) {
+	row, err := accuracy.MeasureWorkload(gemv.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTable6CSV(&buf, []accuracy.Row{row}); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + Baseline + TC/CC + CC-E.
+	if len(records) != 4 {
+		t.Fatalf("%d records, want 4", len(records))
+	}
+	if records[0][2] != "Average_Error" || records[0][3] != "Max_Error" {
+		t.Fatalf("header wrong: %v", records[0])
+	}
+	if records[2][1] != "TC/CC" {
+		t.Fatalf("grouped variant label wrong: %v", records[2])
+	}
+	if !strings.Contains(records[2][2], "E") {
+		t.Fatalf("error not in scientific notation: %v", records[2][2])
+	}
+}
+
+func TestWritePerfCSVAndJSON(t *testing.T) {
+	h := New()
+	w, _ := h.Suite.ByName("GEMV")
+	cells := []PerfCell{}
+	for _, v := range w.Variants() {
+		res, err := h.run(w, w.Representative(), v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells = append(cells, PerfCell{
+			Workload: "GEMV", Quadrant: 4, Case: "4Kx16", Variant: v,
+			Device: "H200", TimeS: 1e-6, Throughput: res.Work / 1e-6 / 1e9,
+			Metric: res.MetricName, Bottleneck: "DRAM",
+		})
+	}
+	var buf bytes.Buffer
+	if err := WritePerfCSV(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(cells)+1 {
+		t.Fatalf("%d records", len(records))
+	}
+
+	buf.Reset()
+	if err := WriteJSON(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	var back []PerfCell
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(cells) || back[0].Workload != "GEMV" {
+		t.Fatal("JSON round trip failed")
+	}
+	_ = device.All()
+}
+
+func TestWritePowerCSV(t *testing.T) {
+	h := New()
+	w, _ := h.Suite.ByName("GEMV")
+	res, err := h.run(w, w.Representative(), workload.TC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := device.H200()
+	tr := power.Record(spec, simRunFor(spec, res), 100000)
+	tr.Workload, tr.Variant = "GEMV", "TC"
+	var buf bytes.Buffer
+	if err := WritePowerCSV(&buf, []power.Trace{tr}); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(tr.Samples)+1 {
+		t.Fatalf("%d records, want %d", len(records), len(tr.Samples)+1)
+	}
+	if records[1][0] != "GEMV" || records[1][1] != "TC" {
+		t.Fatalf("labels wrong: %v", records[1])
+	}
+}
+
+func simRunFor(spec device.Spec, res *workload.Result) sim.Report {
+	return sim.Run(spec, res.Profile)
+}

@@ -1,0 +1,313 @@
+// Package harness drives the paper's experiments end to end: it runs every
+// workload variant on the simulated devices and assembles the exact rows
+// and series behind Figures 3–12 and Tables 6–7. The cmd/cubie CLI and the
+// top-level benchmarks print these structures.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/accuracy"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/power"
+	"repro/internal/roofline"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Harness caches workload runs so each (workload, case, variant) executes
+// once across all experiments.
+type Harness struct {
+	Suite *core.Suite
+
+	mu    sync.Mutex
+	cache map[string]*workload.Result
+}
+
+// New creates a harness over a fresh suite.
+func New() *Harness {
+	return &Harness{Suite: core.NewSuite(), cache: map[string]*workload.Result{}}
+}
+
+// run executes (or returns the cached) result for one workload/case/variant.
+func (h *Harness) run(w workload.Workload, c workload.Case, v workload.Variant) (*workload.Result, error) {
+	key := w.Name() + "|" + c.Name + "|" + string(v)
+	h.mu.Lock()
+	if r, ok := h.cache[key]; ok {
+		h.mu.Unlock()
+		return r, nil
+	}
+	h.mu.Unlock()
+	r, err := w.Run(c, v)
+	if err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	h.cache[key] = r
+	h.mu.Unlock()
+	return r, nil
+}
+
+// PerfCell is one marker of Figure 3: absolute performance of one workload
+// variant on one test case and device.
+type PerfCell struct {
+	Workload   string
+	Quadrant   int
+	Case       string
+	Variant    workload.Variant
+	Device     string
+	TimeS      float64
+	Throughput float64 // Work / time, in Metric units ×1e9
+	Metric     string
+	Bottleneck string
+}
+
+// Figure3 produces the full performance grid: every workload × five cases ×
+// all variants × the given devices. The (workload, case, variant) runs are
+// independent, so they execute on a worker pool sized to the host's cores;
+// results come back in deterministic grid order regardless of scheduling.
+func (h *Harness) Figure3(devices []device.Spec) ([]PerfCell, error) {
+	type job struct {
+		w workload.Workload
+		c workload.Case
+		v workload.Variant
+	}
+	var jobs []job
+	for _, w := range h.Suite.Workloads() {
+		for _, c := range w.Cases() {
+			for _, v := range w.Variants() {
+				jobs = append(jobs, job{w, c, v})
+			}
+		}
+	}
+
+	results := make([]*workload.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			j := jobs[i]
+			results[i], errs[i] = h.run(j.w, j.c, j.v)
+		}(i)
+	}
+	wg.Wait()
+
+	var out []PerfCell
+	for i, j := range jobs {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("%s/%s/%s: %w", j.w.Name(), j.c.Name, j.v, errs[i])
+		}
+		res := results[i]
+		for _, spec := range devices {
+			r := sim.Run(spec, res.Profile)
+			out = append(out, PerfCell{
+				Workload:   j.w.Name(),
+				Quadrant:   j.w.Quadrant(),
+				Case:       j.c.Name,
+				Variant:    j.v,
+				Device:     spec.Name,
+				TimeS:      r.Time,
+				Throughput: res.Work / r.Time / 1e9,
+				Metric:     res.MetricName,
+				Bottleneck: r.Bottleneck,
+			})
+		}
+	}
+	return out, nil
+}
+
+// SpeedupRow is one bar of Figures 4–6: the case-averaged speedup of one
+// variant pair for one workload on one device.
+type SpeedupRow struct {
+	Workload string
+	Quadrant int
+	Device   string
+	Speedup  float64 // averaged across the five test cases
+}
+
+// speedups computes time(den)/time(num) averaged over the cases, for
+// workloads implementing both variants.
+func (h *Harness) speedups(num, den workload.Variant, devices []device.Spec) ([]SpeedupRow, error) {
+	var out []SpeedupRow
+	for _, w := range h.Suite.Workloads() {
+		if !workload.HasVariant(w, num) || !workload.HasVariant(w, den) {
+			continue
+		}
+		for _, spec := range devices {
+			var sum float64
+			var n int
+			for _, c := range w.Cases() {
+				rNum, err := h.run(w, c, num)
+				if err != nil {
+					return nil, err
+				}
+				rDen, err := h.run(w, c, den)
+				if err != nil {
+					return nil, err
+				}
+				tNum := sim.Run(spec, rNum.Profile).Time
+				tDen := sim.Run(spec, rDen.Profile).Time
+				sum += tDen / tNum
+				n++
+			}
+			out = append(out, SpeedupRow{
+				Workload: w.Name(),
+				Quadrant: w.Quadrant(),
+				Device:   spec.Name,
+				Speedup:  sum / float64(n),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Figure4 returns the TC-over-baseline speedups (grouped by quadrant).
+func (h *Harness) Figure4(devices []device.Spec) ([]SpeedupRow, error) {
+	return h.speedups(workload.TC, workload.Baseline, devices)
+}
+
+// Figure5 returns the CC-over-TC speedups.
+func (h *Harness) Figure5(devices []device.Spec) ([]SpeedupRow, error) {
+	return h.speedups(workload.CC, workload.TC, devices)
+}
+
+// Figure6 returns the CC-E-over-TC speedups (Quadrants II–IV only, since
+// CC-E ≡ CC in Quadrant I).
+func (h *Harness) Figure6(devices []device.Spec) ([]SpeedupRow, error) {
+	return h.speedups(workload.CCE, workload.TC, devices)
+}
+
+// EDPRow is one bar of Figure 7: the energy-delay product of one variant's
+// representative-case measurement loop.
+type EDPRow struct {
+	Workload string
+	Quadrant int
+	Variant  workload.Variant
+	Repeats  int
+	TimeS    float64 // full measurement loop
+	AvgPower float64
+	EnergyJ  float64
+	EDP      float64 // AvgPower × TimeS² (kernel-only window)
+}
+
+// powerCase returns the test case used for the power and EDP experiments:
+// the workload's largest case, so the measurement loops run for seconds at
+// realistic utilization (the paper's Figure 8 traces span 1–15 s).
+func powerCase(w workload.Workload) workload.Case {
+	cs := w.Cases()
+	return cs[len(cs)-1]
+}
+
+// Figure7 computes the EDP comparison on one device (the paper uses H200)
+// with the per-workload repeat counts from its caption, plus the
+// per-quadrant geomeans of the TC-vs-baseline EDP ratio.
+func (h *Harness) Figure7(spec device.Spec) ([]EDPRow, map[int]float64, error) {
+	var rows []EDPRow
+	byWQ := map[string]map[workload.Variant]float64{}
+	for _, w := range h.Suite.Workloads() {
+		byWQ[w.Name()] = map[workload.Variant]float64{}
+		for _, v := range w.Variants() {
+			res, err := h.run(w, powerCase(w), v)
+			if err != nil {
+				return nil, nil, err
+			}
+			r := sim.Run(spec, res.Profile)
+			tr := power.Record(spec, r, w.Repeats())
+			row := EDPRow{
+				Workload: w.Name(),
+				Quadrant: w.Quadrant(),
+				Variant:  v,
+				Repeats:  w.Repeats(),
+				TimeS:    tr.TotalTimeS,
+				AvgPower: tr.AveragePower(),
+				EnergyJ:  tr.Energy(),
+				EDP:      tr.EDP(),
+			}
+			rows = append(rows, row)
+			byWQ[w.Name()][v] = row.EDP
+		}
+	}
+	// Geomean of TC/baseline EDP ratios per quadrant.
+	ratios := map[int][]float64{}
+	for _, w := range h.Suite.Workloads() {
+		m := byWQ[w.Name()]
+		bl, okB := m[workload.Baseline]
+		tc, okT := m[workload.TC]
+		if okB && okT && bl > 0 {
+			ratios[w.Quadrant()] = append(ratios[w.Quadrant()], tc/bl)
+		}
+	}
+	geo := map[int]float64{}
+	for q, rs := range ratios {
+		geo[q] = power.Geomean(rs)
+	}
+	return rows, geo, nil
+}
+
+// Figure8 records the power-over-time traces of every workload variant's
+// representative measurement loop on one device.
+func (h *Harness) Figure8(spec device.Spec) ([]power.Trace, error) {
+	var traces []power.Trace
+	for _, w := range h.Suite.Workloads() {
+		for _, v := range w.Variants() {
+			res, err := h.run(w, powerCase(w), v)
+			if err != nil {
+				return nil, err
+			}
+			r := sim.Run(spec, res.Profile)
+			tr := power.Record(spec, r, w.Repeats())
+			tr.Workload = w.Name()
+			tr.Variant = string(v)
+			traces = append(traces, tr)
+		}
+	}
+	return traces, nil
+}
+
+// Table6 measures the FP64 numerical errors of every floating-point
+// workload against the CPU serial reference. The arithmetic in this
+// reproduction is device-independent (the MMA semantics are exact), so one
+// table stands for both the H200 and B200 columns of the paper.
+func (h *Harness) Table6() ([]accuracy.Row, error) {
+	var rows []accuracy.Row
+	for _, w := range h.Suite.Workloads() {
+		if w.Name() == "BFS" {
+			continue // no floating-point computation (Section 8)
+		}
+		row, err := accuracy.MeasureWorkload(w)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name(), err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Figure9 places every floating-point workload variant on the cache-aware
+// roofline of one device (the paper plots H200). BFS is excluded — it
+// performs bit-wise operations.
+func (h *Harness) Figure9(spec device.Spec) (roofline.Model, []roofline.Point, error) {
+	m := roofline.New(spec)
+	var pts []roofline.Point
+	for _, w := range h.Suite.Workloads() {
+		if w.Name() == "BFS" {
+			continue
+		}
+		for _, v := range w.Variants() {
+			res, err := h.run(w, w.Representative(), v)
+			if err != nil {
+				return m, nil, err
+			}
+			pts = append(pts, m.Place(w.Name(), string(v), res.Profile))
+		}
+	}
+	return m, pts, nil
+}

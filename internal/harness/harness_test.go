@@ -1,0 +1,330 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/workload"
+)
+
+func TestFigure3Grid(t *testing.T) {
+	h := New()
+	cells, err := h.Figure3([]device.Spec{device.H200()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 workloads × 5 cases × (3 or 4 variants): PiC has 2, GEMM/FFT/
+	// Stencil have 3, the rest 4 → (2+3·3+4·6)·5 = 175 cells.
+	if len(cells) != 175 {
+		t.Fatalf("%d cells, want 175", len(cells))
+	}
+	for _, c := range cells {
+		if c.TimeS <= 0 || c.Throughput <= 0 {
+			t.Fatalf("%s/%s/%s: degenerate cell %+v", c.Workload, c.Case, c.Variant, c)
+		}
+	}
+	var buf bytes.Buffer
+	RenderFigure3(&buf, cells)
+	if !strings.Contains(buf.String(), "GEMM on H200") {
+		t.Error("render missing workload header")
+	}
+}
+
+func TestRunCaching(t *testing.T) {
+	h := New()
+	w, _ := h.Suite.ByName("GEMV")
+	c := w.Representative()
+	a, err := h.run(w, c, workload.TC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.run(w, c, workload.TC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("cache miss on identical run")
+	}
+}
+
+func TestFigure4Observation3(t *testing.T) {
+	// Observation 3: TC outperforms the baseline for (nearly) all
+	// workloads on all three GPUs; FFT is the documented exception.
+	h := New()
+	rows, err := h.Figure4(device.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9*3 { // 9 workloads with baselines × 3 devices
+		t.Fatalf("%d rows, want 27", len(rows))
+	}
+	for _, r := range rows {
+		if r.Workload == "FFT" {
+			if r.Speedup >= 1 {
+				t.Errorf("FFT on %s: speedup %v, cuFFT should win", r.Device, r.Speedup)
+			}
+			continue
+		}
+		if r.Speedup <= 1 {
+			t.Errorf("%s on %s: TC speedup %v ≤ 1", r.Workload, r.Device, r.Speedup)
+		}
+	}
+}
+
+func TestFigure5Observation4(t *testing.T) {
+	// Observation 4: CC runs slower than TC everywhere — MMUs contribute
+	// 10%–200% of the gains (CC speedup over TC between ~0.33 and ~0.91).
+	h := New()
+	rows, err := h.Figure5(device.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10*3 {
+		t.Fatalf("%d rows, want 30", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup >= 1.0 {
+			t.Errorf("%s on %s: CC speedup over TC %v ≥ 1", r.Workload, r.Device, r.Speedup)
+		}
+		if r.Speedup < 0.15 {
+			t.Errorf("%s on %s: CC/TC %v implausibly low", r.Workload, r.Device, r.Speedup)
+		}
+	}
+}
+
+func TestFigure6Observation5(t *testing.T) {
+	// Observation 5: redundancy removal does not pay off — except SpMV,
+	// where CC-E gains up to ~20% over TC.
+	h := New()
+	rows, err := h.Figure6(device.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6*3 { // six Quadrant II–IV workloads expose CC-E
+		t.Fatalf("%d rows, want 18", len(rows))
+	}
+	for _, r := range rows {
+		switch r.Workload {
+		case "SpMV":
+			if r.Speedup < 1.0 || r.Speedup > 1.35 {
+				t.Errorf("SpMV on %s: CC-E speedup %v outside [1.0, 1.35]",
+					r.Device, r.Speedup)
+			}
+		case "Scan":
+			if r.Speedup > 0.6 {
+				t.Errorf("Scan on %s: CC-E speedup %v, want well below 1",
+					r.Device, r.Speedup)
+			}
+		case "Reduction":
+			if r.Speedup < 0.5 || r.Speedup > 0.95 {
+				t.Errorf("Reduction on %s: CC-E speedup %v outside [0.5, 0.95]",
+					r.Device, r.Speedup)
+			}
+		case "BFS", "SpGEMM", "GEMV":
+			if r.Speedup < 0.7 || r.Speedup > 1.15 {
+				t.Errorf("%s on %s: CC-E speedup %v, want ≈1",
+					r.Workload, r.Device, r.Speedup)
+			}
+		}
+	}
+}
+
+func TestFigure7Observation6(t *testing.T) {
+	// Observation 6: the TC variants cut geomean EDP by 30–80% in every
+	// quadrant... except where no baseline exists; FFT drags Quadrant I.
+	h := New()
+	rows, geo, err := h.Figure7(device.H200())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no EDP rows")
+	}
+	for _, r := range rows {
+		if r.EDP <= 0 || r.AvgPower <= 0 {
+			t.Fatalf("%s/%s: degenerate EDP row", r.Workload, r.Variant)
+		}
+		if r.AvgPower > device.H200().TDPWatts {
+			t.Fatalf("%s/%s: power above TDP", r.Workload, r.Variant)
+		}
+	}
+	for q := 1; q <= 4; q++ {
+		g, ok := geo[q]
+		if !ok {
+			t.Fatalf("missing geomean for quadrant %d", q)
+		}
+		if g >= 1 {
+			t.Errorf("quadrant %d: TC geomean EDP ratio %v ≥ 1", q, g)
+		}
+		if g < 0.05 {
+			t.Errorf("quadrant %d: EDP ratio %v implausibly low", q, g)
+		}
+	}
+	// Quadrant IV shows the largest reduction in the paper (~80%).
+	if !(geo[4] < geo[2]) {
+		t.Errorf("quadrant IV ratio %v should beat quadrant II %v", geo[4], geo[2])
+	}
+	var buf bytes.Buffer
+	RenderFigure7(&buf, rows, geo)
+	if !strings.Contains(buf.String(), "Geomean") {
+		t.Error("render missing geomeans")
+	}
+}
+
+func TestFigure8Traces(t *testing.T) {
+	h := New()
+	traces, err := h.Figure8(device.H200())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) < 30 {
+		t.Fatalf("%d traces", len(traces))
+	}
+	for _, tr := range traces {
+		if tr.Workload == "" || tr.Variant == "" {
+			t.Fatal("unlabeled trace")
+		}
+		if tr.PeakPower() > device.H200().TDPWatts {
+			t.Errorf("%s/%s: peak above TDP", tr.Workload, tr.Variant)
+		}
+		if tr.AveragePower() < device.H200().IdleWatts/2 {
+			t.Errorf("%s/%s: average power below idle", tr.Workload, tr.Variant)
+		}
+	}
+	var buf bytes.Buffer
+	RenderFigure8(&buf, traces)
+	if !strings.Contains(buf.String(), "Stencil") {
+		t.Error("render missing workloads")
+	}
+}
+
+func TestTable6Observation7(t *testing.T) {
+	h := New()
+	rows, err := h.Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 { // ten workloads minus BFS
+		t.Fatalf("%d rows, want 9", len(rows))
+	}
+	for _, r := range rows {
+		if !r.TCEqualsCC {
+			t.Errorf("%s: TC and CC outputs must be bit-identical", r.Workload)
+		}
+		if r.TCCC.Max > 1e-9 {
+			t.Errorf("%s: TC error %v too large for FP64", r.Workload, r.TCCC.Max)
+		}
+	}
+	var buf bytes.Buffer
+	RenderTable6(&buf, rows)
+	if !strings.Contains(buf.String(), "TC≡CC") {
+		t.Error("render missing identity column")
+	}
+}
+
+func TestFigure9Observation8(t *testing.T) {
+	h := New()
+	m, pts, err := h.Figure9(device.H200())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 25 {
+		t.Fatalf("%d roofline points", len(pts))
+	}
+	foundCompute, foundMemory := false, false
+	for _, p := range pts {
+		if p.TFLOPS <= 0 {
+			t.Fatalf("%s/%s: zero throughput", p.Workload, p.Variant)
+		}
+		switch p.Bound {
+		case "compute":
+			foundCompute = true
+		case "memory":
+			foundMemory = true
+		}
+	}
+	if !foundMemory {
+		t.Error("no memory-bound kernels — Quadrant IV should be there")
+	}
+	_ = foundCompute // GEMM's representative case is small; large cases are compute-bound
+	var buf bytes.Buffer
+	RenderFigure9(&buf, m, pts)
+	if !strings.Contains(buf.String(), "ridge") {
+		t.Error("render missing ridge info")
+	}
+}
+
+func TestFigure10Coverage(t *testing.T) {
+	gr, err := Figure10Graphs(40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gr.Background) != 40 || len(gr.Selected) != 5 {
+		t.Fatalf("graph coverage sizes wrong: %d/%d", len(gr.Background), len(gr.Selected))
+	}
+	// Section 10's claim: the representatives spread much wider than the
+	// collection's local scale, and most of the corpus lies near one.
+	if gr.DispersionSelected <= gr.DispersionNeighbors {
+		t.Errorf("graph reps dispersion %v not above neighbor scale %v",
+			gr.DispersionSelected, gr.DispersionNeighbors)
+	}
+	if gr.Coverage < 0.5 {
+		t.Errorf("graph coverage %v too low", gr.Coverage)
+	}
+
+	mr, err := Figure10Matrices(40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.DispersionSelected <= mr.DispersionNeighbors {
+		t.Errorf("matrix reps dispersion %v not above neighbor scale %v",
+			mr.DispersionSelected, mr.DispersionNeighbors)
+	}
+	var buf bytes.Buffer
+	RenderCoverage(&buf, "Figure 10a", gr)
+	if !strings.Contains(buf.String(), "mycielskian17") {
+		t.Error("render missing representative labels")
+	}
+}
+
+func TestFigure11Observation9(t *testing.T) {
+	h := New()
+	pts, disp, err := h.Figure11(device.H200())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 55 { // 10 Rodinia + 10 SHOC + 35 Cubie variant kernels
+		t.Fatalf("%d points, want 55", len(pts))
+	}
+	// Observation 9: Cubie spans the widest area.
+	if !(disp["Cubie"] > disp["Rodinia"]) || !(disp["Cubie"] > disp["SHOC"]) {
+		t.Errorf("Cubie dispersion %v not widest (Rodinia %v, SHOC %v)",
+			disp["Cubie"], disp["Rodinia"], disp["SHOC"])
+	}
+	var buf bytes.Buffer
+	RenderFigure11(&buf, pts, disp)
+	if !strings.Contains(buf.String(), "Cubie") {
+		t.Error("render missing suites")
+	}
+}
+
+func TestRenderSpeedupsAndFigure12(t *testing.T) {
+	h := New()
+	rows, err := h.Figure4([]device.Spec{device.A100()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderSpeedups(&buf, "Figure 4", rows)
+	out := buf.String()
+	if !strings.Contains(out, "Quadrant I") || !strings.Contains(out, "x ") {
+		t.Error("speedup render malformed")
+	}
+	buf.Reset()
+	RenderFigure12(&buf)
+	if !strings.Contains(buf.String(), "1800.0") {
+		t.Error("Figure 12 missing B200 FP16 peak")
+	}
+}

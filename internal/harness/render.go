@@ -1,0 +1,190 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/accuracy"
+	"repro/internal/device"
+	"repro/internal/power"
+	"repro/internal/roofline"
+	"repro/internal/workload"
+)
+
+// RenderFigure3 prints the absolute-performance grid grouped by workload
+// and device, one row per test case.
+func RenderFigure3(w io.Writer, cells []PerfCell) {
+	fmt.Fprintln(w, "Figure 3 — absolute performance of all workloads and variants")
+	type key struct{ wl, dev string }
+	groups := map[key][]PerfCell{}
+	var order []key
+	for _, c := range cells {
+		k := key{c.Workload, c.Device}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], c)
+	}
+	for _, k := range order {
+		fmt.Fprintf(w, "\n%s on %s (%s)\n", k.wl, k.dev, groups[k][0].Metric)
+		byCase := map[string]map[workload.Variant]PerfCell{}
+		var caseOrder []string
+		for _, c := range groups[k] {
+			if _, ok := byCase[c.Case]; !ok {
+				byCase[c.Case] = map[workload.Variant]PerfCell{}
+				caseOrder = append(caseOrder, c.Case)
+			}
+			byCase[c.Case][c.Variant] = c
+		}
+		fmt.Fprintf(w, "  %-18s %12s %12s %12s %12s\n",
+			"case", "Baseline", "TC", "CC", "CC-E")
+		for _, cs := range caseOrder {
+			row := byCase[cs]
+			cell := func(v workload.Variant) string {
+				c, ok := row[v]
+				if !ok {
+					return "-"
+				}
+				return fmt.Sprintf("%.1f", c.Throughput)
+			}
+			fmt.Fprintf(w, "  %-18s %12s %12s %12s %12s\n",
+				cs, cell(workload.Baseline), cell(workload.TC),
+				cell(workload.CC), cell(workload.CCE))
+		}
+	}
+}
+
+// RenderSpeedups prints a Figures 4–6 style bar list grouped by quadrant.
+func RenderSpeedups(w io.Writer, title string, rows []SpeedupRow) {
+	fmt.Fprintln(w, title)
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Quadrant != rows[j].Quadrant {
+			return rows[i].Quadrant < rows[j].Quadrant
+		}
+		if rows[i].Workload != rows[j].Workload {
+			return rows[i].Workload < rows[j].Workload
+		}
+		return rows[i].Device < rows[j].Device
+	})
+	lastQ := 0
+	for _, r := range rows {
+		if r.Quadrant != lastQ {
+			fmt.Fprintf(w, "Quadrant %s\n", roman(r.Quadrant))
+			lastQ = r.Quadrant
+		}
+		bar := strings.Repeat("#", int(r.Speedup*10))
+		if len(bar) > 40 {
+			bar = bar[:40] + "+"
+		}
+		fmt.Fprintf(w, "  %-10s %-5s %6.2fx %s\n", r.Workload, r.Device, r.Speedup, bar)
+	}
+}
+
+// RenderFigure7 prints the EDP table with quadrant geomeans.
+func RenderFigure7(w io.Writer, rows []EDPRow, geo map[int]float64) {
+	fmt.Fprintln(w, "Figure 7 — energy-delay product (representative case, measurement loop)")
+	fmt.Fprintf(w, "%-10s %-4s %-9s %9s %10s %10s %12s\n",
+		"workload", "quad", "variant", "time(s)", "power(W)", "energy(kJ)", "EDP(kJ·s)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %-4s %-9s %9.3f %10.1f %10.2f %12.2f\n",
+			r.Workload, roman(r.Quadrant), r.Variant, r.TimeS, r.AvgPower,
+			r.EnergyJ/1e3, r.EDP/1e3)
+	}
+	fmt.Fprintln(w, "\nGeomean TC/Baseline EDP ratio per quadrant:")
+	for q := 1; q <= 4; q++ {
+		if g, ok := geo[q]; ok {
+			fmt.Fprintf(w, "  Quadrant %-4s %.2f (%.0f%% reduction)\n",
+				roman(q), g, (1-g)*100)
+		}
+	}
+}
+
+// RenderFigure8 prints compact summaries of the power traces.
+func RenderFigure8(w io.Writer, traces []power.Trace) {
+	fmt.Fprintln(w, "Figure 8 — power over time (representative case, measurement loop)")
+	fmt.Fprintf(w, "%-10s %-9s %10s %10s %10s %10s\n",
+		"workload", "variant", "time(s)", "avg(W)", "peak(W)", "energy(kJ)")
+	for _, t := range traces {
+		fmt.Fprintf(w, "%-10s %-9s %10.3f %10.1f %10.1f %10.2f\n",
+			t.Workload, t.Variant, t.TotalTimeS, t.AveragePower(),
+			t.PeakPower(), t.Energy()/1e3)
+	}
+}
+
+// RenderTable6 prints the FP64 numerical-error table.
+func RenderTable6(w io.Writer, rows []accuracy.Row) {
+	fmt.Fprintln(w, "Table 6 — FP64 numerical errors vs CPU serial reference")
+	fmt.Fprintf(w, "%-10s %12s %12s %12s %12s %12s %12s %6s\n",
+		"workload", "BL avg", "BL max", "TC/CC avg", "TC/CC max", "CC-E avg", "CC-E max", "TC≡CC")
+	for _, r := range rows {
+		f := func(e *accuracy.Errors, max bool) string {
+			if e == nil {
+				return "-"
+			}
+			if max {
+				return fmt.Sprintf("%.2e", e.Max)
+			}
+			return fmt.Sprintf("%.2e", e.Avg)
+		}
+		fmt.Fprintf(w, "%-10s %12s %12s %12.2e %12.2e %12s %12s %6v\n",
+			r.Workload, f(r.Baseline, false), f(r.Baseline, true),
+			r.TCCC.Avg, r.TCCC.Max, f(r.CCE, false), f(r.CCE, true), r.TCEqualsCC)
+	}
+}
+
+// RenderFigure9 prints the roofline model and workload points.
+func RenderFigure9(w io.Writer, m roofline.Model, pts []roofline.Point) {
+	fmt.Fprintf(w, "Figure 9 — cache-aware roofline on %s\n", m.Spec.Name)
+	fmt.Fprintf(w, "  tensor peak %.1f TFLOPS, CUDA peak %.1f TFLOPS, DRAM %.2f TB/s, L1 %.1f TB/s\n",
+		m.Spec.TensorFP64, m.Spec.CUDAFP64, m.Spec.DRAMBWTBs, m.Spec.L1BWTBs)
+	fmt.Fprintf(w, "  ridge points: CUDA %.2f, tensor %.2f FLOP/B\n",
+		m.RidgeCUDA(), m.RidgeTensor())
+	fmt.Fprintf(w, "%-10s %-9s %12s %12s %10s %8s\n",
+		"workload", "variant", "AI(FLOP/B)", "L1 AI", "TFLOPS", "bound")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-10s %-9s %12.3f %12.3f %10.2f %8s\n",
+			p.Workload, p.Variant, p.Intensity, p.L1Int, p.TFLOPS, p.Bound)
+	}
+}
+
+// RenderCoverage prints a Figure 10 style coverage report.
+func RenderCoverage(w io.Writer, title string, r *CoverageReport) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "  corpus points: %d; explained variance: PC1 %.0f%%, PC2 %.0f%%\n",
+		len(r.Background), r.Explained[0]*100, r.Explained[1]*100)
+	fmt.Fprintf(w, "  representative dispersion %.3f vs corpus nearest-neighbor scale %.3f\n",
+		r.DispersionSelected, r.DispersionNeighbors)
+	fmt.Fprintf(w, "  coverage: %.1f%% of the corpus lies close to a representative\n",
+		r.Coverage*100)
+	for _, s := range r.Selected {
+		fmt.Fprintf(w, "  * %-22s (%7.3f, %7.3f)\n", s.Label, s.X, s.Y)
+	}
+}
+
+// RenderFigure11 prints the suite-comparison PCA with per-suite dispersion.
+func RenderFigure11(w io.Writer, pts []CoveragePoint, disp map[string]float64) {
+	fmt.Fprintln(w, "Figure 11 — PCA of architectural metrics: Rodinia vs SHOC vs Cubie")
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %-24s (%7.3f, %7.3f)\n", p.Label, p.X, p.Y)
+	}
+	fmt.Fprintln(w, "per-suite dispersion (Cubie spans the widest area, Observation 9):")
+	for _, s := range []string{"Rodinia", "SHOC", "Cubie"} {
+		fmt.Fprintf(w, "  %-8s %.3f\n", s, disp[s])
+	}
+}
+
+// RenderFigure12 prints the peak-throughput evolution chart data.
+func RenderFigure12(w io.Writer) {
+	fmt.Fprintln(w, "Figure 12 — peak throughput across GPU generations (TFLOPS)")
+	fmt.Fprintf(w, "%-6s %-10s %-12s %10s\n", "GPU", "precision", "unit", "TFLOPS")
+	for _, p := range device.Figure12Peaks() {
+		fmt.Fprintf(w, "%-6s %-10s %-12s %10.1f\n", p.GPU, p.Precision, p.Unit, p.TFLOPS)
+	}
+	fmt.Fprintln(w, "\nNote the FP64 tensor regression: H200 66.9 → B200 40.0 TFLOPS (Section 11).")
+}
+
+func roman(q int) string {
+	return [...]string{"", "I", "II", "III", "IV"}[q]
+}

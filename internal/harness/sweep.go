@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Section 1 lists the architecture-researcher questions the suite should
+// answer; among them "the appropriate memory bandwidth to avoid underuse or
+// waste" and the power/performance balance. These sweeps vary one device
+// parameter around a base spec and locate each workload's knee — the point
+// past which more of the resource stops paying.
+
+// SweepPoint is one sample of a parameter sweep for one workload.
+type SweepPoint struct {
+	Workload string
+	Quadrant int
+	Factor   float64 // parameter multiplier vs. the base spec
+	TimeS    float64
+	Speedup  float64 // time(base) / time(this point)
+	EDP      float64
+}
+
+// SweepResult aggregates a sweep for one workload.
+type SweepResult struct {
+	Workload string
+	Quadrant int
+	Points   []SweepPoint
+	// Knee is the smallest factor achieving ≥95% of the speedup available
+	// at the sweep's maximum — "enough of this resource".
+	Knee float64
+}
+
+// kneeThreshold defines "enough": 95% of the maximum attainable speedup.
+const kneeThreshold = 0.95
+
+// sweep runs the TC variant of every workload across specs produced by
+// mutate(baseSpec, factor) for each factor.
+func (h *Harness) sweep(base device.Spec, factors []float64,
+	mutate func(device.Spec, float64) device.Spec) ([]SweepResult, error) {
+
+	var out []SweepResult
+	for _, w := range h.Suite.Workloads() {
+		res, err := h.run(w, powerCase(w), workload.TC)
+		if err != nil {
+			return nil, err
+		}
+		baseTime := sim.Run(base, res.Profile).Time
+		sr := SweepResult{Workload: w.Name(), Quadrant: w.Quadrant()}
+		var maxSpeedup float64
+		for _, f := range factors {
+			spec := mutate(base, f)
+			r := sim.Run(spec, res.Profile)
+			p := SweepPoint{
+				Workload: w.Name(),
+				Quadrant: w.Quadrant(),
+				Factor:   f,
+				TimeS:    r.Time,
+				Speedup:  baseTime / r.Time,
+				EDP:      r.EDP,
+			}
+			sr.Points = append(sr.Points, p)
+			if p.Speedup > maxSpeedup {
+				maxSpeedup = p.Speedup
+			}
+		}
+		for _, p := range sr.Points {
+			if p.Speedup >= kneeThreshold*maxSpeedup {
+				sr.Knee = p.Factor
+				break
+			}
+		}
+		out = append(out, sr)
+	}
+	return out, nil
+}
+
+// SweepBandwidth varies the DRAM bandwidth of the base device from 0.25×
+// to 4× and reports each workload's bandwidth knee — the §1 "appropriate
+// memory bandwidth" question.
+func (h *Harness) SweepBandwidth(base device.Spec) ([]SweepResult, error) {
+	return h.sweep(base,
+		[]float64{0.25, 0.5, 0.75, 1, 1.5, 2, 3, 4},
+		func(s device.Spec, f float64) device.Spec {
+			s.DRAMBWTBs *= f
+			s.Name = fmt.Sprintf("%s-bw%.2gx", s.Name, f)
+			return s
+		})
+}
+
+// SweepTensorPeak varies the FP64 tensor peak from 0.25× to 4× — the
+// MMU-provisioning counterpart (how much FP64 MMA throughput the suite can
+// actually consume at a fixed memory system).
+func (h *Harness) SweepTensorPeak(base device.Spec) ([]SweepResult, error) {
+	return h.sweep(base,
+		[]float64{0.25, 0.5, 0.75, 1, 1.5, 2, 3, 4},
+		func(s device.Spec, f float64) device.Spec {
+			s.TensorFP64 *= f
+			s.Name = fmt.Sprintf("%s-tc%.2gx", s.Name, f)
+			return s
+		})
+}
+
+// RenderSweep prints a sweep with its knees.
+func RenderSweep(w io.Writer, title, param string, rows []SweepResult) {
+	fmt.Fprintln(w, title)
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-10s %-4s", "workload", "quad")
+	for _, p := range rows[0].Points {
+		fmt.Fprintf(w, " %7.2gx", p.Factor)
+	}
+	fmt.Fprintf(w, " %8s\n", "knee")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %-4s", r.Workload, roman(r.Quadrant))
+		for _, p := range r.Points {
+			fmt.Fprintf(w, " %8.2f", p.Speedup)
+		}
+		fmt.Fprintf(w, " %7.2gx\n", r.Knee)
+	}
+	fmt.Fprintf(w, "\n(entries are speedups over the 1x %s; the knee is the smallest\n", param)
+	fmt.Fprintf(w, "factor reaching 95%% of the sweep's best — '%s provisioned beyond\n", param)
+	fmt.Fprintln(w, "the knee is wasted' for that workload.)")
+}

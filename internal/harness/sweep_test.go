@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+)
+
+func TestSweepBandwidth(t *testing.T) {
+	h := New()
+	rows, err := h.SweepBandwidth(device.H200())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Points) != 8 {
+			t.Fatalf("%s: %d points", r.Workload, len(r.Points))
+		}
+		// Speedup must be monotone non-decreasing in bandwidth.
+		prev := 0.0
+		for _, p := range r.Points {
+			if p.Speedup < prev-1e-9 {
+				t.Errorf("%s: speedup not monotone at %gx", r.Workload, p.Factor)
+			}
+			prev = p.Speedup
+		}
+		if r.Knee < 0.25 || r.Knee > 4 {
+			t.Errorf("%s: knee %v outside the sweep", r.Workload, r.Knee)
+		}
+	}
+	// The memory-bound Quadrant IV kernels must have higher bandwidth knees
+	// than the compute-bound GEMM (§6.1: QIV "strongly benefit from high
+	// memory bandwidth").
+	knee := map[string]float64{}
+	for _, r := range rows {
+		knee[r.Workload] = r.Knee
+	}
+	if !(knee["SpMV"] > knee["GEMM"]) {
+		t.Errorf("SpMV knee %v should exceed GEMM's %v", knee["SpMV"], knee["GEMM"])
+	}
+}
+
+func TestSweepTensorPeak(t *testing.T) {
+	h := New()
+	rows, err := h.SweepTensorPeak(device.H200())
+	if err != nil {
+		t.Fatal(err)
+	}
+	knee := map[string]float64{}
+	gain := map[string]float64{}
+	for _, r := range rows {
+		knee[r.Workload] = r.Knee
+		gain[r.Workload] = r.Points[len(r.Points)-1].Speedup
+	}
+	// GEMM consumes extra FP64 MMA throughput; SpMV cannot.
+	if !(gain["GEMM"] > gain["SpMV"]) {
+		t.Errorf("GEMM tensor-peak gain %v should exceed SpMV's %v",
+			gain["GEMM"], gain["SpMV"])
+	}
+	if gain["SpMV"] > 1.3 {
+		t.Errorf("SpMV should barely benefit from more tensor peak (got %v)", gain["SpMV"])
+	}
+}
+
+func TestRenderSweep(t *testing.T) {
+	h := New()
+	rows, err := h.SweepBandwidth(device.H200())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderSweep(&buf, "Bandwidth sweep", "bandwidth", rows)
+	out := buf.String()
+	if !strings.Contains(out, "knee") || !strings.Contains(out, "GEMM") {
+		t.Error("sweep render malformed")
+	}
+}

@@ -1,0 +1,42 @@
+package bfs
+
+import "testing"
+
+func BenchmarkBitmapBFSKron(b *testing.B) {
+	w := New()
+	d, err := w.data(w.Representative())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(d.g.Edges()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bitmapBFS(d)
+	}
+}
+
+func BenchmarkTopDownBFSKron(b *testing.B) {
+	w := New()
+	d, err := w.data(w.Representative())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(d.g.Edges()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topDownBFS(d)
+	}
+}
+
+func BenchmarkHybridBFSKron(b *testing.B) {
+	w := New()
+	d, err := w.data(w.Representative())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(d.g.Edges()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hybridBFS(d)
+	}
+}

@@ -1,0 +1,151 @@
+package bfs
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestMetadata(t *testing.T) {
+	w := New()
+	if w.Name() != "BFS" || w.Quadrant() != 4 {
+		t.Fatal("bad metadata")
+	}
+	if len(w.Cases()) != 5 || w.Repeats() != 2000 {
+		t.Fatal("cases / repeats wrong")
+	}
+	if w.Dwarf() != "Graph traversal" {
+		t.Fatal("dwarf wrong")
+	}
+}
+
+func TestLevelsMatchSerialReference(t *testing.T) {
+	w := New()
+	for _, c := range w.Cases() {
+		ref, err := w.Reference(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range w.Variants() {
+			res, err := w.Run(c, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Output) != len(ref) {
+				t.Fatalf("%s/%s: %d levels, want %d", c.Name, v, len(res.Output), len(ref))
+			}
+			for i := range ref {
+				if res.Output[i] != ref[i] {
+					t.Fatalf("%s/%s: level of %d = %v, want %v",
+						c.Name, v, i, res.Output[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTraversalReachesMostVertices(t *testing.T) {
+	w := New()
+	for _, c := range w.Cases() {
+		res, err := w.Run(c, workload.TC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reached := 0
+		for _, l := range res.Output {
+			if l >= 0 {
+				reached++
+			}
+		}
+		if reached < len(res.Output)/3 {
+			t.Errorf("%s: traversal reached only %d/%d vertices",
+				c.Name, reached, len(res.Output))
+		}
+	}
+}
+
+func TestRelabelPreservesStructure(t *testing.T) {
+	w := New()
+	d, err := w.data(w.Representative())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.source != 0 {
+		t.Errorf("relabeled source = %d, want 0", d.source)
+	}
+}
+
+func TestBitMMAOnlyOnTC(t *testing.T) {
+	w := New()
+	c := w.Representative()
+	tc, _ := w.Run(c, workload.TC)
+	cc, _ := w.Run(c, workload.CC)
+	bl, _ := w.Run(c, workload.Baseline)
+	if tc.Profile.BitOps <= 0 {
+		t.Error("TC must issue bit MMAs")
+	}
+	if cc.Profile.BitOps != 0 || bl.Profile.BitOps != 0 {
+		t.Error("CC/baseline must not issue bit MMAs")
+	}
+	if tc.OutputUtil != 0.125 {
+		t.Errorf("output utilization %v, want 1/8", tc.OutputUtil)
+	}
+	if tc.InputUtil <= 0 || tc.InputUtil > 1 {
+		t.Errorf("input utilization %v invalid", tc.InputUtil)
+	}
+}
+
+func TestPerformanceShape(t *testing.T) {
+	// Paper: 2.6×, 3.0×, 2.7× over Gunrock on A100/H200/B200 (averaged);
+	// CC and CC-E stay close to TC (Quadrant IV, Sections 6.2–6.3).
+	w := New()
+	speedups := map[string][]float64{}
+	for _, c := range w.Cases() {
+		tc, _ := w.Run(c, workload.TC)
+		cc, _ := w.Run(c, workload.CC)
+		cce, _ := w.Run(c, workload.CCE)
+		bl, _ := w.Run(c, workload.Baseline)
+		for _, spec := range device.All() {
+			tTC := sim.Run(spec, tc.Profile).Time
+			tCC := sim.Run(spec, cc.Profile).Time
+			tCCE := sim.Run(spec, cce.Profile).Time
+			tBL := sim.Run(spec, bl.Profile).Time
+			speedups[spec.Name] = append(speedups[spec.Name], tBL/tTC)
+			if tBL <= tTC {
+				t.Errorf("%s/%s: TC not faster than Gunrock-class baseline",
+					c.Name, spec.Name)
+			}
+			if r := tTC / tCC; r < 0.8 || r > 1.0 {
+				t.Errorf("%s/%s: CC/TC %v outside [0.8, 1.0]", c.Name, spec.Name, r)
+			}
+			if r := tTC / tCCE; r < 0.8 || r > 1.05 {
+				t.Errorf("%s/%s: CC-E/TC %v outside [0.8, 1.05]", c.Name, spec.Name, r)
+			}
+		}
+	}
+	for dev, sps := range speedups {
+		var sum float64
+		for _, s := range sps {
+			sum += s
+		}
+		avg := sum / float64(len(sps))
+		if avg < 1.8 || avg > 4.5 {
+			t.Errorf("%s: average TC speedup %v outside [1.8, 4.5]", dev, avg)
+		}
+	}
+}
+
+func TestUnknownVariantAndCase(t *testing.T) {
+	w := New()
+	if _, err := w.Run(w.Representative(), "nope"); err == nil {
+		t.Error("unknown variant accepted")
+	}
+	if _, err := w.Run(workload.Case{Dataset: "zzz"}, workload.TC); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}

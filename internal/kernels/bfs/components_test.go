@@ -1,0 +1,109 @@
+package bfs
+
+import (
+	"testing"
+)
+
+func TestComponentsLabelEveryVertex(t *testing.T) {
+	w := New()
+	for _, c := range w.Cases() {
+		res, err := w.ConnectedComponents(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v, l := range res.Labels {
+			if l < 0 || int(l) >= res.Count {
+				t.Fatalf("%s: vertex %d has label %d of %d components",
+					c.Name, v, l, res.Count)
+			}
+		}
+		if res.Count < 1 {
+			t.Fatalf("%s: no components", c.Name)
+		}
+		if res.BMMA <= 0 {
+			t.Fatalf("%s: no bit MMAs issued", c.Name)
+		}
+	}
+}
+
+func TestComponentsRespectEdges(t *testing.T) {
+	// Every edge must connect vertices with the same label.
+	w := New()
+	c := w.Representative()
+	res, err := w.ConnectedComponents(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := w.data(c)
+	for v := 0; v < d.g.N; v++ {
+		for _, u := range d.g.Adj(v) {
+			if res.Labels[v] != res.Labels[u] {
+				t.Fatalf("edge (%d,%d) crosses components %d/%d",
+					v, u, res.Labels[v], res.Labels[u])
+			}
+		}
+	}
+}
+
+func TestComponentsMatchUnionFind(t *testing.T) {
+	// Cross-check against a classic union-find on the same graph.
+	w := New()
+	c := w.Cases()[1] // mycielskian: dense, single component
+	res, err := w.ConnectedComponents(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := w.data(c)
+	parent := make([]int32, d.g.N)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for v := 0; v < d.g.N; v++ {
+		for _, u := range d.g.Adj(v) {
+			rv, ru := find(int32(v)), find(u)
+			if rv != ru {
+				parent[rv] = ru
+			}
+		}
+	}
+	roots := map[int32]bool{}
+	for v := 0; v < d.g.N; v++ {
+		roots[find(int32(v))] = true
+	}
+	if len(roots) != res.Count {
+		t.Fatalf("bitmap CC found %d components, union-find %d", res.Count, len(roots))
+	}
+	// And labels must partition identically: same root ⇔ same label.
+	seen := map[int32]int32{}
+	for v := 0; v < d.g.N; v++ {
+		root := find(int32(v))
+		if want, ok := seen[root]; ok {
+			if res.Labels[v] != want {
+				t.Fatalf("vertex %d label %d, expected %d (same union-find root)",
+					v, res.Labels[v], want)
+			}
+		} else {
+			seen[root] = res.Labels[v]
+		}
+	}
+}
+
+func TestLargestComponentDominates(t *testing.T) {
+	// The synthesized social/web graphs have a giant component.
+	w := New()
+	res, err := w.ConnectedComponents(w.Cases()[4]) // com-Orkut
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LargestPct < 0.5 {
+		t.Errorf("giant component only %.0f%% of vertices", res.LargestPct*100)
+	}
+}

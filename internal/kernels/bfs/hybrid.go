@@ -1,0 +1,131 @@
+package bfs
+
+import (
+	"repro/internal/graph"
+	"repro/internal/mmu"
+	"repro/internal/workload"
+)
+
+// Direction-optimized traversal: an extension beyond the paper's BerryBees
+// reproduction. The bitmap pull sweep is efficient when the frontier is
+// large (most blocks intersect it) but wasteful for the first and last
+// levels, where a top-down push over the few frontier vertices touches far
+// fewer edges. The hybrid switches Beamer-style: push while the frontier's
+// outgoing edges are below |E|/alpha, pull otherwise.
+
+// pushThresholdAlpha is the Beamer switching constant.
+const pushThresholdAlpha = 14
+
+// HybridResult reports a direction-optimized traversal and its work
+// relative to the pull-only BerryBees sweep.
+type HybridResult struct {
+	Levels     []int32
+	PushLevels int     // levels run top-down
+	PullLevels int     // levels run as bitmap pull sweeps
+	PushEdges  float64 // edges relaxed in push levels
+	PullBMMA   float64 // bit MMAs issued in pull levels
+
+	// PullOnlyBMMA is the bit-MMA count of the plain pull traversal on the
+	// same graph, for comparison.
+	PullOnlyBMMA float64
+}
+
+// RunHybrid executes the direction-optimized traversal for one Table 3
+// case and compares its work against the pull-only sweep.
+func (w *Workload) RunHybrid(c workload.Case) (*HybridResult, error) {
+	d, err := w.data(c)
+	if err != nil {
+		return nil, err
+	}
+	res := hybridBFS(d)
+	_, pullCt := bitmapBFS(d)
+	res.PullOnlyBMMA = pullCt.bmma
+	return res, nil
+}
+
+func hybridBFS(d *caseData) *HybridResult {
+	g, s := d.g, d.slices
+	out := &HybridResult{Levels: make([]int32, g.N)}
+	for i := range out.Levels {
+		out.Levels[i] = -1
+	}
+	out.Levels[d.source] = 0
+
+	frontierList := []int32{int32(d.source)}
+	frontier := graph.NewFrontier(g.N)
+	frontier.Set(d.source)
+	threshold := g.Edges() / pushThresholdAlpha
+
+	var b mmu.BitFragB
+	var cAcc mmu.BitFragC
+	for level := int32(1); len(frontierList) > 0; level++ {
+		// Outgoing edges of the current frontier decide the direction.
+		frontierEdges := 0
+		for _, v := range frontierList {
+			frontierEdges += g.Degree(int(v))
+		}
+
+		var next []int32
+		if frontierEdges < threshold {
+			// Top-down push.
+			out.PushLevels++
+			out.PushEdges += float64(frontierEdges)
+			for _, v := range frontierList {
+				for _, u := range g.Adj(int(v)) {
+					if out.Levels[u] < 0 {
+						out.Levels[u] = level
+						next = append(next, u)
+					}
+				}
+			}
+		} else {
+			// Bitmap pull sweep (the BerryBees kernel).
+			out.PullLevels++
+			for si := 0; si < s.RowSlices; si++ {
+				allVisited := true
+				for r := 0; r < 8; r++ {
+					v := si*8 + r
+					if v < g.N && out.Levels[v] < 0 {
+						allVisited = false
+						break
+					}
+				}
+				if allVisited {
+					continue
+				}
+				var rowHits [8]int32
+				for p := s.SlicePtr[si]; p < s.SlicePtr[si+1]; p++ {
+					blk := &s.Blocks[p]
+					seg := frontier.Segment(blk.ColSeg)
+					if seg[0] == 0 && seg[1] == 0 {
+						continue
+					}
+					out.PullBMMA++
+					for col := 0; col < mmu.BitN; col++ {
+						b[col][0], b[col][1] = seg[0], seg[1]
+					}
+					for i := range cAcc {
+						cAcc[i] = 0
+					}
+					mmu.BMMAAndPopc(&cAcc, &blk.Bits, &b)
+					for r := 0; r < 8; r++ {
+						rowHits[r] += cAcc[r*mmu.BitN]
+					}
+				}
+				for r := 0; r < 8; r++ {
+					v := si*8 + r
+					if v < g.N && rowHits[r] > 0 && out.Levels[v] < 0 {
+						out.Levels[v] = level
+						next = append(next, int32(v))
+					}
+				}
+			}
+		}
+		frontierList = next
+		frontier = graph.NewFrontier(g.N)
+		for _, v := range next {
+			frontier.Set(int(v))
+		}
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package bfs
+
+import (
+	"testing"
+)
+
+func TestHybridLevelsMatchReference(t *testing.T) {
+	w := New()
+	for _, c := range w.Cases() {
+		ref, err := w.Reference(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := w.RunHybrid(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(h.Levels) != len(ref) {
+			t.Fatalf("%s: level count mismatch", c.Name)
+		}
+		for i := range ref {
+			if float64(h.Levels[i]) != ref[i] {
+				t.Fatalf("%s: vertex %d level %d, want %v", c.Name, i, h.Levels[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestHybridUsesBothDirections(t *testing.T) {
+	// On the scale-free graphs the first level (hub's neighbors) is already
+	// large, but the tail levels are tiny: both directions should fire for
+	// at least some graphs.
+	w := New()
+	sawPush, sawPull := false, false
+	for _, c := range w.Cases() {
+		h, err := w.RunHybrid(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.PushLevels > 0 {
+			sawPush = true
+		}
+		if h.PullLevels > 0 {
+			sawPull = true
+		}
+		if h.PushLevels+h.PullLevels == 0 {
+			t.Fatalf("%s: no levels traversed", c.Name)
+		}
+	}
+	if !sawPush || !sawPull {
+		t.Errorf("hybrid never used both directions (push=%v pull=%v)", sawPush, sawPull)
+	}
+}
+
+func TestHybridReducesBitMMAs(t *testing.T) {
+	// Direction optimization must not increase the bit-MMA count, and must
+	// strictly reduce it on at least half the graphs (the tail levels stop
+	// paying for full pull sweeps).
+	w := New()
+	reduced := 0
+	for _, c := range w.Cases() {
+		h, err := w.RunHybrid(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.PullBMMA > h.PullOnlyBMMA {
+			t.Errorf("%s: hybrid issued MORE bit MMAs (%v vs %v)",
+				c.Name, h.PullBMMA, h.PullOnlyBMMA)
+		}
+		if h.PullBMMA < h.PullOnlyBMMA {
+			reduced++
+		}
+	}
+	if reduced < 3 {
+		t.Errorf("hybrid reduced bit MMAs on only %d/5 graphs", reduced)
+	}
+}

@@ -1,0 +1,139 @@
+package fft
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lcg"
+)
+
+// TestFFTLinearity: FFT(αx + βy) = α·FFT(x) + β·FFT(y) up to rounding.
+func TestFFTLinearity(t *testing.T) {
+	const l = 256
+	g := lcg.New(31)
+	xRe := make([]float64, l)
+	xIm := make([]float64, l)
+	yRe := make([]float64, l)
+	yIm := make([]float64, l)
+	g.Fill(xRe)
+	g.Fill(xIm)
+	g.Fill(yRe)
+	g.Fill(yIm)
+	const alpha, beta = 1.7, -0.3
+
+	mixRe := make([]float64, l)
+	mixIm := make([]float64, l)
+	for i := 0; i < l; i++ {
+		mixRe[i] = alpha*xRe[i] + beta*yRe[i]
+		mixIm[i] = alpha*xIm[i] + beta*yIm[i]
+	}
+
+	p := newPlanMMA(l)
+	fx := transformCopy(p, xRe, xIm)
+	fy := transformCopy(p, yRe, yIm)
+	fm := transformCopy(p, mixRe, mixIm)
+	for i := 0; i < l; i++ {
+		wantRe := alpha*fx.re[i] + beta*fy.re[i]
+		wantIm := alpha*fx.im[i] + beta*fy.im[i]
+		scale := math.Abs(wantRe) + math.Abs(wantIm) + 1
+		if math.Abs(fm.re[i]-wantRe)/scale > 1e-12 ||
+			math.Abs(fm.im[i]-wantIm)/scale > 1e-12 {
+			t.Fatalf("linearity violated at %d", i)
+		}
+	}
+}
+
+// TestFFTParseval: Σ|x|² = (1/N)·Σ|X|².
+func TestFFTParseval(t *testing.T) {
+	for _, l := range []int{256, 512} {
+		g := lcg.New(int64(l))
+		re := make([]float64, l)
+		im := make([]float64, l)
+		g.Fill(re)
+		g.Fill(im)
+		var timeEnergy float64
+		for i := 0; i < l; i++ {
+			timeEnergy += re[i]*re[i] + im[i]*im[i]
+		}
+		out := transformCopy(newPlanMMA(l), re, im)
+		var freqEnergy float64
+		for i := 0; i < l; i++ {
+			freqEnergy += out.re[i]*out.re[i] + out.im[i]*out.im[i]
+		}
+		freqEnergy /= float64(l)
+		if math.Abs(freqEnergy-timeEnergy)/timeEnergy > 1e-12 {
+			t.Errorf("l=%d: Parseval violated: %v vs %v", l, timeEnergy, freqEnergy)
+		}
+	}
+}
+
+// TestFFTDeltaIsFlat: the transform of a unit impulse is the all-ones
+// spectrum.
+func TestFFTDeltaIsFlat(t *testing.T) {
+	const l = 256
+	re := make([]float64, l)
+	im := make([]float64, l)
+	re[0] = 1
+	out := transformCopy(newPlanMMA(l), re, im)
+	for i := 0; i < l; i++ {
+		if math.Abs(out.re[i]-1) > 1e-12 || math.Abs(out.im[i]) > 1e-12 {
+			t.Fatalf("delta spectrum not flat at %d: (%v, %v)", i, out.re[i], out.im[i])
+		}
+	}
+}
+
+// TestFFTConstantIsDelta: the transform of a constant signal concentrates
+// at DC.
+func TestFFTConstantIsDelta(t *testing.T) {
+	const l = 512
+	re := make([]float64, l)
+	im := make([]float64, l)
+	for i := range re {
+		re[i] = 0.5
+	}
+	out := transformCopy(newPlanMMA(l), re, im)
+	if math.Abs(out.re[0]-0.5*float64(l)) > 1e-9 {
+		t.Fatalf("DC bin = %v, want %v", out.re[0], 0.5*float64(l))
+	}
+	for i := 1; i < l; i++ {
+		if math.Abs(out.re[i]) > 1e-9 || math.Abs(out.im[i]) > 1e-9 {
+			t.Fatalf("non-DC bin %d not zero: (%v, %v)", i, out.re[i], out.im[i])
+		}
+	}
+}
+
+// TestFFTShiftTheorem: a circular shift by s multiplies bin k by
+// ω^{-sk}... equivalently the magnitude spectrum is shift-invariant.
+func TestFFTShiftTheorem(t *testing.T) {
+	const l, shift = 256, 37
+	g := lcg.New(77)
+	re := make([]float64, l)
+	im := make([]float64, l)
+	g.Fill(re)
+	g.Fill(im)
+	shRe := make([]float64, l)
+	shIm := make([]float64, l)
+	for i := 0; i < l; i++ {
+		shRe[i] = re[(i+shift)%l]
+		shIm[i] = im[(i+shift)%l]
+	}
+	p := newPlanMMA(l)
+	a := transformCopy(p, re, im)
+	b := transformCopy(p, shRe, shIm)
+	for k := 0; k < l; k++ {
+		magA := math.Hypot(a.re[k], a.im[k])
+		magB := math.Hypot(b.re[k], b.im[k])
+		if math.Abs(magA-magB)/(magA+1) > 1e-11 {
+			t.Fatalf("magnitude spectrum changed under shift at bin %d", k)
+		}
+	}
+}
+
+type complexPair struct{ re, im []float64 }
+
+func transformCopy(p *fftPlanMMA, re, im []float64) complexPair {
+	r := append([]float64(nil), re...)
+	i := append([]float64(nil), im...)
+	p.transform(r, i)
+	return complexPair{r, i}
+}

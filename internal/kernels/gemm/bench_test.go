@@ -1,0 +1,24 @@
+package gemm
+
+import (
+	"testing"
+
+	"repro/internal/lcg"
+	"repro/internal/tensor"
+)
+
+func benchGEMM(b *testing.B, n int, f func(a, bb *tensor.Matrix) *tensor.Matrix) {
+	g := lcg.New(1)
+	a := tensor.NewMatrix(n, n)
+	bb := tensor.NewMatrix(n, n)
+	g.Fill(a.Data)
+	g.Fill(bb.Data)
+	b.SetBytes(int64(2 * n * n * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(a, bb)
+	}
+}
+
+func BenchmarkMultiplyMMA128(b *testing.B)      { benchGEMM(b, 128, multiplyMMA) }
+func BenchmarkMultiplyBaseline128(b *testing.B) { benchGEMM(b, 128, multiplyBaseline) }

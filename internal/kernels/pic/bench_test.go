@@ -1,0 +1,12 @@
+package pic
+
+import "testing"
+
+func BenchmarkPushMMA(b *testing.B) {
+	st := initState(1 << 14)
+	b.SetBytes(int64(len(st) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pushMMA(st)
+	}
+}

@@ -1,0 +1,79 @@
+package reduction
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lcg"
+)
+
+// TestReductionMatchesKahanSum: the MMA reduction agrees with a compensated
+// serial sum to high accuracy.
+func TestReductionMatchesKahanSum(t *testing.T) {
+	f := func(seed int64) bool {
+		g := lcg.New(seed)
+		const s = 512
+		data := make([]float64, s)
+		g.Fill(data)
+		out := computeMMAReduce(data, s)
+		var sum, comp float64
+		for _, v := range data {
+			y := v - comp
+			tt := sum + y
+			comp = (tt - sum) - y
+			sum = tt
+		}
+		return math.Abs(out[0]-sum) < 1e-11
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReductionPermutationStable: summing a permutation changes only
+// rounding, never the value beyond FP64 noise.
+func TestReductionPermutationStable(t *testing.T) {
+	g := lcg.New(5)
+	const s = 256
+	data := make([]float64, s)
+	g.Fill(data)
+	perm := g.Perm(s)
+	shuffled := make([]float64, s)
+	for i, p := range perm {
+		shuffled[i] = data[p]
+	}
+	a := computeMMAReduce(data, s)
+	b := computeMMAReduce(shuffled, s)
+	if math.Abs(a[0]-b[0]) > 1e-11 {
+		t.Fatalf("permutation moved the sum: %v vs %v", a[0], b[0])
+	}
+}
+
+// TestAllReductionImplementationsAgree cross-checks the three algorithms.
+func TestAllReductionImplementationsAgree(t *testing.T) {
+	g := lcg.New(9)
+	const s = 96 // non-power-of-two, non-multiple of 64
+	data := make([]float64, 8*s)
+	g.Fill(data)
+	mma := computeMMAReduce(data, s)
+	pw := computePairwise(data, s)
+	st := computeShuffleTree(data, s)
+	for i := range mma {
+		if math.Abs(mma[i]-pw[i]) > 1e-11 || math.Abs(mma[i]-st[i]) > 1e-11 {
+			t.Fatalf("segment %d: %v %v %v", i, mma[i], pw[i], st[i])
+		}
+	}
+}
+
+func BenchmarkMMAReduce(b *testing.B) {
+	g := lcg.New(1)
+	const s = 1024
+	data := make([]float64, 16*s)
+	g.Fill(data)
+	b.SetBytes(int64(len(data) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		computeMMAReduce(data, s)
+	}
+}

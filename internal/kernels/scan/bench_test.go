@@ -1,0 +1,22 @@
+package scan
+
+import (
+	"testing"
+
+	"repro/internal/lcg"
+)
+
+func benchScan(b *testing.B, f func([]float64, int) []float64) {
+	const s = 1024
+	data := make([]float64, 64*s)
+	lcg.New(1).Fill(data)
+	b.SetBytes(int64(len(data) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(data, s)
+	}
+}
+
+func BenchmarkMMAScan(b *testing.B)      { benchScan(b, computeMMAScan) }
+func BenchmarkBlelloch(b *testing.B)     { benchScan(b, computeBlelloch) }
+func BenchmarkHillisSteele(b *testing.B) { benchScan(b, computeHillisSteele) }

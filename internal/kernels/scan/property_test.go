@@ -1,0 +1,96 @@
+package scan
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lcg"
+)
+
+// TestScanLastElementIsSum: the final prefix equals the segment total.
+func TestScanLastElementIsSum(t *testing.T) {
+	f := func(seed int64) bool {
+		g := lcg.New(seed)
+		const s = 192
+		data := make([]float64, s)
+		g.Fill(data)
+		out := computeMMAScan(data, s)
+		var sum float64
+		for _, v := range data {
+			sum += v
+		}
+		return math.Abs(out[s-1]-sum) < 1e-11
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScanMonotoneForPositiveInput: prefixes of positive values increase.
+func TestScanMonotoneForPositiveInput(t *testing.T) {
+	g := lcg.New(3)
+	const s = 256
+	data := make([]float64, s)
+	for i := range data {
+		data[i] = g.Uniform() + 0.01
+	}
+	out := computeMMAScan(data, s)
+	for i := 1; i < s; i++ {
+		if out[i] <= out[i-1] {
+			t.Fatalf("prefix not increasing at %d: %v ≤ %v", i, out[i], out[i-1])
+		}
+	}
+}
+
+// TestScanLinearity: scan(αx) = α·scan(x).
+func TestScanLinearity(t *testing.T) {
+	g := lcg.New(11)
+	const s, alpha = 128, 2.5
+	data := make([]float64, s)
+	g.Fill(data)
+	scaled := make([]float64, s)
+	for i := range data {
+		scaled[i] = alpha * data[i]
+	}
+	a := computeMMAScan(data, s)
+	b := computeMMAScan(scaled, s)
+	for i := 0; i < s; i++ {
+		if math.Abs(b[i]-alpha*a[i]) > 1e-11*(math.Abs(a[i])+1) {
+			t.Fatalf("linearity violated at %d", i)
+		}
+	}
+}
+
+// TestScanDifferenceRecoversInput: out[i] − out[i−1] = x[i].
+func TestScanDifferenceRecoversInput(t *testing.T) {
+	g := lcg.New(19)
+	const s = 320
+	data := make([]float64, s)
+	g.Fill(data)
+	out := computeMMAScan(data, s)
+	prev := 0.0
+	for i := 0; i < s; i++ {
+		if math.Abs((out[i]-prev)-data[i]) > 1e-10 {
+			t.Fatalf("difference at %d = %v, want %v", i, out[i]-prev, data[i])
+		}
+		prev = out[i]
+	}
+}
+
+// TestAllScanImplementationsAgree cross-checks the four algorithms on a
+// non-power-of-64 segment length.
+func TestAllScanImplementationsAgree(t *testing.T) {
+	g := lcg.New(23)
+	const s = 96
+	data := make([]float64, 4*s)
+	g.Fill(data)
+	mma := computeMMAScan(data, s)
+	bl := computeBlelloch(data, s)
+	hs := computeHillisSteele(data, s)
+	for i := range mma {
+		if math.Abs(mma[i]-bl[i]) > 1e-10 || math.Abs(mma[i]-hs[i]) > 1e-10 {
+			t.Fatalf("scan algorithms disagree at %d: %v %v %v", i, mma[i], bl[i], hs[i])
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package spgemm
+
+import "testing"
+
+func BenchmarkComputeMMASpmsrts(b *testing.B) {
+	w := New()
+	d, err := w.data(w.Representative())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		computeMMA(d)
+	}
+}
+
+func BenchmarkSymbolicBcsstk39(b *testing.B) {
+	w := New()
+	d, err := w.data(w.Cases()[4])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		symbolic(d)
+	}
+}

@@ -1,0 +1,463 @@
+// Package spgemm implements the SpGEMM workload following AmgT (Lu et al.,
+// SC '24): both operands are partitioned into 4×4 mBSR blocks, and the FP64
+// m8n8k4 MMA executes two independent 4×4×4 block products per instruction
+// (A blocks stacked vertically, B blocks side by side), with only the two
+// diagonal 4×4 quadrants of the 8×8 output consumed — Quadrant IV, with the
+// paper noting SpGEMM "leverages half of the 8-by-8 output tiles".
+package spgemm
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mmu"
+	"repro/internal/sim"
+	"repro/internal/sparse"
+	"repro/internal/workload"
+)
+
+// computeBudget caps the scalar multiply count of cases executed for real.
+const computeBudget = 1 << 23
+
+// Workload is the SpGEMM kernel, computing C = A·A for the Table 4 matrices.
+type Workload struct {
+	mu    sync.Mutex
+	cache map[string]*caseData
+}
+
+type caseData struct {
+	mat  *sparse.CSR
+	bsr  *sparse.MBSR
+	stat symbolicStats
+}
+
+// symbolicStats are the structure-only counts behind the profiles.
+type symbolicStats struct {
+	flopsNNZ      float64 // scalar multiplies of the essential computation
+	blockProducts float64 // 4×4×4 block products
+	mmas          float64 // MMAs after pairing two products per instruction
+	cBlocks       float64 // distinct 4×4 blocks in the output
+}
+
+// New returns the SpGEMM workload.
+func New() *Workload { return &Workload{cache: map[string]*caseData{}} }
+
+// Name implements workload.Workload.
+func (*Workload) Name() string { return "SpGEMM" }
+
+// Quadrant implements workload.Workload (Figure 2, Quadrant IV).
+func (*Workload) Quadrant() int { return 4 }
+
+// Dwarf implements workload.Workload.
+func (*Workload) Dwarf() string { return "Sparse linear algebra" }
+
+// Cases returns the five Table 4 matrices.
+func (*Workload) Cases() []workload.Case {
+	var cs []workload.Case
+	for _, d := range sparse.Table4() {
+		cs = append(cs, workload.Case{Name: d.Name, Dataset: d.Name})
+	}
+	return cs
+}
+
+// Variants implements workload.Workload.
+func (*Workload) Variants() []workload.Variant {
+	return []workload.Variant{workload.Baseline, workload.TC, workload.CC, workload.CCE}
+}
+
+// Representative implements workload.Workload.
+func (w *Workload) Representative() workload.Case { return w.Cases()[0] }
+
+// Repeats implements workload.Workload (Figure 7 loop count).
+func (*Workload) Repeats() int { return 5000 }
+
+func (w *Workload) data(c workload.Case) (*caseData, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if d, ok := w.cache[c.Dataset]; ok {
+		return d, nil
+	}
+	m, err := sparse.Synthesize(c.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	d := &caseData{mat: m, bsr: sparse.ToMBSR(m)}
+	d.stat = symbolic(d)
+	w.cache[c.Dataset] = d
+	return d, nil
+}
+
+// symbolic runs the structure-only pass: essential multiply count, block
+// product count, MMA count under pairing, and output block count.
+func symbolic(d *caseData) symbolicStats {
+	var s symbolicStats
+	m, b := d.mat, d.bsr
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s.flopsNNZ += float64(m.RowNNZ(int(m.ColIdx[k])))
+		}
+	}
+	stamp := make([]int32, b.BlockCols)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for bi := 0; bi < b.BlockRows; bi++ {
+		var rowProducts, rowCBlocks float64
+		for p := b.RowPtr[bi]; p < b.RowPtr[bi+1]; p++ {
+			k := int(b.Blocks[p].BlockCol)
+			n := float64(b.RowPtr[k+1] - b.RowPtr[k])
+			rowProducts += n
+			for q := b.RowPtr[k]; q < b.RowPtr[k+1]; q++ {
+				j := b.Blocks[q].BlockCol
+				if stamp[j] != int32(bi) {
+					stamp[j] = int32(bi)
+					rowCBlocks++
+				}
+			}
+		}
+		s.blockProducts += rowProducts
+		s.mmas += float64(int(rowProducts+1) / 2)
+		s.cBlocks += rowCBlocks
+	}
+	return s
+}
+
+// Run implements workload.Workload.
+func (w *Workload) Run(c workload.Case, v workload.Variant) (*workload.Result, error) {
+	d, err := w.data(c)
+	if err != nil {
+		return nil, err
+	}
+	res := &workload.Result{Work: 2 * d.stat.flopsNNZ, MetricName: "GFLOPS"}
+	switch v {
+	case workload.TC, workload.CC:
+		if v == workload.TC {
+			res.Profile = tcProfile(d)
+		} else {
+			res.Profile = ccProfile(d)
+		}
+		// Two independent products per MMA: half the output tile carries
+		// payload; inputs are dense 4×4 blocks at the mBSR fill ratio.
+		res.InputUtil = d.bsr.FillRatio(d.mat.NNZ())
+		res.OutputUtil = 0.5
+	case workload.CCE:
+		res.Profile = cceProfile(d)
+	case workload.Baseline:
+		res.Profile = baselineProfile(d)
+	default:
+		return nil, fmt.Errorf("spgemm: unknown variant %q", v)
+	}
+	if d.stat.flopsNNZ <= computeBudget {
+		switch v {
+		case workload.TC, workload.CC:
+			res.Output = computeMMA(d)
+		case workload.CCE:
+			res.Output = computeEssential(d)
+		case workload.Baseline:
+			res.Output = computeBaseline(d)
+		}
+	}
+	return res, nil
+}
+
+// Reference implements workload.Workload: serial row-wise CSR SpGEMM with a
+// dense accumulator, separate multiply and add, ascending traversal. The
+// canonical output is the vector of C row sums accumulated in ascending
+// column order.
+func (w *Workload) Reference(c workload.Case) ([]float64, error) {
+	d, err := w.data(c)
+	if err != nil {
+		return nil, err
+	}
+	if d.stat.flopsNNZ > computeBudget {
+		return nil, fmt.Errorf("spgemm: case %q exceeds the compute budget", c.Name)
+	}
+	m := d.mat
+	acc := make([]float64, m.Cols)
+	touched := make([]int32, 0, 256)
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		touched = touched[:0]
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			a := m.Vals[k]
+			kr := int(m.ColIdx[k])
+			for q := m.RowPtr[kr]; q < m.RowPtr[kr+1]; q++ {
+				j := m.ColIdx[q]
+				if acc[j] == 0 {
+					touched = append(touched, j)
+				}
+				acc[j] += a * m.Vals[q]
+			}
+		}
+		insertionSortInt32(touched)
+		var sum float64
+		for _, j := range touched {
+			sum += acc[j]
+			acc[j] = 0
+		}
+		out[i] = sum
+	}
+	return out, nil
+}
+
+// rowAccumulator collects C blocks for one 8-row block-row pair.
+type rowAccumulator struct {
+	tiles map[int32]*[sparse.BlockSize * sparse.BlockSize]float64
+}
+
+func (r *rowAccumulator) tile(j int32) *[16]float64 {
+	t, ok := r.tiles[j]
+	if !ok {
+		t = new([16]float64)
+		r.tiles[j] = t
+	}
+	return t
+}
+
+// pendingProduct is one queued 4×4×4 block product.
+type pendingProduct struct {
+	a, b *sparse.MBSRBlock
+	cRow int // 0 or 1: which stacked A half
+	jDst int32
+}
+
+// computeMMA executes the paired-block SpGEMM on the MMA semantics: two
+// queued products per m8n8k4 instruction, diagonal quadrants extracted and
+// added into the block accumulators. Returns C row sums (ascending order).
+func computeMMA(d *caseData) []float64 {
+	b := d.bsr
+	out := make([]float64, d.mat.Rows)
+	aT := make([]float64, mmu.M*mmu.K)
+	bT := make([]float64, mmu.K*mmu.N)
+	cT := make([]float64, mmu.M*mmu.N)
+
+	for bi := 0; bi < b.BlockRows; bi++ {
+		acc := rowAccumulator{tiles: map[int32]*[16]float64{}}
+		var queue []pendingProduct
+		for p := b.RowPtr[bi]; p < b.RowPtr[bi+1]; p++ {
+			ab := &b.Blocks[p]
+			k := int(ab.BlockCol)
+			for q := b.RowPtr[k]; q < b.RowPtr[k+1]; q++ {
+				bb := &b.Blocks[q]
+				queue = append(queue, pendingProduct{a: ab, b: bb, jDst: bb.BlockCol})
+			}
+		}
+		for s := 0; s < len(queue); s += 2 {
+			for i := range aT {
+				aT[i] = 0
+			}
+			for i := range bT {
+				bT[i] = 0
+			}
+			for i := range cT {
+				cT[i] = 0
+			}
+			pair := queue[s:min(s+2, len(queue))]
+			for h, pr := range pair {
+				for r := 0; r < sparse.BlockSize; r++ {
+					copy(aT[(h*4+r)*mmu.K:], pr.a.Vals[r*4:r*4+4])
+					for cc := 0; cc < sparse.BlockSize; cc++ {
+						bT[r*mmu.N+h*4+cc] = pr.b.Vals[r*4+cc]
+					}
+				}
+			}
+			mmu.DMMATile(cT, aT, bT)
+			for h, pr := range pair {
+				t := acc.tile(pr.jDst)
+				for r := 0; r < 4; r++ {
+					for cc := 0; cc < 4; cc++ {
+						t[r*4+cc] += cT[(h*4+r)*mmu.N+h*4+cc]
+					}
+				}
+			}
+		}
+		flushRowSums(d, bi, &acc, out)
+	}
+	return out
+}
+
+// computeEssential is the CC-E path: the same mBSR traversal but each block
+// product executed as essential scalar FMAs chained directly into the block
+// accumulator — a different rounding order than the MMA's
+// compute-then-add (Table 6).
+func computeEssential(d *caseData) []float64 {
+	b := d.bsr
+	out := make([]float64, d.mat.Rows)
+	for bi := 0; bi < b.BlockRows; bi++ {
+		acc := rowAccumulator{tiles: map[int32]*[16]float64{}}
+		for p := b.RowPtr[bi]; p < b.RowPtr[bi+1]; p++ {
+			ab := &b.Blocks[p]
+			k := int(ab.BlockCol)
+			for q := b.RowPtr[k]; q < b.RowPtr[k+1]; q++ {
+				bb := &b.Blocks[q]
+				t := acc.tile(bb.BlockCol)
+				for r := 0; r < 4; r++ {
+					for cc := 0; cc < 4; cc++ {
+						v := t[r*4+cc]
+						for kk := 0; kk < 4; kk++ {
+							v = mmu.FMA(ab.Vals[r*4+kk], bb.Vals[kk*4+cc], v)
+						}
+						t[r*4+cc] = v
+					}
+				}
+			}
+		}
+		flushRowSums(d, bi, &acc, out)
+	}
+	return out
+}
+
+// computeBaseline is the cuSPARSE-class hash SpGEMM: row-wise with a dense
+// accumulator but traversing the row's products in reverse order (hash
+// insertion order differs from the ascending merge), FMA-contracted.
+func computeBaseline(d *caseData) []float64 {
+	m := d.mat
+	acc := make([]float64, m.Cols)
+	touched := make([]int32, 0, 256)
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		touched = touched[:0]
+		for k := m.RowPtr[i+1] - 1; k >= m.RowPtr[i]; k-- {
+			a := m.Vals[k]
+			kr := int(m.ColIdx[k])
+			for q := m.RowPtr[kr+1] - 1; q >= m.RowPtr[kr]; q-- {
+				j := m.ColIdx[q]
+				if acc[j] == 0 {
+					touched = append(touched, j)
+				}
+				acc[j] = mmu.FMA(a, m.Vals[q], acc[j])
+			}
+		}
+		insertionSortInt32(touched)
+		var sum float64
+		for _, j := range touched {
+			sum += acc[j]
+			acc[j] = 0
+		}
+		out[i] = sum
+	}
+	return out
+}
+
+// flushRowSums adds the block-row accumulator into per-row canonical sums
+// (ascending block column, ascending column within the block).
+func flushRowSums(d *caseData, bi int, acc *rowAccumulator, out []float64) {
+	cols := make([]int32, 0, len(acc.tiles))
+	for j := range acc.tiles {
+		cols = append(cols, j)
+	}
+	insertionSortInt32(cols)
+	for _, j := range cols {
+		t := acc.tiles[j]
+		for r := 0; r < 4; r++ {
+			row := bi*sparse.BlockSize + r
+			if row >= d.mat.Rows {
+				break
+			}
+			var sum float64
+			for cc := 0; cc < 4; cc++ {
+				sum += t[r*4+cc]
+			}
+			out[row] += sum
+		}
+	}
+}
+
+func insertionSortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Profiles.
+
+const blockBytes = sparse.BlockSize*sparse.BlockSize*sim.BytesF64 + sim.BytesIdx
+
+// l2HitRate is the fraction of B-block re-reads served by L2 for the
+// blocked (mBSR) traversal: every A block in a block row walks the same B
+// block rows, so re-reads hit on chip.
+const l2HitRate = 0.82
+
+func tcProfile(d *caseData) sim.Profile {
+	s := d.stat
+	return sim.Profile{
+		TensorFLOPs: s.mmas * mmu.FLOPsPerDMMA,
+		IntOps:      s.blockProducts * 8, // pairing, indexing, accumulation control
+		DRAMBytes: s.blockProducts*blockBytes*(1-l2HitRate) +
+			s.cBlocks*blockBytes*2, // C accumulate + write back
+		L2Bytes: s.blockProducts * blockBytes * l2HitRate,
+		// B fragment + quadrant extraction per MMA; the A fragment stays
+		// resident across the B sweep of its block row.
+		L1Bytes:  s.mmas * 1024,
+		Launches: 2, // symbolic + numeric phases
+		Overlap:  0.85,
+		Eff: sim.Efficiency{
+			Tensor: sim.EffModerate,
+			DRAM:   0.80,
+			L2:     0.60,
+			L1:     0.85,
+		},
+	}
+}
+
+func ccProfile(d *caseData) sim.Profile {
+	p := tcProfile(d)
+	p.VectorFLOPs, p.TensorFLOPs = p.TensorFLOPs, 0
+	p.Overlap = 0.35
+	p.Eff = sim.Efficiency{Vector: 0.30, DRAM: 0.80, L2: 0.60, L1: 0.85}
+	return p
+}
+
+func cceProfile(d *caseData) sim.Profile {
+	s := d.stat
+	return sim.Profile{
+		// Essential: 128 FLOPs per 4×4×4 block product, no pair padding.
+		VectorFLOPs: s.blockProducts * 128,
+		IntOps:      s.blockProducts * 8,
+		DRAMBytes: s.blockProducts*blockBytes*(1-l2HitRate) +
+			s.cBlocks*blockBytes*2,
+		L2Bytes:  s.blockProducts * blockBytes * l2HitRate,
+		L1Bytes:  s.blockProducts * 384,
+		Launches: 2,
+		Overlap:  0.60,
+		Eff: sim.Efficiency{
+			Vector: 0.35,
+			DRAM:   0.80,
+			L2:     0.60,
+			L1:     0.85,
+		},
+	}
+}
+
+func baselineProfile(d *caseData) sim.Profile {
+	s := d.stat
+	nnz := float64(d.mat.NNZ())
+	return sim.Profile{
+		VectorFLOPs: 2 * s.flopsNNZ,
+		IntOps:      3 * s.flopsNNZ, // hashing and insertion control
+		// Row-wise hash SpGEMM re-reads B rows element-wise: most traffic
+		// hits L2, the DRAM share is the cold footprint plus C.
+		DRAMBytes: nnz*(sim.BytesF64+sim.BytesIdx)*2 +
+			s.flopsNNZ*(sim.BytesF64+sim.BytesIdx)*0.12 +
+			s.cBlocks*blockBytes,
+		L2Bytes:  s.flopsNNZ * (sim.BytesF64 + sim.BytesIdx) * 0.65,
+		L1Bytes:  s.flopsNNZ * 24, // hash-table probes
+		Launches: 3,               // count, fill, compact
+		Overlap:  0.55,
+		Eff: sim.Efficiency{
+			Vector: 0.35,
+			DRAM:   0.45, // irregular hash traffic
+			L2:     0.50,
+			L1:     0.60,
+		},
+	}
+}

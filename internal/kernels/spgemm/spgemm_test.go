@@ -1,0 +1,181 @@
+package spgemm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestMetadata(t *testing.T) {
+	w := New()
+	if w.Name() != "SpGEMM" || w.Quadrant() != 4 {
+		t.Fatal("bad metadata")
+	}
+	if len(w.Cases()) != 5 || w.Repeats() != 5000 {
+		t.Fatal("cases / repeats wrong")
+	}
+}
+
+func TestVariantsNearReference(t *testing.T) {
+	w := New()
+	c := w.Representative() // spmsrts: within compute budget
+	ref, err := w.Reference(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range w.Variants() {
+		res, err := w.Run(c, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Output == nil {
+			t.Fatalf("%s: representative case should compute", v)
+		}
+		var maxRel float64
+		for i := range ref {
+			d := math.Abs(res.Output[i] - ref[i])
+			scale := math.Abs(ref[i]) + 1
+			if r := d / scale; r > maxRel {
+				maxRel = r
+			}
+		}
+		if maxRel > 1e-10 {
+			t.Errorf("%s: max relative error %v vs reference", v, maxRel)
+		}
+	}
+}
+
+func TestTCIdenticalToCC(t *testing.T) {
+	w := New()
+	c := w.Representative()
+	tc, _ := w.Run(c, workload.TC)
+	cc, _ := w.Run(c, workload.CC)
+	for i := range tc.Output {
+		if tc.Output[i] != cc.Output[i] {
+			t.Fatalf("TC and CC differ at %d", i)
+		}
+	}
+}
+
+func TestVariantOrdersDiverge(t *testing.T) {
+	w := New()
+	c := w.Representative()
+	tc, _ := w.Run(c, workload.TC)
+	cce, _ := w.Run(c, workload.CCE)
+	bl, _ := w.Run(c, workload.Baseline)
+	differs := func(a, b []float64) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return true
+			}
+		}
+		return false
+	}
+	if !differs(tc.Output, cce.Output) {
+		t.Error("CC-E bit-identical to TC")
+	}
+	if !differs(tc.Output, bl.Output) {
+		t.Error("baseline bit-identical to TC")
+	}
+}
+
+func TestSymbolicStatsConsistent(t *testing.T) {
+	w := New()
+	d, err := w.data(w.Representative())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.stat
+	if s.flopsNNZ <= 0 || s.blockProducts <= 0 || s.cBlocks <= 0 {
+		t.Fatalf("degenerate stats: %+v", s)
+	}
+	if s.mmas < s.blockProducts/2 || s.mmas > s.blockProducts/2+float64(d.bsr.BlockRows) {
+		t.Errorf("mma count %v inconsistent with %v products", s.mmas, s.blockProducts)
+	}
+	// Essential multiplies can't exceed dense block products.
+	if s.flopsNNZ > s.blockProducts*64 {
+		t.Errorf("flopsNNZ %v exceeds block-product capacity", s.flopsNNZ)
+	}
+}
+
+func TestHalfOutputUtilization(t *testing.T) {
+	w := New()
+	tc, _ := w.Run(w.Representative(), workload.TC)
+	if tc.OutputUtil != 0.5 {
+		t.Errorf("output utilization %v, want 0.5 (Section 6.1)", tc.OutputUtil)
+	}
+	if tc.InputUtil <= 0 || tc.InputUtil > 1 {
+		t.Errorf("input utilization %v invalid", tc.InputUtil)
+	}
+}
+
+func TestLargeCaseProfileOnly(t *testing.T) {
+	w := New()
+	res, err := w.Run(w.Cases()[3], workload.TC) // conf5: over budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != nil {
+		t.Error("over-budget case should not compute")
+	}
+	if res.Profile.TensorFLOPs <= 0 {
+		t.Error("profile missing")
+	}
+	if _, err := w.Reference(w.Cases()[3]); err == nil {
+		t.Error("over-budget reference should fail")
+	}
+}
+
+func TestPerformanceShape(t *testing.T) {
+	// Paper: 2.5–3.2× over cuSPARSE; CC-E ≈ TC; CC below TC.
+	w := New()
+	speedups := map[string][]float64{}
+	for _, c := range w.Cases() {
+		tc, _ := w.Run(c, workload.TC)
+		cc, _ := w.Run(c, workload.CC)
+		cce, _ := w.Run(c, workload.CCE)
+		bl, _ := w.Run(c, workload.Baseline)
+		for _, spec := range device.All() {
+			tTC := sim.Run(spec, tc.Profile).Time
+			tCC := sim.Run(spec, cc.Profile).Time
+			tCCE := sim.Run(spec, cce.Profile).Time
+			tBL := sim.Run(spec, bl.Profile).Time
+			speedups[spec.Name] = append(speedups[spec.Name], tBL/tTC)
+			// Per-case TC must at least tie the baseline (conf5 on the
+			// 8 TB/s B200 compresses to a near-tie); averages must win.
+			if tBL < tTC*0.98 {
+				t.Errorf("%s/%s: TC materially slower than baseline", c.Name, spec.Name)
+			}
+			if r := tTC / tCC; r < 0.35 || r > 0.95 {
+				t.Errorf("%s/%s: CC/TC %v outside [0.35, 0.95]", c.Name, spec.Name, r)
+			}
+			if r := tTC / tCCE; r < 0.7 || r > 1.25 {
+				t.Errorf("%s/%s: CC-E/TC %v outside [0.7, 1.25] (should be ≈1)",
+					c.Name, spec.Name, r)
+			}
+		}
+	}
+	for dev, sps := range speedups {
+		var sum float64
+		for _, s := range sps {
+			sum += s
+		}
+		avg := sum / float64(len(sps))
+		if avg < 1.8 || avg > 3.6 {
+			t.Errorf("%s: average TC speedup %v outside [1.8, 3.6]", dev, avg)
+		}
+	}
+}
+
+func TestUnknownVariantAndCase(t *testing.T) {
+	w := New()
+	if _, err := w.Run(w.Representative(), "nope"); err == nil {
+		t.Error("unknown variant accepted")
+	}
+	if _, err := w.Run(workload.Case{Dataset: "zzz"}, workload.TC); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}

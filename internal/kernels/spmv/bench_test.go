@@ -1,0 +1,57 @@
+package spmv
+
+import (
+	"testing"
+
+	"repro/internal/lcg"
+	"repro/internal/sparse"
+)
+
+func benchOperator(b *testing.B, dataset string) {
+	m, err := sparse.Synthesize(dataset)
+	if err != nil {
+		b.Fatal(err)
+	}
+	op := NewOperator(m)
+	x := make([]float64, m.Cols)
+	lcg.New(1).Fill(x)
+	b.SetBytes(int64(m.NNZ() * 12))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op.Apply(x)
+	}
+}
+
+func BenchmarkOperatorSpmsrts(b *testing.B) { benchOperator(b, "spmsrts") }
+
+func BenchmarkOperatorQCD(b *testing.B) { benchOperator(b, "conf5_4-8x8-10") }
+
+func TestOperatorMatchesWorkload(t *testing.T) {
+	w := New()
+	c := w.Representative()
+	res, err := w.Run(c, "TC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := sparse.Synthesize(c.Dataset)
+	op := NewOperator(m)
+	x := make([]float64, m.Cols)
+	lcg.New(int64(m.Cols)).Fill(x) // the workload's input convention
+	y := op.Apply(x)
+	for i := range y {
+		if y[i] != res.Output[i] {
+			t.Fatalf("operator deviates from workload at %d", i)
+		}
+	}
+}
+
+func TestOperatorPanicsOnDimensionMismatch(t *testing.T) {
+	m, _ := sparse.Synthesize("spmsrts")
+	op := NewOperator(m)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on wrong input length")
+		}
+	}()
+	op.Apply(make([]float64, 3))
+}

@@ -1,0 +1,21 @@
+package stencil
+
+import (
+	"testing"
+
+	"repro/internal/lcg"
+	"repro/internal/tensor"
+)
+
+func benchSweep(b *testing.B, f func(*tensor.Matrix) *tensor.Matrix) {
+	u := tensor.NewMatrix(512, 512)
+	lcg.New(1).Fill(u.Data)
+	b.SetBytes(int64(len(u.Data) * 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(u)
+	}
+}
+
+func BenchmarkSweepMMA512(b *testing.B)    { benchSweep(b, sweepMMA) }
+func BenchmarkSweepDirect512(b *testing.B) { benchSweep(b, sweepDirect) }

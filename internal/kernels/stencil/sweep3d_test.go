@@ -1,0 +1,88 @@
+package stencil
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lcg"
+)
+
+func randomGrid3D(nx, ny, nz int, seed int64) *Grid3D {
+	g := NewGrid3D(nx, ny, nz)
+	lcg.New(seed).Fill(g.Data)
+	return g
+}
+
+func TestSweep3DMatchesDirect(t *testing.T) {
+	for _, dims := range [][3]int{{16, 16, 16}, {8, 24, 10}, {3, 5, 7}, {1, 1, 1}} {
+		u := randomGrid3D(dims[0], dims[1], dims[2], int64(dims[0]*100+dims[1]))
+		mma, err := Sweep3DMMA(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct := Sweep3DDirect(u)
+		var maxErr float64
+		for i := range mma.Data {
+			if d := math.Abs(mma.Data[i] - direct.Data[i]); d > maxErr {
+				maxErr = d
+			}
+		}
+		if maxErr > 1e-14 {
+			t.Errorf("%v: MMA sweep deviates by %v from the direct 7-point", dims, maxErr)
+		}
+	}
+}
+
+func TestSweep3DConstantField(t *testing.T) {
+	// Interior of a field of ones: center + 6·side = 0.52 + 0.72 = 1.24.
+	u := NewGrid3D(12, 12, 12)
+	for i := range u.Data {
+		u.Data[i] = 1
+	}
+	out, err := Sweep3DMMA(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wCenter + 6*wSide
+	if v := out.At(6, 6, 6); math.Abs(v-want) > 1e-14 {
+		t.Errorf("interior = %v, want %v", v, want)
+	}
+	// A corner loses three neighbors.
+	wantCorner := wCenter + 3*wSide
+	if v := out.At(0, 0, 0); math.Abs(v-wantCorner) > 1e-14 {
+		t.Errorf("corner = %v, want %v", v, wantCorner)
+	}
+}
+
+func TestSweep3DInputUntouched(t *testing.T) {
+	u := randomGrid3D(10, 10, 10, 5)
+	orig := append([]float64(nil), u.Data...)
+	if _, err := Sweep3DMMA(u); err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if u.Data[i] != orig[i] {
+			t.Fatal("sweep modified its input")
+		}
+	}
+}
+
+func TestSweep3DRejectsEmpty(t *testing.T) {
+	if _, err := Sweep3DMMA(&Grid3D{}); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+}
+
+func TestGrid3DBoundary(t *testing.T) {
+	g := NewGrid3D(2, 2, 2)
+	g.Set(1, 1, 1, 5)
+	if g.At(1, 1, 1) != 5 || g.At(-1, 0, 0) != 0 || g.At(0, 0, 2) != 0 {
+		t.Fatal("boundary semantics wrong")
+	}
+	g.Set(5, 5, 5, 1) // dropped silently
+	for _, v := range g.Data {
+		if v != 0 && v != 5 {
+			t.Fatal("out-of-range write leaked")
+		}
+	}
+}

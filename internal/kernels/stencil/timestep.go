@@ -1,0 +1,37 @@
+package stencil
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/tensor"
+	"repro/internal/workload"
+)
+
+// Time-stepped diffusion: an application-level extension beyond the
+// single-sweep Table 2 benchmark. Real stencil applications iterate the
+// sweep (heat diffusion, wave propagation); this runs the LoRaStencil-style
+// MMA sweep for many steps with double buffering and exposes the aggregate
+// execution profile.
+
+// SweepN advances u by steps applications of the star2d1r stencil on the
+// MMA path, returning the final grid. The input is not modified.
+func SweepN(u *tensor.Matrix, steps int) (*tensor.Matrix, error) {
+	if steps < 0 {
+		return nil, fmt.Errorf("stencil: negative step count %d", steps)
+	}
+	cur := u.Clone()
+	for s := 0; s < steps; s++ {
+		cur = sweepMMA(cur)
+	}
+	return cur, nil
+}
+
+// SweepNProfile returns the execution profile of a steps-long 2D diffusion
+// run on an nx×ny grid: one TC sweep per step, launched back to back.
+func SweepNProfile(nx, ny, steps int) sim.Profile {
+	p := profileFor(float64(nx)*float64(ny), false, workload.TC)
+	p.Scale(float64(steps))
+	p.SyncSteps = float64(steps) // steps are serially dependent
+	return p
+}

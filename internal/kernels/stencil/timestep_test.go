@@ -1,0 +1,100 @@
+package stencil
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/lcg"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+)
+
+func randomGrid(n int, seed int64) *tensor.Matrix {
+	m := tensor.NewMatrix(n, n)
+	lcg.New(seed).Fill(m.Data)
+	return m
+}
+
+func TestSweepNZeroStepsIsIdentity(t *testing.T) {
+	u := randomGrid(32, 1)
+	out, err := SweepN(u, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(u) {
+		t.Fatal("zero steps changed the grid")
+	}
+	if out == u {
+		t.Fatal("SweepN must not alias its input")
+	}
+}
+
+func TestSweepNMatchesIteratedSweep(t *testing.T) {
+	u := randomGrid(40, 2)
+	three, err := SweepN(u, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := sweepMMA(sweepMMA(sweepMMA(u.Clone())))
+	if !three.Equal(step) {
+		t.Fatal("SweepN(3) differs from three manual sweeps")
+	}
+}
+
+func TestDiffusionSmooths(t *testing.T) {
+	// The stencil weights form a (sub-stochastic) averaging operator:
+	// repeated application must shrink the grid's variance — the physical
+	// invariant of a diffusion step.
+	u := randomGrid(64, 3)
+	variance := func(m *tensor.Matrix) float64 {
+		var sum, sumSq float64
+		for _, v := range m.Data {
+			sum += v
+			sumSq += v * v
+		}
+		n := float64(len(m.Data))
+		mean := sum / n
+		return sumSq/n - mean*mean
+	}
+	v0 := variance(u)
+	out, err := SweepN(u, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v10 := variance(out)
+	if v10 >= v0*0.5 {
+		t.Fatalf("diffusion did not smooth: variance %v → %v", v0, v10)
+	}
+	// And the field must decay toward zero with the absorbing boundary.
+	var maxAbs float64
+	for _, v := range out.Data {
+		if math.Abs(v) > maxAbs {
+			maxAbs = math.Abs(v)
+		}
+	}
+	if maxAbs >= 2 {
+		t.Fatalf("field grew: max %v", maxAbs)
+	}
+}
+
+func TestSweepNRejectsNegative(t *testing.T) {
+	if _, err := SweepN(randomGrid(8, 4), -1); err == nil {
+		t.Fatal("negative steps accepted")
+	}
+}
+
+func TestSweepNProfileScales(t *testing.T) {
+	p1 := SweepNProfile(1024, 1024, 1)
+	p100 := SweepNProfile(1024, 1024, 100)
+	if p100.TensorFLOPs != 100*p1.TensorFLOPs {
+		t.Error("FLOPs do not scale with steps")
+	}
+	if p100.SyncSteps != 100 {
+		t.Error("steps must serialize")
+	}
+	r := sim.Run(device.H200(), p100)
+	if r.Time <= sim.Run(device.H200(), p1).Time*50 {
+		t.Error("100 steps should cost ≈100 sweeps")
+	}
+}

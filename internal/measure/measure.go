@@ -1,0 +1,97 @@
+// Package measure implements the paper's timing methodology (Section 6):
+// warm-up runs followed by timed executions with the arithmetic average
+// reported — plus the dispersion statistics a careful benchmark harness
+// needs (standard deviation, confidence interval, median). It times real Go
+// functions; the simulated GPU numbers come from package sim instead.
+package measure
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Stats summarizes a timed measurement loop.
+type Stats struct {
+	Warmups, Iterations int
+	Mean                time.Duration
+	Median              time.Duration
+	Min, Max            time.Duration
+	StdDev              time.Duration
+	// CI95 is the half-width of the 95% confidence interval of the mean
+	// (normal approximation).
+	CI95 time.Duration
+}
+
+// Run executes f warmup times untimed, then iterations times timed, and
+// returns the statistics. It returns an error for non-positive iteration
+// counts.
+func Run(f func(), warmup, iterations int) (Stats, error) {
+	if iterations < 1 {
+		return Stats{}, fmt.Errorf("measure: need at least 1 iteration, got %d", iterations)
+	}
+	if warmup < 0 {
+		return Stats{}, fmt.Errorf("measure: negative warmup %d", warmup)
+	}
+	for i := 0; i < warmup; i++ {
+		f()
+	}
+	samples := make([]time.Duration, iterations)
+	for i := range samples {
+		start := time.Now()
+		f()
+		samples[i] = time.Since(start)
+	}
+	return Summarize(samples), nil
+}
+
+// Summarize computes the statistics of raw duration samples.
+func Summarize(samples []time.Duration) Stats {
+	n := len(samples)
+	s := Stats{Iterations: n}
+	if n == 0 {
+		return s
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	s.Min, s.Max = sorted[0], sorted[n-1]
+	if n%2 == 1 {
+		s.Median = sorted[n/2]
+	} else {
+		s.Median = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	var sum float64
+	for _, d := range samples {
+		sum += float64(d)
+	}
+	mean := sum / float64(n)
+	s.Mean = time.Duration(mean)
+	if n > 1 {
+		var ss float64
+		for _, d := range samples {
+			dv := float64(d) - mean
+			ss += dv * dv
+		}
+		sd := math.Sqrt(ss / float64(n-1))
+		s.StdDev = time.Duration(sd)
+		s.CI95 = time.Duration(1.96 * sd / math.Sqrt(float64(n)))
+	}
+	return s
+}
+
+// Stable reports whether the measurement is tight enough to trust: the 95%
+// confidence half-width within tol of the mean (the paper's rationale for
+// 1000 timed runs).
+func (s Stats) Stable(tol float64) bool {
+	if s.Mean <= 0 {
+		return false
+	}
+	return float64(s.CI95)/float64(s.Mean) <= tol
+}
+
+// String formats the stats compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("mean %v ±%v (median %v, min %v, max %v, n=%d)",
+		s.Mean, s.CI95, s.Median, s.Min, s.Max, s.Iterations)
+}

@@ -1,0 +1,89 @@
+package measure
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunCounts(t *testing.T) {
+	calls := 0
+	s, err := Run(func() { calls++ }, 5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 25 {
+		t.Fatalf("f called %d times, want 25", calls)
+	}
+	if s.Iterations != 20 {
+		t.Fatalf("iterations = %d", s.Iterations)
+	}
+	if s.Mean < 0 || s.Min > s.Median || s.Median > s.Max {
+		t.Fatalf("ordering violated: %+v", s)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(func() {}, 0, 0); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	if _, err := Run(func() {}, -1, 1); err == nil {
+		t.Error("negative warmup accepted")
+	}
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	samples := []time.Duration{10, 20, 30, 40}
+	s := Summarize(samples)
+	if s.Mean != 25 {
+		t.Errorf("mean = %v, want 25", s.Mean)
+	}
+	if s.Median != 25 {
+		t.Errorf("median = %v, want 25", s.Median)
+	}
+	if s.Min != 10 || s.Max != 40 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	// Sample stddev of {10,20,30,40} is ~12.9.
+	if s.StdDev < 12 || s.StdDev > 14 {
+		t.Errorf("stddev = %v, want ≈12.9", s.StdDev)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.Iterations != 0 || s.Mean != 0 {
+		t.Error("empty samples should be zero stats")
+	}
+	s := Summarize([]time.Duration{7})
+	if s.Mean != 7 || s.Median != 7 || s.StdDev != 0 || s.CI95 != 0 {
+		t.Errorf("single sample stats wrong: %+v", s)
+	}
+	// Even-length median.
+	if m := Summarize([]time.Duration{1, 3}).Median; m != 2 {
+		t.Errorf("even median = %v, want 2", m)
+	}
+}
+
+func TestStable(t *testing.T) {
+	tight := Summarize([]time.Duration{100, 100, 100, 101, 99, 100, 100, 100})
+	if !tight.Stable(0.05) {
+		t.Errorf("tight sample reported unstable: %v", tight)
+	}
+	loose := Summarize([]time.Duration{1, 1000})
+	if loose.Stable(0.05) {
+		t.Errorf("loose sample reported stable: %v", loose)
+	}
+	if (Stats{}).Stable(0.05) {
+		t.Error("zero stats reported stable")
+	}
+}
+
+func TestMedianUnsortedInputPreserved(t *testing.T) {
+	in := []time.Duration{30, 10, 20}
+	s := Summarize(in)
+	if s.Median != 20 {
+		t.Errorf("median = %v", s.Median)
+	}
+	if in[0] != 30 {
+		t.Error("Summarize mutated its input")
+	}
+}

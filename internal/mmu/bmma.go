@@ -1,0 +1,55 @@
+package mmu
+
+import "math/bits"
+
+// Shapes of the single-bit m8n8k128 MMA.
+const (
+	BitM = 8   // rows of A and C
+	BitN = 8   // cols of B and C
+	BitK = 128 // bit depth: cols of A, rows of B
+
+	// BitWordsPerRow is the number of uint64 words storing one 128-bit row.
+	BitWordsPerRow = BitK / 64
+
+	// OpsPerBMMA counts the logical bit operations of one b1 MMA
+	// (an AND and a population-count contribution per bit position).
+	OpsPerBMMA = 2 * BitM * BitN * BitK
+)
+
+// BitFragA is an 8×128 single-bit A operand: 8 rows × 2 uint64 words.
+// Bit k of row r is bit (k%64) of word A[r][k/64].
+type BitFragA [BitM][BitWordsPerRow]uint64
+
+// BitFragB is a 128×8 single-bit B operand stored column-major: 8 columns ×
+// 2 uint64 words, so each column is a 128-bit vector aligned with A's rows.
+type BitFragB [BitN][BitWordsPerRow]uint64
+
+// BitFragC is the 8×8 int32 accumulator of the b1 MMA.
+type BitFragC [BitM * BitN]int32
+
+// BMMAAndPopc executes mma.m8n8k128 with the AND+POPC operation:
+// c[i][j] += popcount(Arow_i AND Bcol_j). This is the bit-MMA BerryBees uses
+// to intersect frontier bitmaps with adjacency bitmap slices.
+func BMMAAndPopc(c *BitFragC, a *BitFragA, b *BitFragB) {
+	for i := 0; i < BitM; i++ {
+		for j := 0; j < BitN; j++ {
+			var p int
+			for w := 0; w < BitWordsPerRow; w++ {
+				p += bits.OnesCount64(a[i][w] & b[j][w])
+			}
+			c[i*BitN+j] += int32(p)
+		}
+	}
+}
+
+// SetBit sets bit k of row r in the A fragment.
+func (a *BitFragA) SetBit(r, k int) { a[r][k/64] |= 1 << (k % 64) }
+
+// Bit reports bit k of row r.
+func (a *BitFragA) Bit(r, k int) bool { return a[r][k/64]>>(k%64)&1 == 1 }
+
+// SetBit sets bit k of column c in the B fragment.
+func (b *BitFragB) SetBit(k, c int) { b[c][k/64] |= 1 << (k % 64) }
+
+// Bit reports bit k of column c.
+func (b *BitFragB) Bit(k, c int) bool { return b[c][k/64]>>(k%64)&1 == 1 }

@@ -1,0 +1,66 @@
+package mmu
+
+import "math"
+
+// FLOPsPerDMMA is the floating-point operation count of one FP64 m8n8k4 MMA
+// (8·8·4 multiplies plus as many adds).
+const FLOPsPerDMMA = 2 * M * N * K
+
+// DMMAWarp executes one FP64 m8n8k4 MMA on warp-register fragments:
+// d = a·b + c. The accumulation for each output element is the fixed FMA
+// chain over k = 0..3 — the deterministic dot-product order the tensor core
+// datapath applies. d and c may alias.
+func DMMAWarp(d, c *FragC, a *FragA, b *FragB) {
+	// Gather operands into matrix form. On hardware this is the implicit
+	// cross-lane operand exchange inside the tensor core.
+	var am [M][K]float64
+	var bm [K][N]float64
+	for t := 0; t < WarpSize; t++ {
+		ar, ac := AElement(t)
+		am[ar][ac] = a[t]
+		br, bc := BElement(t)
+		bm[br][bc] = b[t]
+	}
+	for t := 0; t < WarpSize; t++ {
+		r, c0, c1 := CElements(t)
+		d[2*t] = dot4(am[r][:], bm[:], c0, c[2*t])
+		d[2*t+1] = dot4(am[r][:], bm[:], c1, c[2*t+1])
+	}
+}
+
+// dot4 computes acc + Σ_{k<4} a[k]·b[k][col] as a chain of fused
+// multiply-adds in ascending k order.
+func dot4(a []float64, b [][N]float64, col int, acc float64) float64 {
+	for k := 0; k < K; k++ {
+		acc = math.FMA(a[k], b[k][col], acc)
+	}
+	return acc
+}
+
+// DMMATile executes one FP64 m8n8k4 MMA directly on row-major tiles:
+// c(8×8) += a(8×4)·b(4×8). It is semantically identical to loading
+// fragments, calling DMMAWarp, and storing the result — the kernels use this
+// convenience form, and TestDMMATileMatchesWarp pins the equivalence.
+func DMMATile(c, a, b []float64) {
+	for i := 0; i < M; i++ {
+		for j := 0; j < N; j++ {
+			acc := c[i*N+j]
+			for k := 0; k < K; k++ {
+				acc = math.FMA(a[i*K+k], b[k*N+j], acc)
+			}
+			c[i*N+j] = acc
+		}
+	}
+}
+
+// VectorDMMATile is the CUDA-core replacement of DMMATile: the exact same
+// algorithm and accumulation order executed as scalar FMA instructions on
+// the vector unit. It is intentionally the same arithmetic — the paper's CC
+// variants "implement the exact same algorithm as TC but using CUDA core
+// instructions", and Table 6 shows they produce identical FP64 results.
+func VectorDMMATile(c, a, b []float64) {
+	DMMATile(c, a, b)
+}
+
+// FMA exposes the scalar fused multiply-add used for CUDA-core arithmetic.
+func FMA(x, y, z float64) float64 { return math.FMA(x, y, z) }

@@ -1,0 +1,332 @@
+package mmu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lcg"
+)
+
+func TestFragmentLayoutCoversAllElements(t *testing.T) {
+	var seenA, seenB [M * K]bool
+	var seenC [M * N]bool
+	for lane := 0; lane < WarpSize; lane++ {
+		ar, ac := AElement(lane)
+		if ar < 0 || ar >= M || ac < 0 || ac >= K {
+			t.Fatalf("lane %d: A element (%d,%d) out of range", lane, ar, ac)
+		}
+		if seenA[ar*K+ac] {
+			t.Fatalf("lane %d: duplicate A element (%d,%d)", lane, ar, ac)
+		}
+		seenA[ar*K+ac] = true
+
+		br, bc := BElement(lane)
+		if seenB[br*N+bc] {
+			t.Fatalf("lane %d: duplicate B element (%d,%d)", lane, br, bc)
+		}
+		seenB[br*N+bc] = true
+
+		cr, c0, c1 := CElements(lane)
+		for _, cc := range []int{c0, c1} {
+			if seenC[cr*N+cc] {
+				t.Fatalf("lane %d: duplicate C element (%d,%d)", lane, cr, cc)
+			}
+			seenC[cr*N+cc] = true
+		}
+	}
+	for i, ok := range seenA {
+		if !ok {
+			t.Fatalf("A element %d unowned", i)
+		}
+	}
+	for i, ok := range seenC {
+		if !ok {
+			t.Fatalf("C element %d unowned", i)
+		}
+	}
+}
+
+func TestFragmentLoadStoreRoundTrip(t *testing.T) {
+	g := lcg.New(1)
+	aT := make([]float64, M*K)
+	bT := make([]float64, K*N)
+	cT := make([]float64, M*N)
+	g.Fill(aT)
+	g.Fill(bT)
+	g.Fill(cT)
+
+	var fa FragA
+	var fb FragB
+	var fc FragC
+	fa.Load(aT)
+	fb.Load(bT)
+	fc.Load(cT)
+
+	out := make([]float64, M*N)
+	fc.Store(out)
+	for i := range cT {
+		if out[i] != cT[i] {
+			t.Fatalf("C round trip failed at %d: %v != %v", i, out[i], cT[i])
+		}
+	}
+	// Check a few known fragment positions.
+	if fa[0] != aT[0] { // lane 0 owns A(0,0)
+		t.Fatal("lane 0 does not own A(0,0)")
+	}
+	if fa[5] != aT[1*K+1] { // lane 5 owns A(1,1)
+		t.Fatal("lane 5 does not own A(1,1)")
+	}
+	if fb[5] != bT[1*N+1] { // lane 5 owns B(1,1)
+		t.Fatal("lane 5 does not own B(1,1)")
+	}
+}
+
+func TestDMMATileMatchesWarp(t *testing.T) {
+	g := lcg.New(77)
+	for trial := 0; trial < 50; trial++ {
+		aT := make([]float64, M*K)
+		bT := make([]float64, K*N)
+		cT := make([]float64, M*N)
+		g.Fill(aT)
+		g.Fill(bT)
+		g.Fill(cT)
+
+		var fa FragA
+		var fb FragB
+		var fc FragC
+		fa.Load(aT)
+		fb.Load(bT)
+		fc.Load(cT)
+		DMMAWarp(&fc, &fc, &fa, &fb)
+		warpOut := make([]float64, M*N)
+		fc.Store(warpOut)
+
+		tileOut := append([]float64(nil), cT...)
+		DMMATile(tileOut, aT, bT)
+
+		for i := range warpOut {
+			if warpOut[i] != tileOut[i] {
+				t.Fatalf("trial %d: warp and tile paths differ at %d: %v vs %v",
+					trial, i, warpOut[i], tileOut[i])
+			}
+		}
+	}
+}
+
+func TestDMMACorrectness(t *testing.T) {
+	// Against a naive reference within a small tolerance (order differs, so
+	// exact equality is not expected — but for k=4 products of (-2,2) values
+	// the result is within a few ULPs).
+	g := lcg.New(3)
+	aT := make([]float64, M*K)
+	bT := make([]float64, K*N)
+	cT := make([]float64, M*N)
+	g.Fill(aT)
+	g.Fill(bT)
+	g.Fill(cT)
+
+	got := append([]float64(nil), cT...)
+	DMMATile(got, aT, bT)
+
+	for i := 0; i < M; i++ {
+		for j := 0; j < N; j++ {
+			want := cT[i*N+j]
+			for k := 0; k < K; k++ {
+				want += aT[i*K+k] * bT[k*N+j]
+			}
+			if math.Abs(got[i*N+j]-want) > 1e-13 {
+				t.Fatalf("C(%d,%d) = %v, want ≈%v", i, j, got[i*N+j], want)
+			}
+		}
+	}
+}
+
+func TestDMMAIdentity(t *testing.T) {
+	// A = I₈ₓ₄ (top 4×4 identity) times B leaves B's rows in C's top rows.
+	a := make([]float64, M*K)
+	for k := 0; k < K; k++ {
+		a[k*K+k] = 1
+	}
+	b := make([]float64, K*N)
+	g := lcg.New(9)
+	g.Fill(b)
+	c := make([]float64, M*N)
+	DMMATile(c, a, b)
+	for i := 0; i < K; i++ {
+		for j := 0; j < N; j++ {
+			if c[i*N+j] != b[i*N+j] {
+				t.Fatalf("identity MMA wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+	for i := K; i < M; i++ {
+		for j := 0; j < N; j++ {
+			if c[i*N+j] != 0 {
+				t.Fatalf("row %d should be zero", i)
+			}
+		}
+	}
+}
+
+func TestVectorDMMAIdenticalToTensor(t *testing.T) {
+	// The CC replacement must be bit-identical to the TC path (Table 6).
+	f := func(seed int64) bool {
+		g := lcg.New(seed)
+		aT := make([]float64, M*K)
+		bT := make([]float64, K*N)
+		cT := make([]float64, M*N)
+		g.Fill(aT)
+		g.Fill(bT)
+		g.Fill(cT)
+		tc := append([]float64(nil), cT...)
+		cc := append([]float64(nil), cT...)
+		DMMATile(tc, aT, bT)
+		VectorDMMATile(cc, aT, bT)
+		for i := range tc {
+			if tc[i] != cc[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDMMAAccumulationOrderDiffersFromReverse(t *testing.T) {
+	// Sanity: the fixed k-ascending FMA chain is a *specific* order — a
+	// reversed-order accumulation gives (at least sometimes) different bits.
+	// This is the mechanism behind baseline-vs-TC error differences.
+	g := lcg.New(2024)
+	diff := false
+	for trial := 0; trial < 200 && !diff; trial++ {
+		aT := make([]float64, M*K)
+		bT := make([]float64, K*N)
+		g.Fill(aT)
+		g.Fill(bT)
+		fwd := make([]float64, M*N)
+		DMMATile(fwd, aT, bT)
+		for i := 0; i < M && !diff; i++ {
+			for j := 0; j < N && !diff; j++ {
+				acc := 0.0
+				for k := K - 1; k >= 0; k-- {
+					acc = math.FMA(aT[i*K+k], bT[k*N+j], acc)
+				}
+				if acc != fwd[i*N+j] {
+					diff = true
+				}
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("forward and reverse accumulation never differed in 200 trials")
+	}
+}
+
+func TestFragCZero(t *testing.T) {
+	var fc FragC
+	for i := range fc {
+		fc[i] = 1
+	}
+	fc.Zero()
+	for i, v := range fc {
+		if v != 0 {
+			t.Fatalf("element %d not cleared", i)
+		}
+	}
+}
+
+func TestBMMAAndPopc(t *testing.T) {
+	var a BitFragA
+	var b BitFragB
+	var c BitFragC
+	// Row 2 of A has bits {0, 64, 127}; column 5 of B has bits {64, 127, 3}.
+	a.SetBit(2, 0)
+	a.SetBit(2, 64)
+	a.SetBit(2, 127)
+	b.SetBit(64, 5)
+	b.SetBit(127, 5)
+	b.SetBit(3, 5)
+	BMMAAndPopc(&c, &a, &b)
+	if c[2*BitN+5] != 2 {
+		t.Fatalf("c[2][5] = %d, want 2", c[2*BitN+5])
+	}
+	for i := range c {
+		if i != 2*BitN+5 && c[i] != 0 {
+			t.Fatalf("unexpected nonzero at %d", i)
+		}
+	}
+	// Accumulation.
+	BMMAAndPopc(&c, &a, &b)
+	if c[2*BitN+5] != 4 {
+		t.Fatalf("accumulated c[2][5] = %d, want 4", c[2*BitN+5])
+	}
+}
+
+func TestBitFragBits(t *testing.T) {
+	var a BitFragA
+	a.SetBit(7, 127)
+	if !a.Bit(7, 127) || a.Bit(7, 126) || a.Bit(6, 127) {
+		t.Fatal("BitFragA bit accessors wrong")
+	}
+	var b BitFragB
+	b.SetBit(127, 7)
+	if !b.Bit(127, 7) || b.Bit(126, 7) || b.Bit(127, 6) {
+		t.Fatal("BitFragB bit accessors wrong")
+	}
+}
+
+func TestBMMAFullOnes(t *testing.T) {
+	var a BitFragA
+	var b BitFragB
+	var c BitFragC
+	for r := 0; r < BitM; r++ {
+		for w := 0; w < BitWordsPerRow; w++ {
+			a[r][w] = ^uint64(0)
+		}
+	}
+	for col := 0; col < BitN; col++ {
+		for w := 0; w < BitWordsPerRow; w++ {
+			b[col][w] = ^uint64(0)
+		}
+	}
+	BMMAAndPopc(&c, &a, &b)
+	for i, v := range c {
+		if v != BitK {
+			t.Fatalf("c[%d] = %d, want %d", i, v, BitK)
+		}
+	}
+}
+
+func BenchmarkDMMATile(b *testing.B) {
+	g := lcg.New(1)
+	aT := make([]float64, M*K)
+	bT := make([]float64, K*N)
+	cT := make([]float64, M*N)
+	g.Fill(aT)
+	g.Fill(bT)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DMMATile(cT, aT, bT)
+	}
+}
+
+func BenchmarkBMMAAndPopc(b *testing.B) {
+	var a BitFragA
+	var bb BitFragB
+	var c BitFragC
+	for r := 0; r < BitM; r++ {
+		a[r][0] = 0xdeadbeefcafebabe
+		a[r][1] = 0x0123456789abcdef
+	}
+	for col := 0; col < BitN; col++ {
+		bb[col][0] = 0xffffffff00000000
+		bb[col][1] = 0x00000000ffffffff
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BMMAAndPopc(&c, &a, &bb)
+	}
+}

@@ -1,0 +1,48 @@
+package mtx
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead hammers the parser with arbitrary input: it must never panic,
+// and anything it accepts must produce a structurally valid CSR matrix
+// that survives a write/read round trip.
+func FuzzRead(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.5\n")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 1 2\n3 1 -1\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n2 1\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix coordinate real general\n1 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n-1 2 1\n1 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n999999999 999999999 1\n1 1 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		// Guard against pathological size lines allocating huge RowPtr.
+		if len(input) > 1<<16 {
+			return
+		}
+		m, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if m.Rows > 1<<20 || m.Cols > 1<<20 {
+			return // accepted giant header with zero entries; skip round trip
+		}
+		if verr := m.Validate(); verr != nil {
+			t.Fatalf("accepted matrix fails validation: %v\ninput: %q", verr, input)
+		}
+		var buf bytes.Buffer
+		if werr := Write(&buf, m); werr != nil {
+			t.Fatalf("write failed for accepted matrix: %v", werr)
+		}
+		back, rerr := Read(&buf)
+		if rerr != nil {
+			t.Fatalf("round trip re-read failed: %v", rerr)
+		}
+		if back.Rows != m.Rows || back.Cols != m.Cols || back.NNZ() != m.NNZ() {
+			t.Fatalf("round trip changed shape: %dx%d/%d vs %dx%d/%d",
+				back.Rows, back.Cols, back.NNZ(), m.Rows, m.Cols, m.NNZ())
+		}
+	})
+}

@@ -1,0 +1,264 @@
+// Package pca implements the principal component analysis pipeline of
+// Section 10 (Figures 10 and 11): feature standardization, covariance
+// computation, eigendecomposition via the cyclic Jacobi method, and
+// projection onto the top two components.
+package pca
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Result holds a fitted PCA.
+type Result struct {
+	Mean, Std  []float64   // standardization parameters
+	Components [][]float64 // top components, each length = #features
+	Explained  []float64   // fraction of variance per component
+	Projected  [][]float64 // input data projected onto the components
+}
+
+// Fit standardizes data (rows = samples, columns = features), computes the
+// covariance matrix, extracts the top k principal components, and projects
+// the samples. Constant features are left centered with unit divisor.
+func Fit(data [][]float64, k int) (*Result, error) {
+	n := len(data)
+	if n < 2 {
+		return nil, fmt.Errorf("pca: need at least 2 samples, got %d", n)
+	}
+	d := len(data[0])
+	for i, row := range data {
+		if len(row) != d {
+			return nil, fmt.Errorf("pca: row %d has %d features, want %d", i, len(row), d)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("pca: non-finite feature at row %d, column %d", i, j)
+			}
+		}
+	}
+	if k < 1 || k > d {
+		return nil, fmt.Errorf("pca: k = %d outside [1, %d]", k, d)
+	}
+
+	r := &Result{Mean: make([]float64, d), Std: make([]float64, d)}
+	for j := 0; j < d; j++ {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += data[i][j]
+		}
+		r.Mean[j] = sum / float64(n)
+		var ss float64
+		for i := 0; i < n; i++ {
+			dv := data[i][j] - r.Mean[j]
+			ss += dv * dv
+		}
+		r.Std[j] = math.Sqrt(ss / float64(n))
+		if r.Std[j] == 0 {
+			r.Std[j] = 1
+		}
+	}
+	z := make([][]float64, n)
+	for i := range z {
+		z[i] = make([]float64, d)
+		for j := 0; j < d; j++ {
+			z[i][j] = (data[i][j] - r.Mean[j]) / r.Std[j]
+		}
+	}
+
+	// Covariance of the standardized data.
+	cov := make([][]float64, d)
+	for a := range cov {
+		cov[a] = make([]float64, d)
+	}
+	for a := 0; a < d; a++ {
+		for b := a; b < d; b++ {
+			var s float64
+			for i := 0; i < n; i++ {
+				s += z[i][a] * z[i][b]
+			}
+			s /= float64(n - 1)
+			cov[a][b], cov[b][a] = s, s
+		}
+	}
+
+	vals, vecs := jacobiEigen(cov)
+	order := make([]int, d)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return vals[order[a]] > vals[order[b]] })
+
+	var total float64
+	for _, v := range vals {
+		if v > 0 {
+			total += v
+		}
+	}
+	for c := 0; c < k; c++ {
+		idx := order[c]
+		comp := make([]float64, d)
+		for j := 0; j < d; j++ {
+			comp[j] = vecs[j][idx]
+		}
+		// Deterministic sign: largest-magnitude coefficient positive.
+		maxJ := 0
+		for j := 1; j < d; j++ {
+			if math.Abs(comp[j]) > math.Abs(comp[maxJ]) {
+				maxJ = j
+			}
+		}
+		if comp[maxJ] < 0 {
+			for j := range comp {
+				comp[j] = -comp[j]
+			}
+		}
+		r.Components = append(r.Components, comp)
+		if total > 0 {
+			r.Explained = append(r.Explained, math.Max(vals[idx], 0)/total)
+		} else {
+			r.Explained = append(r.Explained, 0)
+		}
+	}
+
+	r.Projected = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		r.Projected[i] = r.project(z[i])
+	}
+	return r, nil
+}
+
+// Transform projects a new raw sample with the fitted standardization.
+func (r *Result) Transform(sample []float64) ([]float64, error) {
+	if len(sample) != len(r.Mean) {
+		return nil, fmt.Errorf("pca: sample has %d features, want %d", len(sample), len(r.Mean))
+	}
+	z := make([]float64, len(sample))
+	for j := range sample {
+		z[j] = (sample[j] - r.Mean[j]) / r.Std[j]
+	}
+	return r.project(z), nil
+}
+
+func (r *Result) project(z []float64) []float64 {
+	out := make([]float64, len(r.Components))
+	for c, comp := range r.Components {
+		var s float64
+		for j := range z {
+			s += z[j] * comp[j]
+		}
+		out[c] = s
+	}
+	return out
+}
+
+// jacobiEigen computes all eigenvalues and eigenvectors of a symmetric
+// matrix with the cyclic Jacobi rotation method. vecs columns are the
+// eigenvectors (vecs[row][col]).
+func jacobiEigen(a [][]float64) (vals []float64, vecs [][]float64) {
+	d := len(a)
+	m := make([][]float64, d)
+	vecs = make([][]float64, d)
+	for i := 0; i < d; i++ {
+		m[i] = append([]float64(nil), a[i]...)
+		vecs[i] = make([]float64, d)
+		vecs[i][i] = 1
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				off += m[i][j] * m[i][j]
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < d-1; p++ {
+			for q := p + 1; q < d; q++ {
+				if math.Abs(m[p][q]) < 1e-30 {
+					continue
+				}
+				theta := (m[q][q] - m[p][p]) / (2 * m[p][q])
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for i := 0; i < d; i++ {
+					mip, miq := m[i][p], m[i][q]
+					m[i][p] = c*mip - s*miq
+					m[i][q] = s*mip + c*miq
+				}
+				for j := 0; j < d; j++ {
+					mpj, mqj := m[p][j], m[q][j]
+					m[p][j] = c*mpj - s*mqj
+					m[q][j] = s*mpj + c*mqj
+				}
+				for i := 0; i < d; i++ {
+					vip, viq := vecs[i][p], vecs[i][q]
+					vecs[i][p] = c*vip - s*viq
+					vecs[i][q] = s*vip + c*viq
+				}
+			}
+		}
+	}
+	vals = make([]float64, d)
+	for i := 0; i < d; i++ {
+		vals[i] = m[i][i]
+	}
+	return vals, vecs
+}
+
+// Dispersion returns the mean pairwise Euclidean distance between projected
+// points — the spread measure Section 10 uses to compare the five selected
+// representatives against the full collection.
+func Dispersion(points [][]float64) float64 {
+	n := len(points)
+	if n < 2 {
+		return 0
+	}
+	var sum float64
+	var cnt int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			var d2 float64
+			for k := range points[i] {
+				dv := points[i][k] - points[j][k]
+				d2 += dv * dv
+			}
+			sum += math.Sqrt(d2)
+			cnt++
+		}
+	}
+	return sum / float64(cnt)
+}
+
+// CoverageNearest returns the fraction of points whose nearest
+// representative lies within radius — the "94.6% of all graphs lying close
+// to at least one representative" measure of Section 10.
+func CoverageNearest(points, reps [][]float64, radius float64) float64 {
+	if len(points) == 0 || len(reps) == 0 {
+		return 0
+	}
+	covered := 0
+	for _, p := range points {
+		best := math.Inf(1)
+		for _, r := range reps {
+			var d2 float64
+			for k := range p {
+				dv := p[k] - r[k]
+				d2 += dv * dv
+			}
+			if d := math.Sqrt(d2); d < best {
+				best = d
+			}
+		}
+		if best <= radius {
+			covered++
+		}
+	}
+	return float64(covered) / float64(len(points))
+}

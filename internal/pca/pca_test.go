@@ -1,0 +1,206 @@
+package pca
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lcg"
+)
+
+func TestFitRecoversDominantDirection(t *testing.T) {
+	// Points along y = 2x with small noise: PC1 must align with (1, 2)/√5.
+	g := lcg.New(7)
+	var data [][]float64
+	for i := 0; i < 500; i++ {
+		x := g.Symmetric()
+		data = append(data, []float64{x, 2*x + 0.01*g.Symmetric()})
+	}
+	r, err := Fit(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Components) != 2 {
+		t.Fatalf("%d components", len(r.Components))
+	}
+	// After standardization both features have unit variance, so PC1 is
+	// (1,1)/√2 for perfectly correlated features.
+	c := r.Components[0]
+	if math.Abs(math.Abs(c[0])-math.Abs(c[1])) > 0.02 {
+		t.Errorf("PC1 = %v, want ≈ (±0.707, ±0.707)", c)
+	}
+	if r.Explained[0] < 0.95 {
+		t.Errorf("PC1 explains %v, want >0.95", r.Explained[0])
+	}
+}
+
+func TestComponentsOrthonormal(t *testing.T) {
+	g := lcg.New(11)
+	var data [][]float64
+	for i := 0; i < 200; i++ {
+		row := make([]float64, 5)
+		g.Fill(row)
+		row[3] = row[0] + 0.5*row[1] // correlation structure
+		data = append(data, row)
+	}
+	r, err := Fit(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 3; a++ {
+		var norm float64
+		for _, v := range r.Components[a] {
+			norm += v * v
+		}
+		if math.Abs(norm-1) > 1e-9 {
+			t.Errorf("component %d norm² = %v", a, norm)
+		}
+		for b := a + 1; b < 3; b++ {
+			var dot float64
+			for j := range r.Components[a] {
+				dot += r.Components[a][j] * r.Components[b][j]
+			}
+			if math.Abs(dot) > 1e-9 {
+				t.Errorf("components %d,%d not orthogonal: %v", a, b, dot)
+			}
+		}
+	}
+}
+
+func TestProjectionVarianceOrdered(t *testing.T) {
+	g := lcg.New(13)
+	var data [][]float64
+	for i := 0; i < 300; i++ {
+		row := make([]float64, 4)
+		g.Fill(row)
+		row[1] *= 3 // dominant raw variance (standardized away)
+		row[2] = row[0] * 0.9
+		data = append(data, row)
+	}
+	r, err := Fit(data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 1; c < 4; c++ {
+		if r.Explained[c] > r.Explained[c-1]+1e-12 {
+			t.Errorf("explained variance not sorted: %v", r.Explained)
+		}
+	}
+	var sum float64
+	for _, e := range r.Explained {
+		sum += e
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("explained variance sums to %v", sum)
+	}
+}
+
+func TestTransformMatchesProjected(t *testing.T) {
+	g := lcg.New(17)
+	var data [][]float64
+	for i := 0; i < 100; i++ {
+		row := make([]float64, 3)
+		g.Fill(row)
+		data = append(data, row)
+	}
+	r, err := Fit(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Transform(data[5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range p {
+		if math.Abs(p[k]-r.Projected[5][k]) > 1e-12 {
+			t.Fatalf("Transform disagrees with Projected: %v vs %v", p, r.Projected[5])
+		}
+	}
+	if _, err := r.Transform([]float64{1}); err == nil {
+		t.Error("wrong-width sample accepted")
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit([][]float64{{1, 2}}, 1); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, err := Fit([][]float64{{1, 2}, {3}}, 1); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	if _, err := Fit([][]float64{{1, 2}, {3, 4}}, 3); err == nil {
+		t.Error("k > d accepted")
+	}
+	if _, err := Fit([][]float64{{1, 2}, {3, 4}}, 0); err == nil {
+		t.Error("k = 0 accepted")
+	}
+}
+
+func TestConstantFeatureHandled(t *testing.T) {
+	data := [][]float64{{1, 5}, {2, 5}, {3, 5}, {4, 5}}
+	r, err := Fit(data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range r.Projected {
+		if math.IsNaN(p[0]) {
+			t.Fatal("constant feature produced NaN")
+		}
+	}
+}
+
+func TestDeterministicSigns(t *testing.T) {
+	g := lcg.New(23)
+	var data [][]float64
+	for i := 0; i < 50; i++ {
+		row := make([]float64, 3)
+		g.Fill(row)
+		data = append(data, row)
+	}
+	a, _ := Fit(data, 2)
+	b, _ := Fit(data, 2)
+	for c := range a.Components {
+		for j := range a.Components[c] {
+			if a.Components[c][j] != b.Components[c][j] {
+				t.Fatal("nondeterministic components")
+			}
+		}
+	}
+}
+
+func TestDispersion(t *testing.T) {
+	if d := Dispersion([][]float64{{0, 0}, {3, 4}}); math.Abs(d-5) > 1e-12 {
+		t.Errorf("dispersion = %v, want 5", d)
+	}
+	if d := Dispersion([][]float64{{1, 1}}); d != 0 {
+		t.Errorf("single-point dispersion = %v", d)
+	}
+	// Spread-out representatives disperse more than clustered ones.
+	tight := [][]float64{{0, 0}, {0.1, 0}, {0, 0.1}}
+	wide := [][]float64{{0, 0}, {5, 0}, {0, 5}}
+	if Dispersion(wide) <= Dispersion(tight) {
+		t.Error("wide set should disperse more")
+	}
+}
+
+func TestCoverageNearest(t *testing.T) {
+	points := [][]float64{{0, 0}, {1, 0}, {10, 10}}
+	reps := [][]float64{{0, 0}}
+	if c := CoverageNearest(points, reps, 1.5); math.Abs(c-2.0/3) > 1e-12 {
+		t.Errorf("coverage = %v, want 2/3", c)
+	}
+	if c := CoverageNearest(points, reps, 100); c != 1 {
+		t.Errorf("coverage = %v, want 1", c)
+	}
+	if c := CoverageNearest(nil, reps, 1); c != 0 {
+		t.Error("empty points should cover 0")
+	}
+}
+
+func TestFitRejectsNonFinite(t *testing.T) {
+	if _, err := Fit([][]float64{{1, 2}, {math.NaN(), 4}}, 1); err == nil {
+		t.Error("NaN feature accepted")
+	}
+	if _, err := Fit([][]float64{{1, 2}, {math.Inf(1), 4}}, 1); err == nil {
+		t.Error("Inf feature accepted")
+	}
+}

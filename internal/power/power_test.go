@@ -1,0 +1,133 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+func steadyReport(t *testing.T) sim.Report {
+	t.Helper()
+	return sim.Run(device.H200(), sim.Profile{
+		TensorFLOPs: 5e12,
+		DRAMBytes:   5e10,
+		Launches:    1,
+		Eff:         sim.Efficiency{Tensor: 0.7, DRAM: 0.7},
+	})
+}
+
+func TestRecordBasics(t *testing.T) {
+	s := device.H200()
+	r := steadyReport(t)
+	tr := Record(s, r, 10000)
+	if tr.TotalTimeS <= 0 || len(tr.Samples) < 10 {
+		t.Fatalf("trace too short: %v s, %d samples", tr.TotalTimeS, len(tr.Samples))
+	}
+	if tr.Samples[0].TimeS != 0 {
+		t.Error("trace should start at t=0")
+	}
+	last := tr.Samples[len(tr.Samples)-1]
+	if math.Abs(last.TimeS-tr.TotalTimeS) > 1e-9 {
+		t.Errorf("last sample at %v, total %v", last.TimeS, tr.TotalTimeS)
+	}
+}
+
+func TestRampFromIdle(t *testing.T) {
+	s := device.H200()
+	r := steadyReport(t)
+	tr := Record(s, r, 100000)
+	first := tr.Samples[0].Watts
+	if math.Abs(first-s.IdleWatts) > s.IdleWatts*0.05 {
+		t.Errorf("trace starts at %v W, want ≈ idle %v W", first, s.IdleWatts)
+	}
+	// Steady state approaches the report's average power within the ripple.
+	mid := tr.Samples[len(tr.Samples)/2].Watts
+	if math.Abs(mid-r.AvgPower) > r.AvgPower*0.05 {
+		t.Errorf("steady power %v, want ≈ %v", mid, r.AvgPower)
+	}
+}
+
+func TestPowerNeverExceedsTDP(t *testing.T) {
+	for _, s := range device.All() {
+		rep := sim.Run(s, sim.Profile{
+			TensorFLOPs: 1e13, VectorFLOPs: 1e13, DRAMBytes: 1e12,
+			L1Bytes: 1e13, Launches: 1,
+			Eff: sim.Efficiency{Tensor: 1, Vector: 1, DRAM: 1, L1: 1},
+		})
+		tr := Record(s, rep, 50000)
+		if tr.PeakPower() > s.TDPWatts {
+			t.Errorf("%s: peak %v exceeds TDP %v", s.Name, tr.PeakPower(), s.TDPWatts)
+		}
+	}
+}
+
+func TestEnergyAndAverageConsistent(t *testing.T) {
+	s := device.H200()
+	tr := Record(s, steadyReport(t), 50000)
+	e := tr.Energy()
+	avg := tr.AveragePower()
+	if math.Abs(e-avg*tr.TotalTimeS) > 1e-9*e {
+		t.Error("Energy != AvgPower × time")
+	}
+	if avg < s.IdleWatts*0.9 || avg > s.TDPWatts {
+		t.Errorf("average power %v implausible", avg)
+	}
+}
+
+func TestEDPDefinition(t *testing.T) {
+	tr := Record(device.H200(), steadyReport(t), 20000)
+	want := tr.AveragePower() * tr.TotalTimeS * tr.TotalTimeS
+	if math.Abs(tr.EDP()-want) > 1e-9*want {
+		t.Errorf("EDP %v != %v", tr.EDP(), want)
+	}
+}
+
+func TestRecordDeterministic(t *testing.T) {
+	s := device.A100()
+	r := sim.Run(s, sim.Profile{VectorFLOPs: 1e12, DRAMBytes: 1e11, Launches: 1})
+	a := Record(s, r, 1000)
+	b := Record(s, r, 1000)
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatal("nondeterministic sample count")
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatal("nondeterministic trace")
+		}
+	}
+}
+
+func TestRecordCapsSampleCount(t *testing.T) {
+	s := device.H200()
+	r := steadyReport(t)
+	tr := Record(s, r, 100000000) // enormous loop
+	if len(tr.Samples) > 20002 {
+		t.Fatalf("sample cap not applied: %d samples", len(tr.Samples))
+	}
+}
+
+func TestRecordMinimumOneRepeat(t *testing.T) {
+	s := device.H200()
+	r := steadyReport(t)
+	tr := Record(s, r, 0)
+	if tr.TotalTimeS != r.Time {
+		t.Errorf("repeats<1 should clamp to 1: total %v, want %v", tr.TotalTimeS, r.Time)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("Geomean(2,8) = %v, want 4", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Errorf("Geomean(nil) = %v, want 0", g)
+	}
+	if g := Geomean([]float64{1, 0, 2}); g != 0 {
+		t.Errorf("Geomean with zero = %v, want 0", g)
+	}
+	if g := Geomean([]float64{5}); math.Abs(g-5) > 1e-12 {
+		t.Errorf("Geomean(5) = %v, want 5", g)
+	}
+}

@@ -1,0 +1,93 @@
+// Package roofline implements the cache-aware roofline model of Section 9
+// (Figure 9): DRAM- and L1-bandwidth ceilings together with the FP64 peak
+// lines of the tensor and CUDA cores, and the (arithmetic intensity,
+// achieved performance) points of every workload variant.
+package roofline
+
+import (
+	"math"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+// Model is the cache-aware roofline for one device.
+type Model struct {
+	Spec device.Spec
+}
+
+// New builds the roofline model for a device. The paper computes the L1
+// bandwidth as BW_L1 = N_SM × N_LSU × W_access × f_clock and takes the DRAM
+// bandwidth from the whitepaper; here both come from the device spec.
+func New(s device.Spec) Model { return Model{Spec: s} }
+
+// TensorCeiling returns the attainable FP64 tensor performance (TFLOPS) at
+// arithmetic intensity ai (FLOPs per DRAM byte).
+func (m Model) TensorCeiling(ai float64) float64 {
+	return math.Min(m.Spec.TensorFP64, ai*m.Spec.DRAMBWTBs)
+}
+
+// CUDACeiling returns the attainable FP64 CUDA-core performance at ai.
+func (m Model) CUDACeiling(ai float64) float64 {
+	return math.Min(m.Spec.CUDAFP64, ai*m.Spec.DRAMBWTBs)
+}
+
+// L1Ceiling returns the L1-bandwidth roof at L1-level intensity ai
+// (FLOPs per L1 byte) — the cache-aware extension of Figure 9.
+func (m Model) L1Ceiling(ai float64) float64 {
+	return math.Min(m.Spec.TensorFP64, ai*m.Spec.L1BWTBs)
+}
+
+// RidgeTensor returns the DRAM arithmetic intensity where the tensor peak
+// meets the DRAM roof.
+func (m Model) RidgeTensor() float64 { return m.Spec.TensorFP64 / m.Spec.DRAMBWTBs }
+
+// RidgeCUDA returns the DRAM arithmetic intensity where the CUDA peak meets
+// the DRAM roof.
+func (m Model) RidgeCUDA() float64 { return m.Spec.CUDAFP64 / m.Spec.DRAMBWTBs }
+
+// Point is one workload-variant marker of Figure 9.
+type Point struct {
+	Workload  string
+	Variant   string
+	Intensity float64 // FP64 FLOPs per DRAM byte
+	L1Int     float64 // FP64 FLOPs per L1 byte
+	TFLOPS    float64 // achieved (modeled) performance on issued FLOPs
+	Bound     string  // "compute" or "memory" per the model's ridge
+}
+
+// Place computes the roofline point of a profile on the model's device. The
+// y-coordinate is the issued-FLOP throughput (tensor + vector FLOPs over
+// modeled time), matching how the paper plots its kernels.
+func (m Model) Place(name, variant string, p sim.Profile) Point {
+	r := sim.Run(m.Spec, p)
+	flops := p.TensorFLOPs + p.VectorFLOPs
+	pt := Point{
+		Workload:  name,
+		Variant:   variant,
+		Intensity: p.ArithmeticIntensity(),
+		L1Int:     p.L1Intensity(),
+		TFLOPS:    flops / r.Time / 1e12,
+	}
+	if pt.Intensity >= m.RidgeTensor() {
+		pt.Bound = "compute"
+	} else {
+		pt.Bound = "memory"
+	}
+	return pt
+}
+
+// Ceilings samples the roofline curves over a log-spaced intensity range
+// for plotting: returns (intensity, tensorRoof, cudaRoof) triples.
+func (m Model) Ceilings(from, to float64, n int) [][3]float64 {
+	if n < 2 || from <= 0 || to <= from {
+		return nil
+	}
+	out := make([][3]float64, 0, n)
+	logFrom, logTo := math.Log10(from), math.Log10(to)
+	for i := 0; i < n; i++ {
+		ai := math.Pow(10, logFrom+(logTo-logFrom)*float64(i)/float64(n-1))
+		out = append(out, [3]float64{ai, m.TensorCeiling(ai), m.CUDACeiling(ai)})
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package roofline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+func TestCeilings(t *testing.T) {
+	m := New(device.H200())
+	// Far right: compute-bound at the peaks.
+	if c := m.TensorCeiling(1e6); c != 66.9 {
+		t.Errorf("tensor ceiling = %v, want 66.9", c)
+	}
+	if c := m.CUDACeiling(1e6); c != 33.5 {
+		t.Errorf("CUDA ceiling = %v, want 33.5", c)
+	}
+	// Far left: bandwidth-bound, slope = DRAM BW.
+	if c := m.TensorCeiling(1); math.Abs(c-4.0) > 1e-12 {
+		t.Errorf("tensor ceiling at AI=1 is %v, want 4.0", c)
+	}
+	// Ridge points.
+	if r := m.RidgeTensor(); math.Abs(r-66.9/4.0) > 1e-12 {
+		t.Errorf("tensor ridge = %v", r)
+	}
+	if m.RidgeCUDA() >= m.RidgeTensor() {
+		t.Error("CUDA ridge should sit left of the tensor ridge")
+	}
+	if c := m.L1Ceiling(1); math.Abs(c-33.0) > 1e-12 {
+		t.Errorf("L1 ceiling at AI=1 is %v, want 33.0", c)
+	}
+}
+
+func TestPlace(t *testing.T) {
+	m := New(device.H200())
+	memBound := sim.Profile{
+		VectorFLOPs: 1e9, DRAMBytes: 1e10, L1Bytes: 1e9, Launches: 1,
+		Eff: sim.Efficiency{Vector: 0.5, DRAM: 0.8, L1: 0.8},
+	}
+	pt := m.Place("SpMV", "Baseline", memBound)
+	if pt.Bound != "memory" {
+		t.Errorf("AI=0.1 point bound = %s, want memory", pt.Bound)
+	}
+	if pt.Intensity != 0.1 {
+		t.Errorf("intensity = %v", pt.Intensity)
+	}
+	// Achieved performance must sit below the roof at its intensity.
+	if pt.TFLOPS > m.TensorCeiling(pt.Intensity) {
+		t.Errorf("point %v TFLOPS above the roof %v", pt.TFLOPS, m.TensorCeiling(pt.Intensity))
+	}
+
+	compBound := sim.Profile{
+		TensorFLOPs: 1e13, DRAMBytes: 1e10, Launches: 1,
+		Eff: sim.Efficiency{Tensor: 0.6, DRAM: 0.8},
+	}
+	pt2 := m.Place("GEMM", "TC", compBound)
+	if pt2.Bound != "compute" {
+		t.Errorf("AI=1000 point bound = %s, want compute", pt2.Bound)
+	}
+	if pt2.TFLOPS > m.Spec.TensorFP64 {
+		t.Error("achieved above tensor peak")
+	}
+}
+
+func TestCeilingsSampling(t *testing.T) {
+	m := New(device.A100())
+	pts := m.Ceilings(0.01, 100, 50)
+	if len(pts) != 50 {
+		t.Fatalf("%d samples", len(pts))
+	}
+	if pts[0][0] != 0.01 || math.Abs(pts[49][0]-100) > 1e-9 {
+		t.Errorf("range endpoints wrong: %v .. %v", pts[0][0], pts[49][0])
+	}
+	prev := -1.0
+	for _, p := range pts {
+		if p[1] < prev {
+			t.Fatal("tensor roof not monotone")
+		}
+		prev = p[1]
+		if p[2] > p[1] {
+			t.Fatal("CUDA roof above tensor roof")
+		}
+	}
+	if m.Ceilings(1, 0.5, 10) != nil || m.Ceilings(1, 2, 1) != nil {
+		t.Error("invalid ranges should return nil")
+	}
+}

@@ -1,0 +1,36 @@
+package sim
+
+// Calibrated achievable-efficiency presets. These are the only free
+// parameters of the execution model; everything else (FLOPs, bytes,
+// launches) is measured from the kernels' real data structures.
+//
+// The presets encode well-established GPU efficiency classes:
+//
+//   - EffLibrary: vendor-library code paths (cuBLAS, cuFFT, CUB, cuSPARSE
+//     dense paths) that ship with years of tuning.
+//   - EffTuned: carefully hand-tuned research kernels (the Cubie TC
+//     implementations from DASP, tcFFT, LoRaStencil, BerryBees, ...).
+//   - EffModerate: straightforward but regular code.
+//   - EffIrregular: divergent control flow or scattered access (CC-E
+//     essential-only replacements, sparse baselines).
+//   - EffPoor: latency-bound or heavily divergent paths.
+//
+// Individual kernels combine these with small documented adjustments in
+// their profile constructors; grep for "Eff" in internal/kernels to audit
+// every calibration decision.
+const (
+	EffLibrary   = 0.85
+	EffTuned     = 0.70
+	EffModerate  = 0.50
+	EffIrregular = 0.32
+	EffPoor      = 0.20
+)
+
+// Common byte-accounting constants.
+const (
+	BytesF64   = 8
+	BytesF32   = 4
+	BytesIdx   = 4 // 32-bit indices in sparse formats
+	BytesWord  = 8 // one uint64 bitmap word
+	CachelineB = 128
+)

@@ -1,0 +1,298 @@
+// Package sim provides the analytical GPU execution model that converts a
+// kernel's execution profile (operations issued, bytes moved) into time,
+// power, energy, and energy-delay product on a simulated device.
+//
+// The model is the paper's own roofline methodology (Section 9) used as a
+// forward model: execution time is the maximum over per-resource service
+// times (tensor unit, vector unit, bit unit, DRAM, L2, L1, constant cache)
+// plus per-launch overhead. Per-variant achievable-efficiency factors are
+// calibrated once (see calibration.go) against the relative results the
+// paper reports; all other quantities — FLOP counts, byte counts, launch
+// counts — are measured from the real data structures the kernels traverse.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/device"
+)
+
+// Profile records the work one kernel invocation performs. Kernels fill it
+// while they execute their real arithmetic.
+type Profile struct {
+	// Floating-point and bit work.
+	TensorFLOPs float64 // FP64 FLOPs issued as tensor-core MMA instructions
+	VectorFLOPs float64 // FP64 FLOPs issued as CUDA-core (vector) instructions
+	BitOps      float64 // single-bit MMA operations (AND+POPC)
+	IntOps      float64 // integer/address arithmetic on the vector unit
+
+	// Memory traffic in bytes.
+	DRAMBytes  float64 // global-memory traffic that misses all caches
+	L2Bytes    float64 // traffic served by L2
+	L1Bytes    float64 // traffic served by L1/shared memory
+	ConstBytes float64 // constant-cache broadcasts (near-free operand reuse)
+
+	// Launches is the number of kernel launches this invocation needs.
+	Launches int
+
+	// SyncSteps is the length of the kernel's serial dependency chain
+	// (barriers, carry propagation, BFS levels) charged at the device's
+	// per-step synchronization cost. It dominates micro-kernels such as the
+	// Scan/Reduction block primitives.
+	SyncSteps float64
+
+	// Overlap in [0, 1] is how well the variant overlaps its non-bottleneck
+	// resources with the bottleneck (software pipelining, async copies).
+	// Tensor-core kernels with cooperative block loads overlap well; scalar
+	// MMA-replacement code overlaps poorly, which is why the paper's CC
+	// variants lose even on memory-bound kernels (Section 6.2: the gap
+	// "exceeds the ratio between the peak performances"). Zero means
+	// DefaultOverlap.
+	Overlap float64
+
+	// Eff holds the achievable-efficiency factors for this kernel variant.
+	Eff Efficiency
+}
+
+// DefaultOverlap is substituted when Profile.Overlap is unset.
+const DefaultOverlap = 0.85
+
+// Efficiency captures what fraction of each resource's peak a kernel variant
+// can sustain. Values are in (0, 1]; zeros are replaced by DefaultEfficiency
+// at Run time.
+type Efficiency struct {
+	Tensor float64
+	Vector float64
+	Bit    float64
+	DRAM   float64
+	L2     float64
+	L1     float64
+}
+
+// DefaultEfficiency is substituted for unset (zero) efficiency fields.
+const DefaultEfficiency = 0.5
+
+// Add accumulates another profile's work into p (used when a workload is
+// composed of several sub-kernels). Efficiency fields are not summed; the
+// caller owns them.
+func (p *Profile) Add(q Profile) {
+	p.TensorFLOPs += q.TensorFLOPs
+	p.VectorFLOPs += q.VectorFLOPs
+	p.BitOps += q.BitOps
+	p.IntOps += q.IntOps
+	p.DRAMBytes += q.DRAMBytes
+	p.L2Bytes += q.L2Bytes
+	p.L1Bytes += q.L1Bytes
+	p.ConstBytes += q.ConstBytes
+	p.Launches += q.Launches
+	p.SyncSteps += q.SyncSteps
+}
+
+// Scale multiplies all work fields by f (used to extrapolate a measured
+// block to the full problem when a kernel samples representative blocks).
+func (p *Profile) Scale(f float64) {
+	p.TensorFLOPs *= f
+	p.VectorFLOPs *= f
+	p.BitOps *= f
+	p.IntOps *= f
+	p.DRAMBytes *= f
+	p.L2Bytes *= f
+	p.L1Bytes *= f
+	p.ConstBytes *= f
+	p.SyncSteps *= f
+	p.Launches = int(math.Ceil(float64(p.Launches) * f))
+}
+
+// ArithmeticIntensity returns FP64 FLOPs per DRAM byte, the x-axis of the
+// cache-aware roofline (Figure 9).
+func (p Profile) ArithmeticIntensity() float64 {
+	if p.DRAMBytes == 0 {
+		return math.Inf(1)
+	}
+	return (p.TensorFLOPs + p.VectorFLOPs) / p.DRAMBytes
+}
+
+// L1Intensity returns FP64 FLOPs per L1 byte, the cache-level intensity used
+// by the cache-aware roofline.
+func (p Profile) L1Intensity() float64 {
+	if p.L1Bytes == 0 {
+		return math.Inf(1)
+	}
+	return (p.TensorFLOPs + p.VectorFLOPs) / p.L1Bytes
+}
+
+// Validate reports an error if the profile is structurally impossible.
+func (p Profile) Validate() error {
+	for name, v := range map[string]float64{
+		"TensorFLOPs": p.TensorFLOPs, "VectorFLOPs": p.VectorFLOPs,
+		"BitOps": p.BitOps, "IntOps": p.IntOps,
+		"DRAMBytes": p.DRAMBytes, "L2Bytes": p.L2Bytes,
+		"L1Bytes": p.L1Bytes, "ConstBytes": p.ConstBytes,
+	} {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("sim: profile field %s = %v is invalid", name, v)
+		}
+	}
+	if p.Launches < 0 {
+		return fmt.Errorf("sim: negative launch count %d", p.Launches)
+	}
+	if p.SyncSteps < 0 || math.IsNaN(p.SyncSteps) {
+		return fmt.Errorf("sim: invalid sync steps %v", p.SyncSteps)
+	}
+	if p.Overlap < 0 || p.Overlap > 1 {
+		return fmt.Errorf("sim: overlap %v outside [0,1]", p.Overlap)
+	}
+	for name, v := range map[string]float64{
+		"Tensor": p.Eff.Tensor, "Vector": p.Eff.Vector, "Bit": p.Eff.Bit,
+		"DRAM": p.Eff.DRAM, "L2": p.Eff.L2, "L1": p.Eff.L1,
+	} {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("sim: efficiency %s = %v outside [0,1]", name, v)
+		}
+	}
+	return nil
+}
+
+// Breakdown holds the per-resource service times (seconds) behind a Report.
+type Breakdown struct {
+	Tensor, Vector, Bit float64
+	DRAM, L2, L1, Const float64
+	Launch, Sync        float64
+}
+
+// Report is the simulated outcome of executing a profile on a device.
+type Report struct {
+	Device     string
+	Time       float64 // seconds for one invocation
+	Breakdown  Breakdown
+	Bottleneck string  // name of the dominant resource
+	AvgPower   float64 // watts, steady-state while the kernel runs
+	Energy     float64 // joules for one invocation
+	EDP        float64 // energy-delay product: AvgPower × Time² (J·s)
+
+	// Utilization per resource in [0, 1] (service time / total time).
+	UtilTensor, UtilVector, UtilBit, UtilDRAM, UtilL1 float64
+}
+
+// Run executes the analytical model for one kernel invocation of profile p
+// on device spec s.
+func Run(s device.Spec, p Profile) Report {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	eff := p.Eff
+	for _, f := range []*float64{&eff.Tensor, &eff.Vector, &eff.Bit, &eff.DRAM, &eff.L2, &eff.L1} {
+		if *f == 0 {
+			*f = DefaultEfficiency
+		}
+	}
+
+	overlap := p.Overlap
+	if overlap == 0 {
+		overlap = DefaultOverlap
+	}
+
+	const tera = 1e12
+	b := Breakdown{
+		Tensor: p.TensorFLOPs / (s.TensorFP64 * tera * eff.Tensor),
+		Bit:    p.BitOps / (s.TensorBit * tera * eff.Bit),
+		DRAM:   p.DRAMBytes / (s.DRAMBWTBs * tera * eff.DRAM),
+		L2:     p.L2Bytes / (s.L2BWTBs * tera * eff.L2),
+		L1:     p.L1Bytes / (s.L1BWTBs * tera * eff.L1),
+		Const:  p.ConstBytes / (s.ConstBWTBs * tera),
+		Launch: float64(p.Launches) * s.LaunchOverheadUS * 1e-6,
+		Sync:   p.SyncSteps * syncCostUS(s) * 1e-6,
+	}
+	// Integer work shares the vector pipes with FP64 vector work but at the
+	// (higher) FP32-rate; model it at 2× the FP64 CUDA peak.
+	b.Vector = p.VectorFLOPs/(s.CUDAFP64*tera*eff.Vector) +
+		p.IntOps/(2*s.CUDAFP64*tera*eff.Vector)
+
+	type rt struct {
+		name string
+		t    float64
+	}
+	resources := []rt{
+		{"TensorCore", b.Tensor}, {"CUDACore", b.Vector}, {"BitMMA", b.Bit},
+		{"DRAM", b.DRAM}, {"L2", b.L2}, {"L1", b.L1}, {"Const", b.Const},
+	}
+	busy, sum, bottleneck := 0.0, 0.0, "Launch"
+	for _, r := range resources {
+		sum += r.t
+		if r.t > busy {
+			busy, bottleneck = r.t, r.name
+		}
+	}
+	// The bottleneck resource sets the floor; the remainder of the other
+	// resources' service time is hidden only to the extent the variant
+	// overlaps well.
+	total := busy + (1-overlap)*(sum-busy) + b.Launch + b.Sync
+	if total <= 0 {
+		total = s.LaunchOverheadUS * 1e-6
+	}
+	if b.Launch+b.Sync > busy {
+		bottleneck = "Latency"
+	}
+
+	r := Report{
+		Device:     s.Name,
+		Time:       total,
+		Breakdown:  b,
+		Bottleneck: bottleneck,
+		UtilTensor: clamp01(b.Tensor / total),
+		UtilVector: clamp01(b.Vector / total),
+		UtilBit:    clamp01(b.Bit / total),
+		UtilDRAM:   clamp01(b.DRAM / total),
+		UtilL1:     clamp01(b.L1 / total),
+	}
+	r.AvgPower = PowerAt(s, r.UtilTensor, r.UtilVector, r.UtilBit, r.UtilDRAM, r.UtilL1)
+	r.Energy = r.AvgPower * r.Time
+	r.EDP = r.AvgPower * r.Time * r.Time
+	return r
+}
+
+// Power-model weights: the share of the dynamic power envelope (TDP − idle)
+// each fully-utilized resource consumes. Calibrated against the paper's
+// Figure 8 power traces on H200 (e.g. Stencil TC ≈ 450 W, Scan TC ≈ 244 W,
+// BFS TC ≈ 375 W on a 750 W part).
+const (
+	powerTensorShare = 0.58
+	powerVectorShare = 0.46
+	powerBitShare    = 0.40
+	powerDRAMShare   = 0.34
+	powerL1Share     = 0.10
+)
+
+// PowerAt returns the modeled board power for the given resource
+// utilizations on device s, clamped to the TDP.
+func PowerAt(s device.Spec, uT, uV, uB, uM, uL1 float64) float64 {
+	dyn := powerTensorShare*uT + powerVectorShare*uV + powerBitShare*uB +
+		powerDRAMShare*uM + powerL1Share*uL1
+	p := s.IdleWatts + (s.TDPWatts-s.IdleWatts)*dyn
+	return math.Min(p, s.TDPWatts)
+}
+
+// syncCostUS is the per-dependency-step synchronization latency in
+// microseconds: a barrier plus a shared-memory round trip, cheaper on the
+// newer parts with faster clocks and improved barrier hardware.
+func syncCostUS(s device.Spec) float64 {
+	switch s.Arch {
+	case device.Ampere:
+		return 0.085
+	case device.Hopper:
+		return 0.055
+	default: // Blackwell
+		return 0.050
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

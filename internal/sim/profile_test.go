@@ -1,0 +1,305 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+)
+
+func TestRunComputeBound(t *testing.T) {
+	s := device.H200()
+	p := Profile{
+		TensorFLOPs: 1e12,
+		DRAMBytes:   1e9, // tiny memory traffic
+		Launches:    1,
+		Eff:         Efficiency{Tensor: 1, DRAM: 1},
+	}
+	r := Run(s, p)
+	want := 1e12 / (66.9 * 1e12)
+	if math.Abs(r.Breakdown.Tensor-want)/want > 1e-12 {
+		t.Errorf("tensor time = %v, want %v", r.Breakdown.Tensor, want)
+	}
+	if r.Bottleneck != "TensorCore" {
+		t.Errorf("bottleneck = %s, want TensorCore", r.Bottleneck)
+	}
+	if r.Time <= r.Breakdown.Tensor {
+		t.Error("total time should include launch overhead")
+	}
+}
+
+func TestRunMemoryBound(t *testing.T) {
+	s := device.A100()
+	p := Profile{
+		VectorFLOPs: 1e9,
+		DRAMBytes:   1e12,
+		Launches:    1,
+		Eff:         Efficiency{Vector: 1, DRAM: 0.8},
+	}
+	r := Run(s, p)
+	if r.Bottleneck != "DRAM" {
+		t.Errorf("bottleneck = %s, want DRAM", r.Bottleneck)
+	}
+	want := 1e12 / (1.555 * 1e12 * 0.8)
+	if math.Abs(r.Breakdown.DRAM-want)/want > 1e-12 {
+		t.Errorf("DRAM time = %v, want %v", r.Breakdown.DRAM, want)
+	}
+}
+
+func TestTensorTwiceAsFastAsVector(t *testing.T) {
+	// Same FLOPs, same efficiency: tensor path should be ~2× faster on
+	// H200 and equal on B200 (Table 5 ratio).
+	pT := Profile{TensorFLOPs: 1e13, Launches: 1, Eff: Efficiency{Tensor: 0.7}}
+	pV := Profile{VectorFLOPs: 1e13, Launches: 1, Eff: Efficiency{Vector: 0.7}}
+
+	h := device.H200()
+	ratioH := Run(h, pV).Time / Run(h, pT).Time
+	if ratioH < 1.9 || ratioH > 2.1 {
+		t.Errorf("H200 vector/tensor time ratio = %v, want ≈2", ratioH)
+	}
+	b := device.B200()
+	ratioB := Run(b, pV).Time / Run(b, pT).Time
+	if ratioB < 0.95 || ratioB > 1.05 {
+		t.Errorf("B200 vector/tensor time ratio = %v, want ≈1", ratioB)
+	}
+}
+
+func TestLaunchOverheadDominatesTinyKernels(t *testing.T) {
+	s := device.H200()
+	p := Profile{TensorFLOPs: 1e3, DRAMBytes: 1e3, Launches: 1,
+		Eff: Efficiency{Tensor: 1, DRAM: 1}}
+	r := Run(s, p)
+	if r.Bottleneck != "Latency" {
+		t.Errorf("bottleneck = %s, want Latency", r.Bottleneck)
+	}
+	if r.Time < s.LaunchOverheadUS*1e-6 {
+		t.Error("time below launch overhead")
+	}
+}
+
+func TestOverlapHidesSecondaryResources(t *testing.T) {
+	s := device.H200()
+	base := Profile{
+		TensorFLOPs: 1e11, // secondary
+		DRAMBytes:   1e12, // bottleneck
+		Eff:         Efficiency{Tensor: 1, DRAM: 1},
+	}
+	good, poor := base, base
+	good.Overlap = 1.0
+	poor.Overlap = 0.999 // distinguish explicitly-set from unset
+	poor.Overlap = 0.2
+	tGood := Run(s, good).Time
+	tPoor := Run(s, poor).Time
+	if tPoor <= tGood {
+		t.Fatalf("poor overlap (%v) should be slower than good (%v)", tPoor, tGood)
+	}
+	// Perfect overlap = pure bottleneck time.
+	want := 1e12 / (4.0 * 1e12)
+	if math.Abs(tGood-want)/want > 1e-9 {
+		t.Errorf("fully-overlapped time %v, want %v", tGood, want)
+	}
+	// Zero overlap = sum of resource times.
+	zero := base
+	zero.Overlap = 1e-12 // effectively 0 but not "unset"
+	tZero := Run(s, zero).Time
+	wantZero := 1e12/(4.0*1e12) + 1e11/(66.9*1e12)
+	if math.Abs(tZero-wantZero)/wantZero > 1e-6 {
+		t.Errorf("unoverlapped time %v, want %v", tZero, wantZero)
+	}
+}
+
+func TestSyncStepsCharged(t *testing.T) {
+	s := device.A100()
+	p := Profile{VectorFLOPs: 1e6, SyncSteps: 100}
+	r := Run(s, p)
+	if r.Breakdown.Sync <= 0 {
+		t.Fatal("sync time not charged")
+	}
+	if r.Time < r.Breakdown.Sync {
+		t.Fatal("total time below sync time")
+	}
+	// Sync latency is cheaper on newer architectures.
+	rh := Run(device.H200(), p)
+	if rh.Breakdown.Sync >= r.Breakdown.Sync {
+		t.Error("H200 sync should be cheaper than A100")
+	}
+}
+
+func TestZeroProfileStillHasTime(t *testing.T) {
+	r := Run(device.A100(), Profile{})
+	if r.Time <= 0 {
+		t.Fatal("zero profile must still take positive time")
+	}
+}
+
+func TestDefaultEfficiencySubstitution(t *testing.T) {
+	s := device.H200()
+	p := Profile{TensorFLOPs: 1e12, Launches: 1} // Eff all zero
+	r := Run(s, p)
+	want := 1e12 / (66.9 * 1e12 * DefaultEfficiency)
+	if math.Abs(r.Breakdown.Tensor-want)/want > 1e-12 {
+		t.Errorf("default efficiency not applied: %v vs %v", r.Breakdown.Tensor, want)
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	bad := []Profile{
+		{TensorFLOPs: -1},
+		{DRAMBytes: math.NaN()},
+		{Launches: -1},
+		{Eff: Efficiency{Tensor: 1.5}},
+		{Eff: Efficiency{DRAM: -0.1}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	if err := (Profile{TensorFLOPs: 1, Launches: 2}).Validate(); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+}
+
+func TestRunPanicsOnInvalidProfile(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run did not panic on invalid profile")
+		}
+	}()
+	Run(device.A100(), Profile{TensorFLOPs: -5})
+}
+
+func TestAddAndScale(t *testing.T) {
+	p := Profile{TensorFLOPs: 1, VectorFLOPs: 2, BitOps: 3, IntOps: 4,
+		DRAMBytes: 5, L2Bytes: 6, L1Bytes: 7, ConstBytes: 8, Launches: 1}
+	q := p
+	p.Add(q)
+	if p.TensorFLOPs != 2 || p.ConstBytes != 16 || p.Launches != 2 {
+		t.Fatalf("Add wrong: %+v", p)
+	}
+	p.Scale(0.5)
+	if p.TensorFLOPs != 1 || p.DRAMBytes != 5 || p.Launches != 1 {
+		t.Fatalf("Scale wrong: %+v", p)
+	}
+}
+
+func TestArithmeticIntensity(t *testing.T) {
+	p := Profile{TensorFLOPs: 100, VectorFLOPs: 50, DRAMBytes: 75, L1Bytes: 300}
+	if ai := p.ArithmeticIntensity(); ai != 2 {
+		t.Errorf("AI = %v, want 2", ai)
+	}
+	if l1 := p.L1Intensity(); l1 != 0.5 {
+		t.Errorf("L1 intensity = %v, want 0.5", l1)
+	}
+	if !math.IsInf(Profile{TensorFLOPs: 1}.ArithmeticIntensity(), 1) {
+		t.Error("zero-byte AI should be +Inf")
+	}
+}
+
+func TestPowerModelBounds(t *testing.T) {
+	for _, s := range device.All() {
+		if p := PowerAt(s, 0, 0, 0, 0, 0); p != s.IdleWatts {
+			t.Errorf("%s: idle power = %v, want %v", s.Name, p, s.IdleWatts)
+		}
+		if p := PowerAt(s, 1, 1, 1, 1, 1); p > s.TDPWatts {
+			t.Errorf("%s: power %v exceeds TDP %v", s.Name, p, s.TDPWatts)
+		}
+		if p := PowerAt(s, 0.7, 0, 0, 0.5, 0.2); p <= s.IdleWatts || p >= s.TDPWatts {
+			t.Errorf("%s: mid-utilization power %v not between idle and TDP", s.Name, p)
+		}
+	}
+}
+
+func TestPowerMonotonicInUtilization(t *testing.T) {
+	s := device.H200()
+	prev := -1.0
+	for u := 0.0; u <= 1.0; u += 0.1 {
+		p := PowerAt(s, u, 0, 0, u/2, 0)
+		if p < prev {
+			t.Fatalf("power not monotone at u=%v", u)
+		}
+		prev = p
+	}
+}
+
+func TestEDPDefinition(t *testing.T) {
+	r := Run(device.H200(), Profile{TensorFLOPs: 1e13, DRAMBytes: 1e10, Launches: 1,
+		Eff: Efficiency{Tensor: 0.7, DRAM: 0.7}})
+	if math.Abs(r.EDP-r.AvgPower*r.Time*r.Time) > 1e-15 {
+		t.Errorf("EDP %v != P·t² %v", r.EDP, r.AvgPower*r.Time*r.Time)
+	}
+	if math.Abs(r.Energy-r.AvgPower*r.Time) > 1e-15 {
+		t.Error("Energy != P·t")
+	}
+}
+
+func TestUtilizationInRange(t *testing.T) {
+	r := Run(device.B200(), Profile{
+		TensorFLOPs: 1e12, VectorFLOPs: 1e11, BitOps: 1e10,
+		DRAMBytes: 1e11, L1Bytes: 1e12, Launches: 10,
+	})
+	for name, u := range map[string]float64{
+		"tensor": r.UtilTensor, "vector": r.UtilVector, "bit": r.UtilBit,
+		"dram": r.UtilDRAM, "l1": r.UtilL1,
+	} {
+		if u < 0 || u > 1 {
+			t.Errorf("%s utilization %v out of range", name, u)
+		}
+	}
+}
+
+func TestHigherBandwidthDeviceFasterOnMemoryBound(t *testing.T) {
+	p := Profile{VectorFLOPs: 1e9, DRAMBytes: 1e12, Launches: 1,
+		Eff: Efficiency{DRAM: 0.8, Vector: 0.8}}
+	tA := Run(device.A100(), p).Time
+	tH := Run(device.H200(), p).Time
+	tB := Run(device.B200(), p).Time
+	if !(tB < tH && tH < tA) {
+		t.Errorf("memory-bound ordering wrong: A100 %v, H200 %v, B200 %v", tA, tH, tB)
+	}
+}
+
+func TestTimeMonotoneInWork(t *testing.T) {
+	// Property: adding work never reduces modeled time.
+	f := func(flops, bytes uint32) bool {
+		s := device.H200()
+		base := Profile{TensorFLOPs: 1e9, DRAMBytes: 1e9, Launches: 1,
+			Eff: Efficiency{Tensor: 0.6, DRAM: 0.8}}
+		more := base
+		more.TensorFLOPs += float64(flops)
+		more.DRAMBytes += float64(bytes)
+		return Run(s, more).Time >= Run(s, base).Time-1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeMonotoneInEfficiency(t *testing.T) {
+	s := device.A100()
+	prev := math.Inf(1)
+	for eff := 0.1; eff <= 1.0; eff += 0.1 {
+		p := Profile{TensorFLOPs: 1e12, Launches: 1,
+			Eff: Efficiency{Tensor: eff, DRAM: 1}}
+		tm := Run(s, p).Time
+		if tm > prev+1e-15 {
+			t.Fatalf("time not monotone in efficiency at %v", eff)
+		}
+		prev = tm
+	}
+}
+
+func TestOverlapMonotone(t *testing.T) {
+	s := device.H200()
+	prev := math.Inf(1)
+	for ov := 0.1; ov <= 1.0; ov += 0.1 {
+		p := Profile{TensorFLOPs: 1e12, DRAMBytes: 1e11, Launches: 1,
+			Overlap: ov, Eff: Efficiency{Tensor: 0.5, DRAM: 0.5}}
+		tm := Run(s, p).Time
+		if tm > prev+1e-15 {
+			t.Fatalf("time not monotone in overlap at %v", ov)
+		}
+		prev = tm
+	}
+}

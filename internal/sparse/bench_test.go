@@ -1,0 +1,33 @@
+package sparse
+
+import "testing"
+
+func BenchmarkToDASP(b *testing.B) {
+	m, err := Synthesize("spmsrts")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ToDASP(m)
+	}
+}
+
+func BenchmarkToMBSR(b *testing.B) {
+	m, err := Synthesize("spmsrts")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ToMBSR(m)
+	}
+}
+
+func BenchmarkSynthesizeQCD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Synthesize("conf5_4-8x8-10"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

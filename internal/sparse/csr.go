@@ -1,0 +1,140 @@
+// Package sparse provides the sparse-matrix formats the Cubie kernels use —
+// CSR, COO, the mBSR blocked format of AmgT SpGEMM, and the DASP row-grouping
+// layout — together with synthetic generators that reproduce the structural
+// classes of the SuiteSparse matrices in the paper's Table 4.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is a compressed-sparse-row FP64 matrix.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int     // length Rows+1
+	ColIdx     []int32   // length NNZ, ascending within each row
+	Vals       []float64 // length NNZ
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSR) NNZ() int { return len(m.ColIdx) }
+
+// RowNNZ returns the number of nonzeros in row i.
+func (m *CSR) RowNNZ(i int) int { return m.RowPtr[i+1] - m.RowPtr[i] }
+
+// Validate checks structural invariants: monotone row pointers, in-range and
+// sorted column indices.
+func (m *CSR) Validate() error {
+	if len(m.RowPtr) != m.Rows+1 {
+		return fmt.Errorf("sparse: RowPtr length %d, want %d", len(m.RowPtr), m.Rows+1)
+	}
+	if m.RowPtr[0] != 0 || m.RowPtr[m.Rows] != len(m.ColIdx) {
+		return fmt.Errorf("sparse: RowPtr endpoints %d..%d, want 0..%d",
+			m.RowPtr[0], m.RowPtr[m.Rows], len(m.ColIdx))
+	}
+	if len(m.Vals) != len(m.ColIdx) {
+		return fmt.Errorf("sparse: %d values for %d indices", len(m.Vals), len(m.ColIdx))
+	}
+	for i := 0; i < m.Rows; i++ {
+		if m.RowPtr[i] > m.RowPtr[i+1] {
+			return fmt.Errorf("sparse: RowPtr not monotone at row %d", i)
+		}
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			c := int(m.ColIdx[k])
+			if c < 0 || c >= m.Cols {
+				return fmt.Errorf("sparse: row %d col %d out of range", i, c)
+			}
+			if k > m.RowPtr[i] && m.ColIdx[k] <= m.ColIdx[k-1] {
+				return fmt.Errorf("sparse: row %d columns not strictly ascending", i)
+			}
+		}
+	}
+	return nil
+}
+
+// At returns element (i, j), or 0 if it is not stored.
+func (m *CSR) At(i, j int) float64 {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	k := lo + sort.Search(hi-lo, func(k int) bool { return m.ColIdx[lo+k] >= int32(j) })
+	if k < hi && m.ColIdx[k] == int32(j) {
+		return m.Vals[k]
+	}
+	return 0
+}
+
+// COO is a coordinate-format builder for sparse matrices.
+type COO struct {
+	Rows, Cols int
+	I, J       []int32
+	V          []float64
+}
+
+// NewCOO returns an empty builder for a Rows×Cols matrix.
+func NewCOO(rows, cols int) *COO { return &COO{Rows: rows, Cols: cols} }
+
+// Add appends entry (i, j, v). Duplicate coordinates are summed by ToCSR.
+func (c *COO) Add(i, j int, v float64) {
+	c.I = append(c.I, int32(i))
+	c.J = append(c.J, int32(j))
+	c.V = append(c.V, v)
+}
+
+// ToCSR converts to CSR, sorting entries and summing duplicates.
+func (c *COO) ToCSR() *CSR {
+	type key struct{ i, j int32 }
+	// Sort by (row, col) via index permutation.
+	perm := make([]int, len(c.I))
+	for k := range perm {
+		perm[k] = k
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		ka, kb := perm[a], perm[b]
+		if c.I[ka] != c.I[kb] {
+			return c.I[ka] < c.I[kb]
+		}
+		return c.J[ka] < c.J[kb]
+	})
+	m := &CSR{Rows: c.Rows, Cols: c.Cols, RowPtr: make([]int, c.Rows+1)}
+	var last key
+	first := true
+	for _, k := range perm {
+		cur := key{c.I[k], c.J[k]}
+		if !first && cur == last {
+			m.Vals[len(m.Vals)-1] += c.V[k]
+			continue
+		}
+		first, last = false, cur
+		m.ColIdx = append(m.ColIdx, c.J[k])
+		m.Vals = append(m.Vals, c.V[k])
+		m.RowPtr[cur.i+1]++
+	}
+	for i := 0; i < c.Rows; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	return m
+}
+
+// Transpose returns mᵀ in CSR form.
+func (m *CSR) Transpose() *CSR {
+	t := &CSR{Rows: m.Cols, Cols: m.Rows, RowPtr: make([]int, m.Cols+1)}
+	for _, j := range m.ColIdx {
+		t.RowPtr[j+1]++
+	}
+	for i := 0; i < t.Rows; i++ {
+		t.RowPtr[i+1] += t.RowPtr[i]
+	}
+	t.ColIdx = make([]int32, m.NNZ())
+	t.Vals = make([]float64, m.NNZ())
+	next := append([]int(nil), t.RowPtr[:t.Rows]...)
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			j := m.ColIdx[k]
+			p := next[j]
+			next[j]++
+			t.ColIdx[p] = int32(i)
+			t.Vals[p] = m.Vals[k]
+		}
+	}
+	return t
+}

@@ -1,0 +1,139 @@
+package sparse
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lcg"
+)
+
+func smallCSR(t *testing.T) *CSR {
+	t.Helper()
+	coo := NewCOO(3, 4)
+	coo.Add(0, 1, 2)
+	coo.Add(0, 3, 4)
+	coo.Add(1, 0, 1)
+	coo.Add(2, 2, 3)
+	m := coo.ToCSR()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCOOToCSR(t *testing.T) {
+	m := smallCSR(t)
+	if m.NNZ() != 4 {
+		t.Fatalf("NNZ = %d, want 4", m.NNZ())
+	}
+	if m.At(0, 1) != 2 || m.At(0, 3) != 4 || m.At(1, 0) != 1 || m.At(2, 2) != 3 {
+		t.Fatal("values misplaced")
+	}
+	if m.At(0, 0) != 0 || m.At(2, 3) != 0 {
+		t.Fatal("missing entries should read 0")
+	}
+	if m.RowNNZ(0) != 2 || m.RowNNZ(1) != 1 || m.RowNNZ(2) != 1 {
+		t.Fatal("row counts wrong")
+	}
+}
+
+func TestCOODuplicatesSummed(t *testing.T) {
+	coo := NewCOO(2, 2)
+	coo.Add(1, 1, 1.5)
+	coo.Add(1, 1, 2.5)
+	coo.Add(0, 0, 1)
+	m := coo.ToCSR()
+	if m.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2 after duplicate merge", m.NNZ())
+	}
+	if m.At(1, 1) != 4 {
+		t.Fatalf("At(1,1) = %v, want 4", m.At(1, 1))
+	}
+}
+
+func TestCOOUnsortedInput(t *testing.T) {
+	coo := NewCOO(3, 3)
+	coo.Add(2, 0, 1)
+	coo.Add(0, 2, 2)
+	coo.Add(1, 1, 3)
+	coo.Add(0, 0, 4)
+	m := coo.ToCSR()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 4 || m.At(0, 2) != 2 || m.At(1, 1) != 3 || m.At(2, 0) != 1 {
+		t.Fatal("unsorted COO converted wrong")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	m := smallCSR(t)
+	m.ColIdx[0] = 99 // out of range
+	if err := m.Validate(); err == nil {
+		t.Error("out-of-range column not caught")
+	}
+	m = smallCSR(t)
+	m.RowPtr[1] = 5 // non-monotone / bad endpoint
+	if err := m.Validate(); err == nil {
+		t.Error("bad RowPtr not caught")
+	}
+	m = smallCSR(t)
+	m.Vals = m.Vals[:2]
+	if err := m.Validate(); err == nil {
+		t.Error("val/idx length mismatch not caught")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	g := lcg.New(5)
+	coo := NewCOO(16, 12)
+	for k := 0; k < 60; k++ {
+		coo.Add(g.Intn(16), g.Intn(12), g.Symmetric())
+	}
+	m := coo.ToCSR()
+	tt := m.Transpose().Transpose()
+	if err := tt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tt.Rows != m.Rows || tt.Cols != m.Cols || tt.NNZ() != m.NNZ() {
+		t.Fatal("double transpose changed shape")
+	}
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			j := int(m.ColIdx[k])
+			if tt.At(i, j) != m.Vals[k] {
+				t.Fatalf("double transpose changed (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeMovesEntries(t *testing.T) {
+	m := smallCSR(t)
+	tr := m.Transpose()
+	if tr.Rows != 4 || tr.Cols != 3 {
+		t.Fatal("transpose shape wrong")
+	}
+	if tr.At(1, 0) != 2 || tr.At(3, 0) != 4 || tr.At(0, 1) != 1 {
+		t.Fatal("transpose values wrong")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposePreservesNNZProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := lcg.New(seed)
+		coo := NewCOO(20, 20)
+		n := 1 + g.Intn(100)
+		for k := 0; k < n; k++ {
+			coo.Add(g.Intn(20), g.Intn(20), 1)
+		}
+		m := coo.ToCSR()
+		return m.Transpose().NNZ() == m.NNZ() && m.Transpose().Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,145 @@
+package sparse
+
+// DASP row-group layout (Lu & Liu, SC '23): rows are classified by nonzero
+// count into long / medium / short categories and packed into 8-row blocks
+// whose nonzeros are organized as 8×4 segments — the A operand of the FP64
+// m8n8k4 MMA. The companion 4×8 B operand is built at SpMV time by gathering
+// x values so that row i's partial dot product lands on the diagonal C(i,i).
+const (
+	DASPRowsPerBlock = 8 // lanes (matrix rows) per block
+	DASPSegWidth     = 4 // nonzeros consumed per row per MMA
+)
+
+// RowCategory classifies a row by its nonzero count.
+type RowCategory int
+
+// DASP's three row categories.
+const (
+	ShortRow  RowCategory = iota // ≤ 4 nonzeros: one segment
+	MediumRow                    // ≤ 64 nonzeros: a few segments
+	LongRow                      // split across lanes and reduced
+)
+
+// Categorize returns the DASP category for a row with nnz nonzeros.
+func Categorize(nnz int) RowCategory {
+	switch {
+	case nnz <= DASPSegWidth:
+		return ShortRow
+	case nnz <= 64:
+		return MediumRow
+	default:
+		return LongRow
+	}
+}
+
+// DASPSegment is one 8×4 slice of packed nonzeros: Vals[i][k] is the k-th
+// payload of lane i, drawn from column Cols[i][k]. Padding entries have
+// value 0 and column 0 (a harmless gather).
+type DASPSegment struct {
+	Vals [DASPRowsPerBlock][DASPSegWidth]float64
+	Cols [DASPRowsPerBlock][DASPSegWidth]int32
+}
+
+// DASPBlock packs 8 lanes of work. For short/medium blocks each lane is one
+// matrix row; for long blocks all 8 lanes are chunks of the same row and the
+// diagonal results are summed at the end.
+type DASPBlock struct {
+	Category RowCategory
+	// RowOf maps lane → original matrix row (-1 for an unused lane).
+	RowOf    [DASPRowsPerBlock]int32
+	Segments []DASPSegment
+}
+
+// DASP is the complete packed layout for one sparse matrix.
+type DASP struct {
+	Rows, Cols int
+	NNZ        int
+	Blocks     []DASPBlock
+	// PaddedSlots counts total lane-slot payload positions including padding
+	// (8·4·segments·blocks); NNZ/PaddedSlots is the MMA input utilization.
+	PaddedSlots int
+}
+
+// ToDASP builds the DASP layout from a CSR matrix.
+func ToDASP(m *CSR) *DASP {
+	d := &DASP{Rows: m.Rows, Cols: m.Cols, NNZ: m.NNZ()}
+
+	var short, medium, long []int32
+	for i := 0; i < m.Rows; i++ {
+		switch Categorize(m.RowNNZ(i)) {
+		case ShortRow:
+			short = append(short, int32(i))
+		case MediumRow:
+			medium = append(medium, int32(i))
+		default:
+			long = append(long, int32(i))
+		}
+	}
+
+	packGroup := func(rows []int32, cat RowCategory) {
+		for start := 0; start < len(rows); start += DASPRowsPerBlock {
+			end := start + DASPRowsPerBlock
+			if end > len(rows) {
+				end = len(rows)
+			}
+			blk := DASPBlock{Category: cat}
+			maxSegs := 0
+			for l := range blk.RowOf {
+				blk.RowOf[l] = -1
+			}
+			for l, r := range rows[start:end] {
+				blk.RowOf[l] = r
+				segs := (m.RowNNZ(int(r)) + DASPSegWidth - 1) / DASPSegWidth
+				if segs > maxSegs {
+					maxSegs = segs
+				}
+			}
+			blk.Segments = make([]DASPSegment, maxSegs)
+			for l, r := range rows[start:end] {
+				lo := m.RowPtr[r]
+				n := m.RowNNZ(int(r))
+				for k := 0; k < n; k++ {
+					seg, slot := k/DASPSegWidth, k%DASPSegWidth
+					blk.Segments[seg].Vals[l][slot] = m.Vals[lo+k]
+					blk.Segments[seg].Cols[l][slot] = m.ColIdx[lo+k]
+				}
+			}
+			d.Blocks = append(d.Blocks, blk)
+			d.PaddedSlots += maxSegs * DASPRowsPerBlock * DASPSegWidth
+		}
+	}
+	packGroup(short, ShortRow)
+	packGroup(medium, MediumRow)
+
+	// Long rows: all 8 lanes carry disjoint chunks of one row.
+	for _, r := range long {
+		lo, n := m.RowPtr[r], m.RowNNZ(int(r))
+		chunk := (n + DASPRowsPerBlock - 1) / DASPRowsPerBlock
+		segs := (chunk + DASPSegWidth - 1) / DASPSegWidth
+		blk := DASPBlock{Category: LongRow, Segments: make([]DASPSegment, segs)}
+		for l := 0; l < DASPRowsPerBlock; l++ {
+			blk.RowOf[l] = r
+			for k := 0; k < chunk; k++ {
+				idx := l*chunk + k
+				if idx >= n {
+					break
+				}
+				seg, slot := k/DASPSegWidth, k%DASPSegWidth
+				blk.Segments[seg].Vals[l][slot] = m.Vals[lo+idx]
+				blk.Segments[seg].Cols[l][slot] = m.ColIdx[lo+idx]
+			}
+		}
+		d.Blocks = append(d.Blocks, blk)
+		d.PaddedSlots += segs * DASPRowsPerBlock * DASPSegWidth
+	}
+	return d
+}
+
+// InputUtilization returns the fraction of MMA A-operand slots carrying real
+// nonzeros (Observation 2's input-density measure for SpMV).
+func (d *DASP) InputUtilization() float64 {
+	if d.PaddedSlots == 0 {
+		return 0
+	}
+	return float64(d.NNZ) / float64(d.PaddedSlots)
+}

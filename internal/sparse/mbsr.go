@@ -1,0 +1,104 @@
+package sparse
+
+// BlockSize is the mBSR block edge: AmgT partitions sparse matrices into
+// 4×4 dense blocks and pairs vertically adjacent blocks into the 8×4 A
+// operand of the FP64 m8n8k4 MMA.
+const BlockSize = 4
+
+// MBSRBlock is one dense 4×4 block with its block-column coordinate.
+type MBSRBlock struct {
+	BlockCol int32
+	Vals     [BlockSize * BlockSize]float64 // row-major
+}
+
+// MBSR is the modified block-sparse-row format of AmgT: block rows of dense
+// 4×4 blocks, compressed like CSR at block granularity.
+type MBSR struct {
+	Rows, Cols           int // element dimensions
+	BlockRows, BlockCols int
+	RowPtr               []int // length BlockRows+1, indexes Blocks
+	Blocks               []MBSRBlock
+}
+
+// ToMBSR converts a CSR matrix into mBSR with 4×4 blocks. Zero-padding is
+// introduced for elements outside the matrix or absent from the pattern —
+// the data-structure change Key Observation 1 describes.
+func ToMBSR(m *CSR) *MBSR {
+	br := (m.Rows + BlockSize - 1) / BlockSize
+	bc := (m.Cols + BlockSize - 1) / BlockSize
+	out := &MBSR{
+		Rows: m.Rows, Cols: m.Cols,
+		BlockRows: br, BlockCols: bc,
+		RowPtr: make([]int, br+1),
+	}
+	for i := 0; i < br; i++ {
+		// Gather the set of block columns touched by the 4 element rows.
+		touched := map[int32]*MBSRBlock{}
+		var order []int32
+		for di := 0; di < BlockSize; di++ {
+			r := i*BlockSize + di
+			if r >= m.Rows {
+				break
+			}
+			for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+				j := m.ColIdx[k]
+				b := j / BlockSize
+				blk, ok := touched[b]
+				if !ok {
+					blk = &MBSRBlock{BlockCol: b}
+					touched[b] = blk
+					order = append(order, b)
+				}
+				blk.Vals[di*BlockSize+int(j%BlockSize)] = m.Vals[k]
+			}
+		}
+		// Keep block columns sorted for deterministic iteration.
+		for a := 1; a < len(order); a++ {
+			for b := a; b > 0 && order[b] < order[b-1]; b-- {
+				order[b], order[b-1] = order[b-1], order[b]
+			}
+		}
+		for _, b := range order {
+			out.Blocks = append(out.Blocks, *touched[b])
+		}
+		out.RowPtr[i+1] = len(out.Blocks)
+	}
+	return out
+}
+
+// BlockNNZ returns the number of stored 4×4 blocks.
+func (m *MBSR) BlockNNZ() int { return len(m.Blocks) }
+
+// FillRatio returns stored-nonzero density inside the stored blocks — the
+// fraction of MMA input actually carrying payload (Observation 2's partial
+// utilization measure for SpGEMM).
+func (m *MBSR) FillRatio(nnz int) float64 {
+	if len(m.Blocks) == 0 {
+		return 0
+	}
+	return float64(nnz) / float64(len(m.Blocks)*BlockSize*BlockSize)
+}
+
+// ToCSR expands the mBSR matrix back to CSR (explicit zeros dropped).
+func (m *MBSR) ToCSR() *CSR {
+	coo := NewCOO(m.Rows, m.Cols)
+	for i := 0; i < m.BlockRows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			b := &m.Blocks[p]
+			for di := 0; di < BlockSize; di++ {
+				for dj := 0; dj < BlockSize; dj++ {
+					v := b.Vals[di*BlockSize+dj]
+					if v == 0 {
+						continue
+					}
+					r := i*BlockSize + di
+					c := int(b.BlockCol)*BlockSize + dj
+					if r < m.Rows && c < m.Cols {
+						coo.Add(r, c, v)
+					}
+				}
+			}
+		}
+	}
+	return coo.ToCSR()
+}

@@ -1,0 +1,174 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTable4Metadata(t *testing.T) {
+	ds := Table4()
+	if len(ds) != 5 {
+		t.Fatalf("Table 4 has %d entries, want 5", len(ds))
+	}
+	want := map[string][2]int{
+		"spmsrts":        {29995, 229947},
+		"Chevron1":       {37365, 330633},
+		"raefsky3":       {21200, 1488768},
+		"conf5_4-8x8-10": {49152, 1916928},
+		"bcsstk39":       {46772, 2089294},
+	}
+	for _, d := range ds {
+		w, ok := want[d.Name]
+		if !ok {
+			t.Errorf("unexpected matrix %q", d.Name)
+			continue
+		}
+		if d.Rows != w[0] || d.Nonzeros != w[1] {
+			t.Errorf("%s: %d rows / %d nnz, want %d / %d",
+				d.Name, d.Rows, d.Nonzeros, w[0], w[1])
+		}
+	}
+}
+
+func TestSynthesizeMatchesPublishedShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table 4 synthesis in -short mode")
+	}
+	for _, d := range Table4() {
+		m, err := Synthesize(d.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if m.Rows != d.Rows {
+			t.Errorf("%s: %d rows, want exactly %d", d.Name, m.Rows, d.Rows)
+		}
+		rel := math.Abs(float64(m.NNZ()-d.Nonzeros)) / float64(d.Nonzeros)
+		if rel > 0.30 {
+			t.Errorf("%s: %d nnz, want within 30%% of %d (off by %.0f%%)",
+				d.Name, m.NNZ(), d.Nonzeros, rel*100)
+		}
+	}
+}
+
+func TestSynthesizeQCDExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("QCD synthesis in -short mode")
+	}
+	m, err := Synthesize("conf5_4-8x8-10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 1916928 {
+		t.Fatalf("QCD nnz = %d, want exactly 1916928", m.NNZ())
+	}
+	for i := 0; i < m.Rows; i += 1000 {
+		if m.RowNNZ(i) != 39 {
+			t.Fatalf("QCD row %d has %d nnz, want 39", i, m.RowNNZ(i))
+		}
+	}
+}
+
+func TestSynthesizeUnknown(t *testing.T) {
+	if _, err := Synthesize("nope"); err == nil {
+		t.Fatal("expected error for unknown matrix")
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a, _ := Synthesize("spmsrts")
+	b, _ := Synthesize("spmsrts")
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("nondeterministic synthesis")
+	}
+	for k := 0; k < a.NNZ(); k += 997 {
+		if a.Vals[k] != b.Vals[k] || a.ColIdx[k] != b.ColIdx[k] {
+			t.Fatal("nondeterministic values")
+		}
+	}
+}
+
+func TestExtractFeatures(t *testing.T) {
+	m := randomCSR(t, 500, 500, 5000, 41)
+	f := ExtractFeatures(m)
+	if math.Abs(f.AvgRowDegree-float64(m.NNZ())/500) > 1e-12 {
+		t.Errorf("avg degree = %v", f.AvgRowDegree)
+	}
+	if f.LogRows < 2.69 || f.LogRows > 2.71 {
+		t.Errorf("logRows = %v, want ≈2.7", f.LogRows)
+	}
+	if f.RowDegreeCV < 0 {
+		t.Error("negative CV")
+	}
+	if f.MaxAvgRatio < 1 {
+		t.Errorf("max/avg ratio %v < 1", f.MaxAvgRatio)
+	}
+	if f.BandFraction < 0 || f.BandFraction > 1 {
+		t.Errorf("band fraction %v out of [0,1]", f.BandFraction)
+	}
+	if f.BlockFill <= 0 || f.BlockFill > 1 {
+		t.Errorf("block fill %v out of (0,1]", f.BlockFill)
+	}
+	if len(f.Vector()) != len(FeatureNames()) {
+		t.Error("Vector / FeatureNames length mismatch")
+	}
+}
+
+func TestFeatureContrast(t *testing.T) {
+	// A banded matrix must show a much smaller band fraction than a random
+	// one, and a block matrix a higher block fill than a scattered one.
+	g := bandedForTest(t)
+	r := randomCSR(t, 1000, 1000, 8000, 7)
+	fb, fr := ExtractFeatures(g), ExtractFeatures(r)
+	if fb.BandFraction >= fr.BandFraction/4 {
+		t.Errorf("banded band fraction %v not ≪ random %v", fb.BandFraction, fr.BandFraction)
+	}
+}
+
+func bandedForTest(t *testing.T) *CSR {
+	t.Helper()
+	coo := NewCOO(1000, 1000)
+	for i := 0; i < 1000; i++ {
+		for j := i - 2; j <= i+2; j++ {
+			if j >= 0 && j < 1000 {
+				coo.Add(i, j, 1)
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+func TestCorpus(t *testing.T) {
+	c := Corpus(12, 1)
+	if len(c) != 12 {
+		t.Fatalf("corpus size %d, want 12", len(c))
+	}
+	for i, m := range c {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("corpus[%d]: %v", i, err)
+		}
+		if m.NNZ() == 0 {
+			t.Fatalf("corpus[%d] empty", i)
+		}
+	}
+}
+
+func TestCorpusDiversity(t *testing.T) {
+	c := Corpus(8, 2)
+	// Band fractions should differ across classes.
+	var min, max float64 = math.Inf(1), math.Inf(-1)
+	for _, m := range c {
+		f := ExtractFeatures(m)
+		if f.BandFraction < min {
+			min = f.BandFraction
+		}
+		if f.BandFraction > max {
+			max = f.BandFraction
+		}
+	}
+	if max < 4*min {
+		t.Errorf("corpus band fractions too uniform: [%v, %v]", min, max)
+	}
+}

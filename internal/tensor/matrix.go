@@ -1,0 +1,175 @@
+// Package tensor provides the dense FP64 matrix, vector, and tile types that
+// the Cubie kernels operate on. Matrices are stored row-major in a single
+// contiguous slice, matching the global-memory layout assumed by the MMA
+// fragment loaders in package mmu.
+package tensor
+
+import "fmt"
+
+// Matrix is a dense row-major FP64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zeroed Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("tensor: ragged rows")
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add accumulates v into element (i, j).
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Row returns a view of row i (shared storage).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero clears all elements in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Equal reports whether m and n have the same shape and identical elements
+// (exact bit comparison; used to verify TC ≡ CC).
+func (m *Matrix) Equal(n *Matrix) bool {
+	if m.Rows != n.Rows || m.Cols != n.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if v != n.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Tile copies the r0..r0+h, c0..c0+w submatrix into dst (row-major, w stride).
+// Out-of-range elements are zero-filled, matching how kernels pad partial
+// tiles before feeding them to fixed-shape MMA fragments.
+func (m *Matrix) Tile(dst []float64, r0, c0, h, w int) {
+	if len(dst) < h*w {
+		panic("tensor: Tile destination too small")
+	}
+	for i := 0; i < h; i++ {
+		for j := 0; j < w; j++ {
+			r, c := r0+i, c0+j
+			if r >= 0 && r < m.Rows && c >= 0 && c < m.Cols {
+				dst[i*w+j] = m.Data[r*m.Cols+c]
+			} else {
+				dst[i*w+j] = 0
+			}
+		}
+	}
+}
+
+// AddTile accumulates the h×w tile src (row-major, stride w) into the
+// submatrix at (r0, c0), skipping out-of-range elements.
+func (m *Matrix) AddTile(src []float64, r0, c0, h, w int) {
+	for i := 0; i < h; i++ {
+		for j := 0; j < w; j++ {
+			r, c := r0+i, c0+j
+			if r >= 0 && r < m.Rows && c >= 0 && c < m.Cols {
+				m.Data[r*m.Cols+c] += src[i*w+j]
+			}
+		}
+	}
+}
+
+// SetTile overwrites the h×w submatrix at (r0, c0) from src, skipping
+// out-of-range elements.
+func (m *Matrix) SetTile(src []float64, r0, c0, h, w int) {
+	for i := 0; i < h; i++ {
+		for j := 0; j < w; j++ {
+			r, c := r0+i, c0+j
+			if r >= 0 && r < m.Rows && c >= 0 && c < m.Cols {
+				m.Data[r*m.Cols+c] = src[i*w+j]
+			}
+		}
+	}
+}
+
+// Vector is a dense FP64 vector.
+type Vector struct {
+	Data []float64
+}
+
+// NewVector allocates a zeroed length-n vector.
+func NewVector(n int) *Vector { return &Vector{Data: make([]float64, n)} }
+
+// Len returns the vector length.
+func (v *Vector) Len() int { return len(v.Data) }
+
+// Clone returns a deep copy.
+func (v *Vector) Clone() *Vector {
+	c := NewVector(len(v.Data))
+	copy(c.Data, v.Data)
+	return c
+}
+
+// Equal reports exact element-wise equality.
+func (v *Vector) Equal(w *Vector) bool {
+	if len(v.Data) != len(w.Data) {
+		return false
+	}
+	for i, x := range v.Data {
+		if x != w.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ComplexArray stores complex FP64 data in split (planar) form, the layout
+// tcFFT-style kernels use so real and imaginary planes can be fed to
+// independent real-valued MMA operations.
+type ComplexArray struct {
+	Re, Im []float64
+}
+
+// NewComplexArray allocates a zeroed length-n complex array.
+func NewComplexArray(n int) *ComplexArray {
+	return &ComplexArray{Re: make([]float64, n), Im: make([]float64, n)}
+}
+
+// Len returns the number of complex elements.
+func (c *ComplexArray) Len() int { return len(c.Re) }
+
+// Clone returns a deep copy.
+func (c *ComplexArray) Clone() *ComplexArray {
+	d := NewComplexArray(c.Len())
+	copy(d.Re, c.Re)
+	copy(d.Im, c.Im)
+	return d
+}

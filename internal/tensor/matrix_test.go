@@ -1,0 +1,217 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad shape: %+v", m)
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("element %d not zero", i)
+		}
+	}
+}
+
+func TestNewMatrixPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative shape")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestAtSetAdd(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Fatalf("At(1,2) = %v", m.At(1, 2))
+	}
+	m.Add(1, 2, 2.5)
+	if m.At(1, 2) != 7.5 {
+		t.Fatalf("after Add, At(1,2) = %v", m.At(1, 2))
+	}
+	if m.At(0, 0) != 0 {
+		t.Fatal("unrelated element modified")
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("FromRows layout wrong: %v", m.Data)
+	}
+	if e := FromRows(nil); e.Rows != 0 || e.Cols != 0 {
+		t.Fatal("empty FromRows not 0x0")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestRowIsView(t *testing.T) {
+	m := NewMatrix(2, 2)
+	r := m.Row(1)
+	r[0] = 9
+	if m.At(1, 0) != 9 {
+		t.Fatal("Row did not return a view")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 100)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+	if !m.Equal(m.Clone()) {
+		t.Fatal("Clone not equal to original")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{1, 2}})
+	c := FromRows([][]float64{{1, 3}})
+	d := FromRows([][]float64{{1}, {2}})
+	if !a.Equal(b) || a.Equal(c) || a.Equal(d) {
+		t.Fatal("Equal misbehaves")
+	}
+}
+
+func TestZero(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	m.Zero()
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("Zero left nonzero element")
+		}
+	}
+}
+
+func TestTilePadding(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	dst := make([]float64, 9)
+	m.Tile(dst, 1, 1, 3, 3)
+	want := []float64{4, 0, 0, 0, 0, 0, 0, 0, 0}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("Tile pad: got %v want %v", dst, want)
+		}
+	}
+}
+
+func TestTileInterior(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	dst := make([]float64, 4)
+	m.Tile(dst, 0, 1, 2, 2)
+	want := []float64{2, 3, 5, 6}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("Tile interior: got %v want %v", dst, want)
+		}
+	}
+}
+
+func TestSetAddTileRoundTrip(t *testing.T) {
+	m := NewMatrix(4, 4)
+	tile := []float64{1, 2, 3, 4}
+	m.SetTile(tile, 1, 1, 2, 2)
+	if m.At(2, 2) != 4 || m.At(1, 1) != 1 {
+		t.Fatal("SetTile misplaced values")
+	}
+	m.AddTile(tile, 1, 1, 2, 2)
+	if m.At(2, 2) != 8 {
+		t.Fatal("AddTile did not accumulate")
+	}
+	// Out-of-range writes silently dropped.
+	m.SetTile(tile, 3, 3, 2, 2)
+	if m.At(3, 3) != 1 {
+		t.Fatal("in-range corner not written")
+	}
+}
+
+func TestTileRoundTripProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		m := NewMatrix(8, 8)
+		for i := range m.Data {
+			m.Data[i] = float64(int(seed)+i%7) - 3
+		}
+		buf := make([]float64, 16)
+		m.Tile(buf, 4, 4, 4, 4)
+		n := NewMatrix(8, 8)
+		n.SetTile(buf, 4, 4, 4, 4)
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				if n.At(4+i, 4+j) != m.At(4+i, 4+j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVector(t *testing.T) {
+	v := NewVector(3)
+	if v.Len() != 3 {
+		t.Fatal("bad length")
+	}
+	v.Data[1] = 2
+	c := v.Clone()
+	c.Data[1] = 5
+	if v.Data[1] != 2 {
+		t.Fatal("Vector Clone shares storage")
+	}
+	if !v.Equal(v.Clone()) || v.Equal(c) || v.Equal(NewVector(2)) {
+		t.Fatal("Vector Equal misbehaves")
+	}
+}
+
+func TestComplexArray(t *testing.T) {
+	c := NewComplexArray(4)
+	if c.Len() != 4 {
+		t.Fatal("bad length")
+	}
+	c.Re[0], c.Im[0] = 1, -1
+	d := c.Clone()
+	d.Re[0] = 7
+	if c.Re[0] != 1 {
+		t.Fatal("ComplexArray Clone shares storage")
+	}
+}
+
+func TestTileNegativeOrigin(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	dst := make([]float64, 9)
+	m.Tile(dst, -1, -1, 3, 3)
+	want := []float64{0, 0, 0, 0, 1, 2, 0, 3, 4}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("negative-origin Tile: got %v want %v", dst, want)
+		}
+	}
+	m.AddTile([]float64{9, 9, 9, 9}, -1, -1, 2, 2)
+	if m.At(0, 0) != 10 {
+		t.Fatal("AddTile negative origin wrong")
+	}
+	m.SetTile([]float64{7, 7, 7, 7}, -1, -1, 2, 2)
+	if m.At(0, 0) != 7 {
+		t.Fatal("SetTile negative origin wrong")
+	}
+}

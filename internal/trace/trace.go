@@ -1,0 +1,129 @@
+// Package trace exports simulated execution timelines in the Chrome
+// trace-event format (chrome://tracing, Perfetto): each workload variant's
+// measurement loop becomes a span on its device's track, with the
+// per-resource breakdown attached as arguments. Useful for eyeballing the
+// Figure 7/8 measurement campaigns.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+// Event is one Chrome trace event (the "X" complete-event form).
+type Event struct {
+	Name      string         `json:"name"`
+	Category  string         `json:"cat"`
+	Phase     string         `json:"ph"`
+	TimeUS    float64        `json:"ts"`
+	DurUS     float64        `json:"dur"`
+	PID       int            `json:"pid"`
+	TID       int            `json:"tid"`
+	Arguments map[string]any `json:"args,omitempty"`
+}
+
+// Timeline accumulates events, one process per device and one thread per
+// workload.
+type Timeline struct {
+	events  []Event
+	pids    map[string]int
+	tids    map[string]int
+	cursors map[int]float64 // per-tid time cursor in µs
+}
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline {
+	return &Timeline{
+		pids:    map[string]int{},
+		tids:    map[string]int{},
+		cursors: map[int]float64{},
+	}
+}
+
+func (t *Timeline) pid(deviceName string) int {
+	if id, ok := t.pids[deviceName]; ok {
+		return id
+	}
+	id := len(t.pids) + 1
+	t.pids[deviceName] = id
+	t.events = append(t.events, Event{
+		Name: "process_name", Category: "__metadata", Phase: "M",
+		PID: id, Arguments: map[string]any{"name": deviceName},
+	})
+	return id
+}
+
+func (t *Timeline) tid(pid int, workloadName string) int {
+	key := fmt.Sprintf("%d/%s", pid, workloadName)
+	if id, ok := t.tids[key]; ok {
+		return id
+	}
+	id := len(t.tids) + 1
+	t.tids[key] = id
+	t.events = append(t.events, Event{
+		Name: "thread_name", Category: "__metadata", Phase: "M",
+		PID: pid, TID: id, Arguments: map[string]any{"name": workloadName},
+	})
+	return id
+}
+
+// AddKernelLoop appends a measurement-loop span: `repeats` invocations of
+// the kernel described by report r, on the device/workload/variant track.
+// Spans on the same track are laid end to end.
+func (t *Timeline) AddKernelLoop(spec device.Spec, workloadName, variant string,
+	r sim.Report, repeats int) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	pid := t.pid(spec.Name)
+	tid := t.tid(pid, workloadName)
+	start := t.cursors[tid]
+	dur := r.Time * float64(repeats) * 1e6
+	t.events = append(t.events, Event{
+		Name:     variant,
+		Category: "kernel-loop",
+		Phase:    "X",
+		TimeUS:   start,
+		DurUS:    dur,
+		PID:      pid,
+		TID:      tid,
+		Arguments: map[string]any{
+			"repeats":        repeats,
+			"per_kernel_us":  r.Time * 1e6,
+			"bottleneck":     r.Bottleneck,
+			"avg_power_w":    r.AvgPower,
+			"energy_j":       r.Energy,
+			"util_tensor":    r.UtilTensor,
+			"util_vector":    r.UtilVector,
+			"util_dram":      r.UtilDRAM,
+			"tensor_time_us": r.Breakdown.Tensor * 1e6,
+			"dram_time_us":   r.Breakdown.DRAM * 1e6,
+		},
+	})
+	t.cursors[tid] = start + dur
+}
+
+// Len returns the number of non-metadata spans recorded.
+func (t *Timeline) Len() int {
+	n := 0
+	for _, e := range t.events {
+		if e.Phase == "X" {
+			n++
+		}
+	}
+	return n
+}
+
+// Write emits the timeline as Chrome trace JSON.
+func (t *Timeline) Write(w io.Writer) error {
+	wrapper := struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}{TraceEvents: t.events}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(wrapper)
+}

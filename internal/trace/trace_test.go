@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+func report(t *testing.T) sim.Report {
+	t.Helper()
+	return sim.Run(device.H200(), sim.Profile{
+		TensorFLOPs: 1e12, DRAMBytes: 1e10, Launches: 1,
+		Eff: sim.Efficiency{Tensor: 0.6, DRAM: 0.8},
+	})
+}
+
+func TestTimelineStructure(t *testing.T) {
+	tl := NewTimeline()
+	r := report(t)
+	tl.AddKernelLoop(device.H200(), "GEMM", "TC", r, 10)
+	tl.AddKernelLoop(device.H200(), "GEMM", "CC", r, 10)
+	tl.AddKernelLoop(device.H200(), "SpMV", "TC", r, 5)
+	tl.AddKernelLoop(device.A100(), "GEMM", "TC", r, 10)
+	if tl.Len() != 4 {
+		t.Fatalf("%d spans, want 4", tl.Len())
+	}
+
+	var buf bytes.Buffer
+	if err := tl.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two devices → two process-name metadata events; three tracks.
+	procs, threads, spans := 0, 0, 0
+	for _, e := range parsed.TraceEvents {
+		switch {
+		case e.Name == "process_name":
+			procs++
+		case e.Name == "thread_name":
+			threads++
+		case e.Phase == "X":
+			spans++
+			if e.DurUS <= 0 {
+				t.Fatalf("span with non-positive duration: %+v", e)
+			}
+			if e.Arguments["bottleneck"] == "" {
+				t.Fatal("span missing breakdown arguments")
+			}
+		}
+	}
+	if procs != 2 || threads != 3 || spans != 4 {
+		t.Fatalf("procs/threads/spans = %d/%d/%d, want 2/3/4", procs, threads, spans)
+	}
+}
+
+func TestSpansLaidEndToEnd(t *testing.T) {
+	tl := NewTimeline()
+	r := report(t)
+	tl.AddKernelLoop(device.H200(), "GEMM", "TC", r, 10)
+	tl.AddKernelLoop(device.H200(), "GEMM", "CC", r, 10)
+	var first, second *Event
+	for i := range tl.events {
+		e := &tl.events[i]
+		if e.Phase != "X" {
+			continue
+		}
+		if first == nil {
+			first = e
+		} else {
+			second = e
+		}
+	}
+	if first.TimeUS != 0 {
+		t.Errorf("first span starts at %v", first.TimeUS)
+	}
+	if second.TimeUS != first.DurUS {
+		t.Errorf("second span at %v, want %v", second.TimeUS, first.DurUS)
+	}
+}
+
+func TestRepeatsClamped(t *testing.T) {
+	tl := NewTimeline()
+	r := report(t)
+	tl.AddKernelLoop(device.H200(), "X", "TC", r, 0)
+	for _, e := range tl.events {
+		if e.Phase == "X" && e.Arguments["repeats"] != 1 {
+			t.Fatalf("repeats = %v, want clamped to 1", e.Arguments["repeats"])
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package xsim is a small discrete-event cross-check for the analytical
+// model in package sim: it simulates warps on one streaming multiprocessor
+// cycle by cycle — a tensor pipe with a fixed issue interval, a memory
+// channel with bandwidth and latency — and measures the achieved time of a
+// simple kernel directly. The analytical model's central claim, that time
+// converges to max(compute time, memory time) with a latency-and-overlap
+// correction, is validated against this machine in TestAnalyticalModelAgrees
+// rather than assumed.
+package xsim
+
+import "fmt"
+
+// Machine describes the simulated SM and memory channel.
+type Machine struct {
+	Warps            int     // resident warps (latency hiding depth)
+	MMAIssueInterval int     // cycles between MMA issues per SM (pipe reciprocal throughput)
+	MemLatency       int     // cycles from request to data
+	BytesPerCycle    float64 // memory channel bandwidth
+}
+
+// Kernel describes per-warp work: iterations of {load, then compute}.
+type Kernel struct {
+	Iterations   int     // load/compute rounds per warp
+	MMAsPerIter  int     // MMA instructions per round
+	BytesPerIter float64 // bytes loaded per round
+}
+
+// Result reports the simulated execution.
+type Result struct {
+	Cycles      int
+	MMAIssued   int
+	BytesMoved  float64
+	PipeBusyPct float64 // fraction of cycles the MMA pipe issued
+	MemBusyPct  float64 // fraction of cycles the channel transferred
+}
+
+// warpState tracks one warp's progress.
+type warpState struct {
+	iterLeft  int
+	mmaLeft   int
+	readyAt   int // cycle at which the warp's outstanding load completes
+	loadState int // 0 = must issue load, 1 = waiting, 2 = computing
+}
+
+// Run executes the kernel on the machine cycle by cycle and returns the
+// measured result. It returns an error for non-positive configurations.
+func Run(m Machine, k Kernel) (Result, error) {
+	if m.Warps < 1 || m.MMAIssueInterval < 1 || m.MemLatency < 0 || m.BytesPerCycle <= 0 {
+		return Result{}, fmt.Errorf("xsim: invalid machine %+v", m)
+	}
+	if k.Iterations < 0 || k.MMAsPerIter < 0 || k.BytesPerIter < 0 {
+		return Result{}, fmt.Errorf("xsim: invalid kernel %+v", k)
+	}
+
+	warps := make([]warpState, m.Warps)
+	for i := range warps {
+		warps[i] = warpState{iterLeft: k.Iterations}
+	}
+
+	var res Result
+	pipeFreeAt := 0      // next cycle the MMA pipe can issue
+	var memQueue float64 // bytes queued on the channel
+	memBusyCycles := 0
+	pipeBusyCycles := 0
+
+	const maxCycles = 1 << 30
+	for cycle := 0; cycle < maxCycles; cycle++ {
+		// Memory channel drains bandwidth every cycle.
+		if memQueue > 0 {
+			drained := m.BytesPerCycle
+			if drained > memQueue {
+				drained = memQueue
+			}
+			memQueue -= drained
+			res.BytesMoved += drained
+			memBusyCycles++
+		}
+
+		done := true
+		issued := false
+		for w := range warps {
+			ws := &warps[w]
+			if ws.iterLeft == 0 && ws.mmaLeft == 0 {
+				continue
+			}
+			done = false
+			switch ws.loadState {
+			case 0: // issue the load for this iteration
+				// Completion waits for latency plus the queue ahead.
+				queueCycles := int(memQueue / m.BytesPerCycle)
+				ws.readyAt = cycle + m.MemLatency + queueCycles
+				memQueue += k.BytesPerIter
+				ws.loadState = 1
+			case 1: // waiting for data
+				if cycle >= ws.readyAt {
+					ws.loadState = 2
+					ws.mmaLeft = k.MMAsPerIter
+				}
+			case 2: // computing: contend for the single MMA pipe
+				if !issued && cycle >= pipeFreeAt && ws.mmaLeft > 0 {
+					issued = true
+					pipeFreeAt = cycle + m.MMAIssueInterval
+					pipeBusyCycles += m.MMAIssueInterval
+					ws.mmaLeft--
+					res.MMAIssued++
+					if ws.mmaLeft == 0 {
+						ws.iterLeft--
+						if ws.iterLeft > 0 {
+							ws.loadState = 0
+						}
+					}
+				}
+			}
+		}
+		if done && memQueue == 0 {
+			res.Cycles = cycle
+			if cycle > 0 {
+				res.PipeBusyPct = float64(pipeBusyCycles) / float64(cycle)
+				res.MemBusyPct = float64(memBusyCycles) / float64(cycle)
+				if res.PipeBusyPct > 1 {
+					res.PipeBusyPct = 1
+				}
+			}
+			return res, nil
+		}
+	}
+	return res, fmt.Errorf("xsim: kernel did not finish within %d cycles", maxCycles)
+}
+
+// AnalyticalCycles is the package-sim-style prediction for the same
+// machine/kernel: max of pipe time and memory time plus one latency for the
+// un-hidden first load.
+func AnalyticalCycles(m Machine, k Kernel) float64 {
+	totalMMAs := float64(m.Warps * k.Iterations * k.MMAsPerIter)
+	totalBytes := float64(m.Warps*k.Iterations) * k.BytesPerIter
+	pipe := totalMMAs * float64(m.MMAIssueInterval)
+	mem := totalBytes / m.BytesPerCycle
+	busy := pipe
+	if mem > busy {
+		busy = mem
+	}
+	return busy + float64(m.MemLatency)
+}

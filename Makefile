@@ -1,0 +1,33 @@
+# Build/test entry points for the Cubie reproduction.
+#
+#   make test    - vet + unit tests (tier-1 gate)
+#   make race    - full test suite under the race detector
+#   make bench   - kernel + harness benchmarks with memory stats,
+#                  archived as benchdata/BENCH_<date>.json (see
+#                  docs/PERFORMANCE.md)
+#   make build   - compile everything
+#   make vet     - static analysis only
+
+GO ?= go
+
+.PHONY: all build vet test race bench clean
+
+all: test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson
+
+clean:
+	$(GO) clean ./...

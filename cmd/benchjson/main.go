@@ -1,0 +1,58 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// snapshot for the performance log described in docs/PERFORMANCE.md.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | go run ./cmd/benchjson [-o DIR]
+//
+// It parses the standard benchmark result lines (name, iterations, ns/op,
+// optional B/op, allocs/op, and any custom metrics) plus the goos/goarch/
+// pkg/cpu headers, and writes BENCH_<date>.json into DIR (default
+// "benchdata"). Pass -o - to print the JSON to stdout instead.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/benchjson"
+)
+
+func main() {
+	out := flag.String("o", "benchdata", "output directory, or - for stdout")
+	flag.Parse()
+
+	snap, err := benchjson.Parse(bufio.NewReader(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	snap.Date = time.Now().Format("2006-01-02")
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	path := filepath.Join(*out, "BENCH_"+snap.Date+".json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+}

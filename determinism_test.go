@@ -1,0 +1,79 @@
+package repro
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/workload"
+)
+
+// TestSuiteDeterminism is the suite-wide contract of the par engine: every
+// workload's representative case, in every variant, must produce the
+// bit-identical Output and the identical Profile whether the grid runs
+// serially (one worker) or on a full pool. The engine only ever assigns
+// whole output tiles to workers and merges reductions in fixed chunk order,
+// so this holds exactly — not just to within round-off (Table 6's TC ≡ CC
+// comparison depends on it).
+func TestSuiteDeterminism(t *testing.T) {
+	type outcome struct {
+		res *workload.Result
+		err error
+	}
+	runAll := func(workers int) map[string]outcome {
+		prev := par.SetWorkers(workers)
+		defer par.SetWorkers(prev)
+		out := map[string]outcome{}
+		for _, w := range core.NewSuite().Workloads() {
+			c := w.Representative()
+			for _, v := range w.Variants() {
+				res, err := w.Run(c, v)
+				out[w.Name()+"/"+string(v)] = outcome{res, err}
+			}
+		}
+		return out
+	}
+
+	serial := runAll(1)
+	parallel := runAll(8)
+
+	if len(serial) != len(parallel) {
+		t.Fatalf("run counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for key, s := range serial {
+		p, ok := parallel[key]
+		if !ok {
+			t.Errorf("%s: missing from parallel run", key)
+			continue
+		}
+		if (s.err == nil) != (p.err == nil) {
+			t.Errorf("%s: error mismatch: serial=%v parallel=%v", key, s.err, p.err)
+			continue
+		}
+		if s.err != nil {
+			continue
+		}
+		if len(s.res.Output) != len(p.res.Output) {
+			t.Errorf("%s: output lengths differ: %d vs %d",
+				key, len(s.res.Output), len(p.res.Output))
+			continue
+		}
+		for i := range s.res.Output {
+			if math.Float64bits(s.res.Output[i]) != math.Float64bits(p.res.Output[i]) {
+				t.Errorf("%s: output[%d] differs bitwise: %v vs %v",
+					key, i, s.res.Output[i], p.res.Output[i])
+				break
+			}
+		}
+		if !reflect.DeepEqual(s.res.Profile, p.res.Profile) {
+			t.Errorf("%s: profiles differ:\nserial:   %+v\nparallel: %+v",
+				key, s.res.Profile, p.res.Profile)
+		}
+		if s.res.Work != p.res.Work || s.res.MetricName != p.res.MetricName ||
+			s.res.InputUtil != p.res.InputUtil || s.res.OutputUtil != p.res.OutputUtil {
+			t.Errorf("%s: result metadata differs", key)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package benchjson
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Imaginary CPU @ 2.40GHz
+BenchmarkFigure3-8   	       2	 512345678 ns/op	        42.50 cells	  123456 B/op	     789 allocs/op
+BenchmarkTable6-8    	       5	 104857600 ns/op
+PASS
+ok  	repro	3.456s
+`
+
+func TestParse(t *testing.T) {
+	snap, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.GOOS != "linux" || snap.GOARCH != "amd64" {
+		t.Errorf("headers: %q/%q", snap.GOOS, snap.GOARCH)
+	}
+	if snap.CPU != "Imaginary CPU @ 2.40GHz" {
+		t.Errorf("cpu: %q", snap.CPU)
+	}
+	if len(snap.Benchmarks) != 2 {
+		t.Fatalf("%d benchmarks, want 2", len(snap.Benchmarks))
+	}
+	b := snap.Benchmarks[0]
+	if b.Name != "BenchmarkFigure3-8" || b.Package != "repro" {
+		t.Errorf("first: %+v", b)
+	}
+	if b.Iterations != 2 || b.NsPerOp != 512345678 {
+		t.Errorf("timing: %+v", b)
+	}
+	if b.BytesPerOp != 123456 || b.AllocsPerOp != 789 {
+		t.Errorf("memstats: %+v", b)
+	}
+	if b.Metrics["cells"] != 42.5 {
+		t.Errorf("custom metric: %+v", b.Metrics)
+	}
+	if snap.Benchmarks[1].AllocsPerOp != 0 || snap.Benchmarks[1].NsPerOp != 104857600 {
+		t.Errorf("second: %+v", snap.Benchmarks[1])
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok repro 1s\n")); err == nil {
+		t.Fatal("want error for output without benchmark lines")
+	}
+}

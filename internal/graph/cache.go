@@ -1,0 +1,30 @@
+package graph
+
+import "sync"
+
+// shared caches synthesized Table 3 graphs process-wide. Synthesis is
+// deterministic, so every consumer sees the identical graph.
+var shared = struct {
+	mu sync.Mutex
+	m  map[string]*Graph
+}{m: map[string]*Graph{}}
+
+// SynthesizeShared returns the process-wide shared instance of the named
+// Table 3 graph, synthesizing it on first use. The returned Graph must be
+// treated as read-only: BFS and the harness coverage/ablation studies all
+// hold the same pointer (BFS's Relabel copies into a fresh graph, so the
+// cached instance stays pristine). The lock is held across synthesis so
+// concurrent first callers do the work exactly once.
+func SynthesizeShared(name string) (*Graph, error) {
+	shared.mu.Lock()
+	defer shared.mu.Unlock()
+	if g, ok := shared.m[name]; ok {
+		return g, nil
+	}
+	g, err := Synthesize(name)
+	if err != nil {
+		return nil, err
+	}
+	shared.m[name] = g
+	return g, nil
+}

@@ -98,7 +98,7 @@ func (h *Harness) AblateConstCache(spec device.Spec) ([]AblationRow, error) {
 func AblateDASPPadding() ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, d := range sparse.Table4() {
-		m, err := sparse.Synthesize(d.Name)
+		m, err := sparse.SynthesizeShared(d.Name)
 		if err != nil {
 			return nil, err
 		}
@@ -123,7 +123,7 @@ func AblateDASPPadding() ([]AblationRow, error) {
 func AblateBFSRelabel() ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, d := range graphpkg.Table3() {
-		g, err := graphpkg.Synthesize(d.Name)
+		g, err := graphpkg.SynthesizeShared(d.Name)
 		if err != nil {
 			return nil, err
 		}

@@ -45,7 +45,7 @@ func Figure10Graphs(corpusSize int, seed int64) (*CoverageReport, error) {
 	var repFeats [][]float64
 	var repNames []string
 	for _, d := range graph.Table3() {
-		g, err := graph.Synthesize(d.Name)
+		g, err := graph.SynthesizeShared(d.Name)
 		if err != nil {
 			return nil, err
 		}
@@ -67,7 +67,7 @@ func Figure10Matrices(corpusSize int, seed int64) (*CoverageReport, error) {
 	var repFeats [][]float64
 	var repNames []string
 	for _, d := range sparse.Table4() {
-		m, err := sparse.Synthesize(d.Name)
+		m, err := sparse.SynthesizeShared(d.Name)
 		if err != nil {
 			return nil, err
 		}

@@ -24,31 +24,47 @@ type Harness struct {
 	Suite *core.Suite
 
 	mu    sync.Mutex
-	cache map[string]*workload.Result
+	cache map[string]*flight
+}
+
+// flight is one singleflight cache entry: the first caller for a key owns
+// the execution; later callers block on done and share the outcome.
+type flight struct {
+	done chan struct{}
+	res  *workload.Result
+	err  error
 }
 
 // New creates a harness over a fresh suite.
 func New() *Harness {
-	return &Harness{Suite: core.NewSuite(), cache: map[string]*workload.Result{}}
+	return &Harness{Suite: core.NewSuite(), cache: map[string]*flight{}}
 }
 
 // run executes (or returns the cached) result for one workload/case/variant.
+// Concurrent callers with the same key are deduplicated: exactly one
+// executes w.Run, the rest wait for it (the old check-then-run pattern let
+// Figure3's fan-out and a concurrent speedups walk both execute the same
+// case). A failed run is evicted so a later caller may retry.
 func (h *Harness) run(w workload.Workload, c workload.Case, v workload.Variant) (*workload.Result, error) {
 	key := w.Name() + "|" + c.Name + "|" + string(v)
 	h.mu.Lock()
-	if r, ok := h.cache[key]; ok {
+	if f, ok := h.cache[key]; ok {
 		h.mu.Unlock()
-		return r, nil
+		<-f.done
+		return f.res, f.err
 	}
+	f := &flight{done: make(chan struct{})}
+	h.cache[key] = f
 	h.mu.Unlock()
-	r, err := w.Run(c, v)
-	if err != nil {
-		return nil, err
+
+	f.res, f.err = w.Run(c, v)
+	if f.err != nil {
+		h.mu.Lock()
+		delete(h.cache, key)
+		h.mu.Unlock()
 	}
-	h.mu.Lock()
-	h.cache[key] = r
-	h.mu.Unlock()
-	return r, nil
+	close(f.done)
+	return f.res, f.err
 }
 
 // PerfCell is one marker of Figure 3: absolute performance of one workload

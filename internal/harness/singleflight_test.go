@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// countingWorkload records how many times Run executes and can be told to
+// fail the first few attempts.
+type countingWorkload struct {
+	runs     atomic.Int64
+	failures atomic.Int64  // remaining runs that should error
+	block    chan struct{} // if non-nil, Run waits on it (to pile up callers)
+}
+
+func (w *countingWorkload) Name() string                 { return "counting" }
+func (w *countingWorkload) Quadrant() int                { return 1 }
+func (w *countingWorkload) Dwarf() string                { return "test" }
+func (w *countingWorkload) Cases() []workload.Case       { return []workload.Case{{Name: "only"}} }
+func (w *countingWorkload) Variants() []workload.Variant { return []workload.Variant{workload.TC} }
+func (w *countingWorkload) Representative() workload.Case {
+	return w.Cases()[0]
+}
+func (w *countingWorkload) Repeats() int { return 1 }
+
+func (w *countingWorkload) Run(c workload.Case, v workload.Variant) (*workload.Result, error) {
+	w.runs.Add(1)
+	if w.block != nil {
+		<-w.block
+	}
+	if w.failures.Add(-1) >= 0 {
+		return nil, errors.New("counting: injected failure")
+	}
+	return &workload.Result{Work: 1, MetricName: "ops", Output: []float64{42}}, nil
+}
+
+func (w *countingWorkload) Reference(c workload.Case) ([]float64, error) {
+	return []float64{42}, nil
+}
+
+// TestRunSingleflight is the regression test for the duplicate-execution
+// race: N goroutines requesting the same key while the first run is still
+// in flight must share one execution. The old check-then-run cache let all
+// of them miss the cache and call Run.
+func TestRunSingleflight(t *testing.T) {
+	w := &countingWorkload{block: make(chan struct{})}
+	h := New()
+	c := w.Representative()
+
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([]*workload.Result, callers)
+	errs := make([]error, callers)
+	started := make(chan struct{}, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started <- struct{}{}
+			results[i], errs[i] = h.run(w, c, workload.TC)
+		}(i)
+	}
+	// Wait until every caller goroutine is launched, then release the one
+	// Run execution that should be in flight.
+	for i := 0; i < callers; i++ {
+		<-started
+	}
+	close(w.block)
+	wg.Wait()
+
+	if got := w.runs.Load(); got != 1 {
+		t.Fatalf("Run executed %d times, want exactly 1", got)
+	}
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different result pointer", i)
+		}
+	}
+}
+
+// TestRunRetriesAfterError checks that a failed run is evicted from the
+// cache so a later caller retries instead of reusing the error forever.
+func TestRunRetriesAfterError(t *testing.T) {
+	w := &countingWorkload{}
+	w.failures.Store(1)
+	h := New()
+	c := w.Representative()
+
+	if _, err := h.run(w, c, workload.TC); err == nil {
+		t.Fatal("first run: want injected failure")
+	}
+	r, err := h.run(w, c, workload.TC)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if r == nil || len(r.Output) != 1 || r.Output[0] != 42 {
+		t.Fatalf("second run: unexpected result %+v", r)
+	}
+	if got := w.runs.Load(); got != 2 {
+		t.Fatalf("Run executed %d times, want 2 (fail, then retry)", got)
+	}
+	// Third call must now hit the cache.
+	if _, err := h.run(w, c, workload.TC); err != nil {
+		t.Fatalf("third run: %v", err)
+	}
+	if got := w.runs.Load(); got != 2 {
+		t.Fatalf("Run executed %d times after cached call, want 2", got)
+	}
+}

@@ -70,7 +70,7 @@ func (w *Workload) data(c workload.Case) (*caseData, error) {
 	if d, ok := w.cache[c.Dataset]; ok {
 		return d, nil
 	}
-	g0, err := graph.Synthesize(c.Dataset)
+	g0, err := graph.SynthesizeShared(c.Dataset)
 	if err != nil {
 		return nil, err
 	}

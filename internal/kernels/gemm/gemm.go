@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/lcg"
 	"repro/internal/mmu"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/tensor"
 	"repro/internal/workload"
@@ -131,17 +132,24 @@ func (w *Workload) Reference(c workload.Case) ([]float64, error) {
 	}
 	a, b := inputs(m, n, k)
 	out := tensor.NewMatrix(m, n)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			var acc float64
-			for kk := 0; kk < k; kk++ {
-				acc += a.At(i, kk) * b.At(kk, j)
+	par.ForTiles(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < n; j++ {
+				var acc float64
+				for kk := 0; kk < k; kk++ {
+					acc += a.At(i, kk) * b.At(kk, j)
+				}
+				out.Set(i, j, acc)
 			}
-			out.Set(i, j, acc)
 		}
-	}
+	})
 	return out.Data, nil
 }
+
+// mmaScratch pools the per-sweep fragment temporaries of multiplyMMA: the
+// A/B operand tiles (32 each) and the even/odd/sum accumulators (64 each),
+// packed into one 256-element buffer sliced per worker range.
+var mmaScratch = par.NewScratch(2*mmu.M*mmu.K + 3*mmu.M*mmu.N)
 
 // multiplyMMA executes the tiled tensor-core GEMM: 64×64 block tiles, each
 // built from 8×8 MMA accumulator fragments swept over k in steps of 4. Like
@@ -149,51 +157,65 @@ func (w *Workload) Reference(c workload.Case) ([]float64, error) {
 // and odd k-tiles) per fragment and sums them at the end — this double
 // buffering is what makes the MMA result differ in rounding from the
 // single-accumulator baseline (Table 6: GEMM TC error exceeds baseline).
+//
+// The output-tile grid is executed on the par worker pool: each 8×8 output
+// tile's FMA chains run whole on one worker in the fixed k order, so the
+// result is bit-identical for every worker count (the tile-independence
+// property the paper's MMA semantics guarantee).
 func multiplyMMA(a, b *tensor.Matrix) *tensor.Matrix {
 	m, k, n := a.Rows, a.Cols, b.Cols
 	out := tensor.NewMatrix(m, n)
-	aT := make([]float64, mmu.M*mmu.K)
-	bT := make([]float64, mmu.K*mmu.N)
-	cEven := make([]float64, mmu.M*mmu.N)
-	cOdd := make([]float64, mmu.M*mmu.N)
-	sum := make([]float64, mmu.M*mmu.N)
-	for i0 := 0; i0 < m; i0 += mmu.M {
-		for j0 := 0; j0 < n; j0 += mmu.N {
-			for i := range cEven {
-				cEven[i], cOdd[i] = 0, 0
-			}
-			for k0, kt := 0, 0; k0 < k; k0, kt = k0+mmu.K, kt+1 {
-				a.Tile(aT, i0, k0, mmu.M, mmu.K)
-				b.Tile(bT, k0, j0, mmu.K, mmu.N)
-				if kt%2 == 0 {
-					mmu.DMMATile(cEven, aT, bT)
-				} else {
-					mmu.DMMATile(cOdd, aT, bT)
+	rowTiles := (m + mmu.M - 1) / mmu.M
+	par.ForTiles(rowTiles, func(lo, hi int) {
+		buf := mmaScratch.Get()
+		defer mmaScratch.Put(buf)
+		aT := buf[0 : mmu.M*mmu.K]
+		bT := buf[mmu.M*mmu.K : 2*mmu.M*mmu.K]
+		cEven := buf[2*mmu.M*mmu.K : 2*mmu.M*mmu.K+mmu.M*mmu.N]
+		cOdd := buf[2*mmu.M*mmu.K+mmu.M*mmu.N : 2*mmu.M*mmu.K+2*mmu.M*mmu.N]
+		sum := buf[2*mmu.M*mmu.K+2*mmu.M*mmu.N:]
+		for ti := lo; ti < hi; ti++ {
+			i0 := ti * mmu.M
+			for j0 := 0; j0 < n; j0 += mmu.N {
+				for i := range cEven {
+					cEven[i], cOdd[i] = 0, 0
 				}
+				for k0, kt := 0, 0; k0 < k; k0, kt = k0+mmu.K, kt+1 {
+					a.Tile(aT, i0, k0, mmu.M, mmu.K)
+					b.Tile(bT, k0, j0, mmu.K, mmu.N)
+					if kt%2 == 0 {
+						mmu.DMMATile(cEven, aT, bT)
+					} else {
+						mmu.DMMATile(cOdd, aT, bT)
+					}
+				}
+				for i := range sum {
+					sum[i] = cEven[i] + cOdd[i]
+				}
+				out.SetTile(sum, i0, j0, mmu.M, mmu.N)
 			}
-			for i := range sum {
-				sum[i] = cEven[i] + cOdd[i]
-			}
-			out.SetTile(sum, i0, j0, mmu.M, mmu.N)
 		}
-	}
+	})
 	return out
 }
 
 // multiplyBaseline is the cudaSample matrixMul-class vector GEMM: one FMA
-// chain per output element over the full k extent.
+// chain per output element over the full k extent, parallelized over output
+// rows (each element's chain stays on one worker).
 func multiplyBaseline(a, b *tensor.Matrix) *tensor.Matrix {
 	m, k, n := a.Rows, a.Cols, b.Cols
 	out := tensor.NewMatrix(m, n)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			var acc float64
-			for kk := 0; kk < k; kk++ {
-				acc = mmu.FMA(a.At(i, kk), b.At(kk, j), acc)
+	par.ForTiles(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < n; j++ {
+				var acc float64
+				for kk := 0; kk < k; kk++ {
+					acc = mmu.FMA(a.At(i, kk), b.At(kk, j), acc)
+				}
+				out.Set(i, j, acc)
 			}
-			out.Set(i, j, acc)
 		}
-	}
+	})
 	return out
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/lcg"
 	"repro/internal/mmu"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -205,63 +206,76 @@ func pushMMA(st []float64) {
 	bCross2 := rotationOperand(cross2)
 
 	n := len(st) / 6
-	vBlk := make([]float64, mmu.M*mmu.K)
-	c1 := make([]float64, mmu.M*mmu.N)
-	c2 := make([]float64, mmu.M*mmu.N)
-	for p0 := 0; p0 < n; p0 += mmu.M {
-		cnt := min(mmu.M, n-p0)
-		for r := 0; r < mmu.M; r++ {
-			if r < cnt {
-				p := p0 + r
-				vBlk[r*4+0] = st[6*p+3]
-				vBlk[r*4+1] = st[6*p+4]
-				vBlk[r*4+2] = st[6*p+5]
+	batches := (n + mmu.M - 1) / mmu.M
+	// Eight-particle batches touch disjoint state slices, so the batch grid
+	// runs on the par worker pool; each batch's four-MMA chain keeps its
+	// fixed order, so TC and CC stay bit-identical at any worker count.
+	par.ForTiles(batches, func(lo, hi int) {
+		buf := picScratch.Get()
+		defer picScratch.Put(buf)
+		vBlk := buf[0 : mmu.M*mmu.K]
+		c1 := buf[mmu.M*mmu.K : mmu.M*mmu.K+mmu.M*mmu.N]
+		c2 := buf[mmu.M*mmu.K+mmu.M*mmu.N:]
+		for b := lo; b < hi; b++ {
+			p0 := b * mmu.M
+			cnt := min(mmu.M, n-p0)
+			for r := 0; r < mmu.M; r++ {
+				if r < cnt {
+					p := p0 + r
+					vBlk[r*4+0] = st[6*p+3]
+					vBlk[r*4+1] = st[6*p+4]
+					vBlk[r*4+2] = st[6*p+5]
+					vBlk[r*4+3] = 1
+				} else {
+					vBlk[r*4+0], vBlk[r*4+1], vBlk[r*4+2], vBlk[r*4+3] = 0, 0, 0, 0
+				}
+			}
+			// Half kick: V1 = V·Kick.
+			for i := range c1 {
+				c1[i] = 0
+			}
+			mmu.DMMATile(c1, vBlk, bKick)
+			// t = v1·Cross1.
+			for r := 0; r < mmu.M; r++ {
+				copy(vBlk[r*4:], c1[r*mmu.N:r*mmu.N+4])
+			}
+			for i := range c2 {
+				c2[i] = 0
+			}
+			mmu.DMMATile(c2, vBlk, bCross1)
+			// v2 = v1 + t·Cross2: c1 already holds v1 and serves as the MMA
+			// accumulator while t (in c2) multiplies the second cross map.
+			for r := 0; r < mmu.M; r++ {
+				copy(vBlk[r*4:], c2[r*mmu.N:r*mmu.N+4])
+			}
+			mmu.DMMATile(c1, vBlk, bCross2)
+			// Second half kick: V3 = V2·Kick (reload rows into the A block).
+			for r := 0; r < mmu.M; r++ {
+				copy(vBlk[r*4:], c1[r*mmu.N:r*mmu.N+4])
 				vBlk[r*4+3] = 1
-			} else {
-				vBlk[r*4+0], vBlk[r*4+1], vBlk[r*4+2], vBlk[r*4+3] = 0, 0, 0, 0
+			}
+			for i := range c2 {
+				c2[i] = 0
+			}
+			mmu.DMMATile(c2, vBlk, bKick)
+			// Write back velocities and advance positions.
+			for r := 0; r < cnt; r++ {
+				p := p0 + r
+				vx := c2[r*mmu.N+0]
+				vy := c2[r*mmu.N+1]
+				vz := c2[r*mmu.N+2]
+				st[6*p+3], st[6*p+4], st[6*p+5] = vx, vy, vz
+				st[6*p+0] = mmu.FMA(dt, vx, st[6*p+0])
+				st[6*p+1] = mmu.FMA(dt, vy, st[6*p+1])
+				st[6*p+2] = mmu.FMA(dt, vz, st[6*p+2])
 			}
 		}
-		// Half kick: V1 = V·Kick.
-		for i := range c1 {
-			c1[i] = 0
-		}
-		mmu.DMMATile(c1, vBlk, bKick)
-		// t = v1·Cross1.
-		for r := 0; r < mmu.M; r++ {
-			copy(vBlk[r*4:], c1[r*mmu.N:r*mmu.N+4])
-		}
-		for i := range c2 {
-			c2[i] = 0
-		}
-		mmu.DMMATile(c2, vBlk, bCross1)
-		// v2 = v1 + t·Cross2: c1 already holds v1 and serves as the MMA
-		// accumulator while t (in c2) multiplies the second cross map.
-		for r := 0; r < mmu.M; r++ {
-			copy(vBlk[r*4:], c2[r*mmu.N:r*mmu.N+4])
-		}
-		mmu.DMMATile(c1, vBlk, bCross2)
-		// Second half kick: V3 = V2·Kick (reload rows into the A block).
-		for r := 0; r < mmu.M; r++ {
-			copy(vBlk[r*4:], c1[r*mmu.N:r*mmu.N+4])
-			vBlk[r*4+3] = 1
-		}
-		for i := range c2 {
-			c2[i] = 0
-		}
-		mmu.DMMATile(c2, vBlk, bKick)
-		// Write back velocities and advance positions.
-		for r := 0; r < cnt; r++ {
-			p := p0 + r
-			vx := c2[r*mmu.N+0]
-			vy := c2[r*mmu.N+1]
-			vz := c2[r*mmu.N+2]
-			st[6*p+3], st[6*p+4], st[6*p+5] = vx, vy, vz
-			st[6*p+0] = mmu.FMA(dt, vx, st[6*p+0])
-			st[6*p+1] = mmu.FMA(dt, vy, st[6*p+1])
-			st[6*p+2] = mmu.FMA(dt, vz, st[6*p+2])
-		}
-	}
+	})
 }
+
+// picScratch pools the per-batch staging of pushMMA: the velocity A block
+// (32) and two C accumulators (64 each).
+var picScratch = par.NewScratch(mmu.M*mmu.K + 2*mmu.M*mmu.N)
 
 // Profiles: four MMAs per eight-particle batch (256 MMA FLOPs per
 // particle) against ~60 essential FLOPs; particle state is streamed.

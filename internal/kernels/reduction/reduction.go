@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/lcg"
 	"repro/internal/mmu"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -160,44 +161,57 @@ func (w *Workload) Reference(c workload.Case) ([]float64, error) {
 	}
 	data := input(s)
 	out := make([]float64, len(data)/s)
-	for seg := range out {
-		var acc float64
-		for i := 0; i < s; i++ {
-			acc += data[seg*s+i]
+	par.ForTiles(len(out), func(lo, hi int) {
+		for seg := lo; seg < hi; seg++ {
+			var acc float64
+			for i := 0; i < s; i++ {
+				acc += data[seg*s+i]
+			}
+			out[seg] = acc
 		}
-		out[seg] = acc
-	}
+	})
 	return out, nil
 }
 
+// reduceScratch pools the per-segment staging of computeMMAReduce: the 8×8
+// input block X and the two stage tiles (64 each).
+var reduceScratch = par.NewScratch(3 * 64)
+
 // computeMMAReduce is the TC/CC algorithm: per block, A₁·X folds the eight
 // rows into row 0, then R·B₂ folds row 0 into element (0,0); block totals
-// accumulate into the segment sum in block order.
+// accumulate into the segment sum in block order. Segments write disjoint
+// out slots, so the segment grid runs on the par worker pool; each segment's
+// block-order accumulation is unchanged, keeping results worker-count
+// independent.
 func computeMMAReduce(data []float64, s int) []float64 {
 	out := make([]float64, len(data)/s)
-	x := make([]float64, 64)
-	r1 := make([]float64, 64)
-	r2 := make([]float64, 64)
-	for seg := range out {
-		var acc float64
-		for b0 := 0; b0 < s; b0 += 64 {
-			n := min(64, s-b0)
-			for i := range x {
-				if i < n {
-					x[i] = data[seg*s+b0+i]
-				} else {
-					x[i] = 0
+	par.ForTiles(len(out), func(lo, hi int) {
+		buf := reduceScratch.Get()
+		defer reduceScratch.Put(buf)
+		x := buf[0:64]
+		r1 := buf[64:128]
+		r2 := buf[128:192]
+		for seg := lo; seg < hi; seg++ {
+			var acc float64
+			for b0 := 0; b0 < s; b0 += 64 {
+				n := min(64, s-b0)
+				for i := range x {
+					if i < n {
+						x[i] = data[seg*s+b0+i]
+					} else {
+						x[i] = 0
+					}
 				}
+				for i := range r1 {
+					r1[i], r2[i] = 0, 0
+				}
+				mma8x8(r1, onesRow0, x)  // column sums in row 0
+				mma8x8(r2, r1, onesCol0) // block total in (0,0)
+				acc += r2[0]
 			}
-			for i := range r1 {
-				r1[i], r2[i] = 0, 0
-			}
-			mma8x8(r1, onesRow0, x)  // column sums in row 0
-			mma8x8(r2, r1, onesCol0) // block total in (0,0)
-			acc += r2[0]
+			out[seg] = acc
 		}
-		out[seg] = acc
-	}
+	})
 	return out
 }
 
@@ -206,22 +220,24 @@ func computeMMAReduce(data []float64, s int) []float64 {
 // row/column folding (Table 6).
 func computePairwise(data []float64, s int) []float64 {
 	out := make([]float64, len(data)/s)
-	buf := make([]float64, s)
-	for seg := range out {
-		copy(buf, data[seg*s:(seg+1)*s])
-		n := s
-		for n > 1 {
-			half := (n + 1) / 2
-			for i := 0; i < n/2; i++ {
-				buf[i] = buf[2*i] + buf[2*i+1]
+	par.ForTiles(len(out), func(lo, hi int) {
+		buf := make([]float64, s) // one working buffer per worker range
+		for seg := lo; seg < hi; seg++ {
+			copy(buf, data[seg*s:(seg+1)*s])
+			n := s
+			for n > 1 {
+				half := (n + 1) / 2
+				for i := 0; i < n/2; i++ {
+					buf[i] = buf[2*i] + buf[2*i+1]
+				}
+				if n%2 == 1 {
+					buf[n/2] = buf[n-1]
+				}
+				n = half
 			}
-			if n%2 == 1 {
-				buf[n/2] = buf[n-1]
-			}
-			n = half
+			out[seg] = buf[0]
 		}
-		out[seg] = buf[0]
-	}
+	})
 	return out
 }
 
@@ -233,22 +249,24 @@ func computeShuffleTree(data []float64, s int) []float64 {
 	for p2 < s {
 		p2 *= 2
 	}
-	buf := make([]float64, p2)
-	for seg := range out {
-		for i := range buf {
-			if i < s {
-				buf[i] = data[seg*s+i]
-			} else {
-				buf[i] = 0
+	par.ForTiles(len(out), func(lo, hi int) {
+		buf := make([]float64, p2) // one working buffer per worker range
+		for seg := lo; seg < hi; seg++ {
+			for i := range buf {
+				if i < s {
+					buf[i] = data[seg*s+i]
+				} else {
+					buf[i] = 0
+				}
 			}
-		}
-		for stride := p2 / 2; stride >= 1; stride /= 2 {
-			for i := 0; i < stride; i++ {
-				buf[i] += buf[i+stride]
+			for stride := p2 / 2; stride >= 1; stride /= 2 {
+				for i := 0; i < stride; i++ {
+					buf[i] += buf[i+stride]
+				}
 			}
+			out[seg] = buf[0]
 		}
-		out[seg] = buf[0]
-	}
+	})
 	return out
 }
 

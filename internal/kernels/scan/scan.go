@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/lcg"
 	"repro/internal/mmu"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -174,50 +175,65 @@ func (w *Workload) Reference(c workload.Case) ([]float64, error) {
 	}
 	data := input(s)
 	out := make([]float64, len(data))
-	for base := 0; base < len(data); base += s {
-		var acc float64
-		for i := 0; i < s; i++ {
-			acc += data[base+i]
-			out[base+i] = acc
+	par.ForTiles(len(data)/s, func(lo, hi int) {
+		for seg := lo; seg < hi; seg++ {
+			base := seg * s
+			var acc float64
+			for i := 0; i < s; i++ {
+				acc += data[base+i]
+				out[base+i] = acc
+			}
 		}
-	}
+	})
 	return out, nil
 }
 
+// scanScratch pools the per-segment staging of computeMMAScan: the 8×8
+// input block X and the three stage tiles (64 each).
+var scanScratch = par.NewScratch(4 * 64)
+
 // computeMMAScan is the TC/CC algorithm: per segment, 64-element blocks are
 // scanned with the three constant-matrix MMA stages; the running carry is
-// folded into the first element of each block.
+// folded into the first element of each block. Segments are independent, so
+// the segment grid runs on the par worker pool; each segment's carry chain
+// keeps its fixed block order, so results are worker-count independent.
 func computeMMAScan(data []float64, s int) []float64 {
 	out := make([]float64, len(data))
-	x := make([]float64, 64)
-	m1 := make([]float64, 64)
-	m2 := make([]float64, 64)
-	for base := 0; base < len(data); base += s {
-		var carry float64
-		for b0 := 0; b0 < s; b0 += 64 {
-			n := min(64, s-b0)
-			for i := range x {
-				if i < n {
-					x[i] = data[base+b0+i]
-				} else {
-					x[i] = 0
+	par.ForTiles(len(data)/s, func(lo, hi int) {
+		buf := scanScratch.Get()
+		defer scanScratch.Put(buf)
+		x := buf[0:64]
+		m1 := buf[64:128]
+		m2 := buf[128:192]
+		result := buf[192:256]
+		for seg := lo; seg < hi; seg++ {
+			base := seg * s
+			var carry float64
+			for b0 := 0; b0 < s; b0 += 64 {
+				n := min(64, s-b0)
+				for i := range x {
+					if i < n {
+						x[i] = data[base+b0+i]
+					} else {
+						x[i] = 0
+					}
+				}
+				x[0] += carry
+				for i := range m1 {
+					m1[i], m2[i] = 0, 0
+				}
+				mma8x8(m1, x, upperOnes)    // row-wise prefix sums
+				mma8x8(m2, lowerStrict, m1) // previous-row totals (all cols)
+				copy(result, m1)
+				mma8x8(result, m2, broadcast7) // fold totals: m1 + m2·E₇
+				copy(out[base+b0:base+b0+n], result[:n])
+				carry = result[63]
+				if n < 64 {
+					carry = result[n-1]
 				}
 			}
-			x[0] += carry
-			for i := range m1 {
-				m1[i], m2[i] = 0, 0
-			}
-			mma8x8(m1, x, upperOnes)    // row-wise prefix sums
-			mma8x8(m2, lowerStrict, m1) // previous-row totals (all cols)
-			result := append([]float64(nil), m1...)
-			mma8x8(result, m2, broadcast7) // fold totals: m1 + m2·E₇
-			copy(out[base+b0:base+b0+n], result[:n])
-			carry = result[63]
-			if n < 64 {
-				carry = result[n-1]
-			}
 		}
-	}
+	})
 	return out
 }
 
@@ -231,35 +247,38 @@ func computeBlelloch(data []float64, s int) []float64 {
 	for p2 < s {
 		p2 *= 2
 	}
-	buf := make([]float64, p2)
-	for base := 0; base < len(data); base += s {
-		for i := range buf {
-			if i < s {
-				buf[i] = data[base+i]
-			} else {
-				buf[i] = 0
+	par.ForTiles(len(data)/s, func(lo, hi int) {
+		buf := make([]float64, p2) // one working buffer per worker range
+		for seg := lo; seg < hi; seg++ {
+			base := seg * s
+			for i := range buf {
+				if i < s {
+					buf[i] = data[base+i]
+				} else {
+					buf[i] = 0
+				}
 			}
-		}
-		for stride := 1; stride < p2; stride *= 2 {
-			for i := 2*stride - 1; i < p2; i += 2 * stride {
-				buf[i] += buf[i-stride]
+			for stride := 1; stride < p2; stride *= 2 {
+				for i := 2*stride - 1; i < p2; i += 2 * stride {
+					buf[i] += buf[i-stride]
+				}
 			}
-		}
-		total := buf[p2-1]
-		buf[p2-1] = 0
-		for stride := p2 / 2; stride >= 1; stride /= 2 {
-			for i := 2*stride - 1; i < p2; i += 2 * stride {
-				t := buf[i-stride]
-				buf[i-stride] = buf[i]
-				buf[i] += t
+			total := buf[p2-1]
+			buf[p2-1] = 0
+			for stride := p2 / 2; stride >= 1; stride /= 2 {
+				for i := 2*stride - 1; i < p2; i += 2 * stride {
+					t := buf[i-stride]
+					buf[i-stride] = buf[i]
+					buf[i] += t
+				}
 			}
+			// Blelloch produces an exclusive scan; convert to inclusive.
+			for i := 0; i < s-1; i++ {
+				out[base+i] = buf[i+1]
+			}
+			out[base+s-1] = total
 		}
-		// Blelloch produces an exclusive scan; convert to inclusive.
-		for i := 0; i < s-1; i++ {
-			out[base+i] = buf[i+1]
-		}
-		out[base+s-1] = total
-	}
+	})
 	return out
 }
 
@@ -267,22 +286,25 @@ func computeBlelloch(data []float64, s int) []float64 {
 // passes per segment.
 func computeHillisSteele(data []float64, s int) []float64 {
 	out := make([]float64, len(data))
-	cur := make([]float64, s)
-	next := make([]float64, s)
-	for base := 0; base < len(data); base += s {
-		copy(cur, data[base:base+s])
-		for stride := 1; stride < s; stride *= 2 {
-			for i := 0; i < s; i++ {
-				if i >= stride {
-					next[i] = cur[i] + cur[i-stride]
-				} else {
-					next[i] = cur[i]
+	par.ForTiles(len(data)/s, func(lo, hi int) {
+		cur := make([]float64, s) // double buffer per worker range
+		next := make([]float64, s)
+		for seg := lo; seg < hi; seg++ {
+			base := seg * s
+			copy(cur, data[base:base+s])
+			for stride := 1; stride < s; stride *= 2 {
+				for i := 0; i < s; i++ {
+					if i >= stride {
+						next[i] = cur[i] + cur[i-stride]
+					} else {
+						next[i] = cur[i]
+					}
 				}
+				cur, next = next, cur
 			}
-			cur, next = next, cur
+			copy(out[base:base+s], cur)
 		}
-		copy(out[base:base+s], cur)
-	}
+	})
 	return out
 }
 

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"repro/internal/mmu"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/sparse"
 	"repro/internal/workload"
@@ -77,7 +78,7 @@ func (w *Workload) data(c workload.Case) (*caseData, error) {
 	if d, ok := w.cache[c.Dataset]; ok {
 		return d, nil
 	}
-	m, err := sparse.Synthesize(c.Dataset)
+	m, err := sparse.SynthesizeShared(c.Dataset)
 	if err != nil {
 		return nil, err
 	}
@@ -87,38 +88,57 @@ func (w *Workload) data(c workload.Case) (*caseData, error) {
 	return d, nil
 }
 
+// symbolicGrain is the fixed chunk size of the parallel symbolic pass;
+// chunk boundaries are worker-count independent, so the accumulated stats
+// are reproducible for any pool size (par.ReduceTiles contract).
+const symbolicGrain = 512
+
 // symbolic runs the structure-only pass: essential multiply count, block
-// product count, MMA count under pairing, and output block count.
+// product count, MMA count under pairing, and output block count. Both
+// sweeps fan out on the par engine with per-worker partial stats merged at
+// join — the counters are integer-valued, so the merge is exact.
 func symbolic(d *caseData) symbolicStats {
-	var s symbolicStats
 	m, b := d.mat, d.bsr
-	for i := 0; i < m.Rows; i++ {
-		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-			s.flopsNNZ += float64(m.RowNNZ(int(m.ColIdx[k])))
-		}
-	}
-	stamp := make([]int32, b.BlockCols)
-	for i := range stamp {
-		stamp[i] = -1
-	}
-	for bi := 0; bi < b.BlockRows; bi++ {
-		var rowProducts, rowCBlocks float64
-		for p := b.RowPtr[bi]; p < b.RowPtr[bi+1]; p++ {
-			k := int(b.Blocks[p].BlockCol)
-			n := float64(b.RowPtr[k+1] - b.RowPtr[k])
-			rowProducts += n
-			for q := b.RowPtr[k]; q < b.RowPtr[k+1]; q++ {
-				j := b.Blocks[q].BlockCol
-				if stamp[j] != int32(bi) {
-					stamp[j] = int32(bi)
-					rowCBlocks++
+	s := par.ReduceTiles(m.Rows, symbolicGrain,
+		func(lo, hi int, acc *symbolicStats) {
+			for i := lo; i < hi; i++ {
+				for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+					acc.flopsNNZ += float64(m.RowNNZ(int(m.ColIdx[k])))
 				}
 			}
-		}
-		s.blockProducts += rowProducts
-		s.mmas += float64(int(rowProducts+1) / 2)
-		s.cBlocks += rowCBlocks
-	}
+		},
+		func(dst, src *symbolicStats) { dst.flopsNNZ += src.flopsNNZ })
+	blk := par.ReduceTiles(b.BlockRows, symbolicGrain,
+		func(lo, hi int, acc *symbolicStats) {
+			stamp := make([]int32, b.BlockCols)
+			for i := range stamp {
+				stamp[i] = -1
+			}
+			for bi := lo; bi < hi; bi++ {
+				var rowProducts, rowCBlocks float64
+				for p := b.RowPtr[bi]; p < b.RowPtr[bi+1]; p++ {
+					k := int(b.Blocks[p].BlockCol)
+					n := float64(b.RowPtr[k+1] - b.RowPtr[k])
+					rowProducts += n
+					for q := b.RowPtr[k]; q < b.RowPtr[k+1]; q++ {
+						j := b.Blocks[q].BlockCol
+						if stamp[j] != int32(bi) {
+							stamp[j] = int32(bi)
+							rowCBlocks++
+						}
+					}
+				}
+				acc.blockProducts += rowProducts
+				acc.mmas += float64(int(rowProducts+1) / 2)
+				acc.cBlocks += rowCBlocks
+			}
+		},
+		func(dst, src *symbolicStats) {
+			dst.blockProducts += src.blockProducts
+			dst.mmas += src.mmas
+			dst.cBlocks += src.cBlocks
+		})
+	s.blockProducts, s.mmas, s.cBlocks = blk.blockProducts, blk.mmas, blk.cBlocks
 	return s
 }
 
@@ -173,30 +193,32 @@ func (w *Workload) Reference(c workload.Case) ([]float64, error) {
 		return nil, fmt.Errorf("spgemm: case %q exceeds the compute budget", c.Name)
 	}
 	m := d.mat
-	acc := make([]float64, m.Cols)
-	touched := make([]int32, 0, 256)
 	out := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		touched = touched[:0]
-		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-			a := m.Vals[k]
-			kr := int(m.ColIdx[k])
-			for q := m.RowPtr[kr]; q < m.RowPtr[kr+1]; q++ {
-				j := m.ColIdx[q]
-				if acc[j] == 0 {
-					touched = append(touched, j)
+	par.ForTiles(m.Rows, func(lo, hi int) {
+		acc := make([]float64, m.Cols)
+		touched := make([]int32, 0, 256)
+		for i := lo; i < hi; i++ {
+			touched = touched[:0]
+			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+				a := m.Vals[k]
+				kr := int(m.ColIdx[k])
+				for q := m.RowPtr[kr]; q < m.RowPtr[kr+1]; q++ {
+					j := m.ColIdx[q]
+					if acc[j] == 0 {
+						touched = append(touched, j)
+					}
+					acc[j] += a * m.Vals[q]
 				}
-				acc[j] += a * m.Vals[q]
 			}
+			insertionSortInt32(touched)
+			var sum float64
+			for _, j := range touched {
+				sum += acc[j]
+				acc[j] = 0
+			}
+			out[i] = sum
 		}
-		insertionSortInt32(touched)
-		var sum float64
-		for _, j := range touched {
-			sum += acc[j]
-			acc[j] = 0
-		}
-		out[i] = sum
-	}
+	})
 	return out, nil
 }
 
@@ -221,58 +243,69 @@ type pendingProduct struct {
 	jDst int32
 }
 
+// spgemmScratch pools the MMA staging tiles of computeMMA (A, B, C).
+var spgemmScratch = par.NewScratch(mmu.M*mmu.K + mmu.K*mmu.N + mmu.M*mmu.N)
+
 // computeMMA executes the paired-block SpGEMM on the MMA semantics: two
 // queued products per m8n8k4 instruction, diagonal quadrants extracted and
 // added into the block accumulators. Returns C row sums (ascending order).
+//
+// Block rows own disjoint output rows (flushRowSums writes rows
+// [4·bi, 4·bi+4) only), so the block-row sweep runs on the par worker pool
+// with the per-row accumulation order unchanged.
 func computeMMA(d *caseData) []float64 {
 	b := d.bsr
 	out := make([]float64, d.mat.Rows)
-	aT := make([]float64, mmu.M*mmu.K)
-	bT := make([]float64, mmu.K*mmu.N)
-	cT := make([]float64, mmu.M*mmu.N)
-
-	for bi := 0; bi < b.BlockRows; bi++ {
-		acc := rowAccumulator{tiles: map[int32]*[16]float64{}}
+	par.ForTiles(b.BlockRows, func(lo, hi int) {
+		buf := spgemmScratch.Get()
+		defer spgemmScratch.Put(buf)
+		aT := buf[0 : mmu.M*mmu.K]
+		bT := buf[mmu.M*mmu.K : mmu.M*mmu.K+mmu.K*mmu.N]
+		cT := buf[mmu.M*mmu.K+mmu.K*mmu.N:]
 		var queue []pendingProduct
-		for p := b.RowPtr[bi]; p < b.RowPtr[bi+1]; p++ {
-			ab := &b.Blocks[p]
-			k := int(ab.BlockCol)
-			for q := b.RowPtr[k]; q < b.RowPtr[k+1]; q++ {
-				bb := &b.Blocks[q]
-				queue = append(queue, pendingProduct{a: ab, b: bb, jDst: bb.BlockCol})
+		for bi := lo; bi < hi; bi++ {
+			acc := rowAccumulator{tiles: map[int32]*[16]float64{}}
+			queue = queue[:0]
+			for p := b.RowPtr[bi]; p < b.RowPtr[bi+1]; p++ {
+				ab := &b.Blocks[p]
+				k := int(ab.BlockCol)
+				for q := b.RowPtr[k]; q < b.RowPtr[k+1]; q++ {
+					bb := &b.Blocks[q]
+					queue = append(queue, pendingProduct{a: ab, b: bb, jDst: bb.BlockCol})
+				}
 			}
-		}
-		for s := 0; s < len(queue); s += 2 {
-			for i := range aT {
-				aT[i] = 0
-			}
-			for i := range bT {
-				bT[i] = 0
-			}
-			for i := range cT {
-				cT[i] = 0
-			}
-			pair := queue[s:min(s+2, len(queue))]
-			for h, pr := range pair {
-				for r := 0; r < sparse.BlockSize; r++ {
-					copy(aT[(h*4+r)*mmu.K:], pr.a.Vals[r*4:r*4+4])
-					for cc := 0; cc < sparse.BlockSize; cc++ {
-						bT[r*mmu.N+h*4+cc] = pr.b.Vals[r*4+cc]
+			for s := 0; s < len(queue); s += 2 {
+				for i := range aT {
+					aT[i] = 0
+				}
+				for i := range bT {
+					bT[i] = 0
+				}
+				for i := range cT {
+					cT[i] = 0
+				}
+				pair := queue[s:min(s+2, len(queue))]
+				for h, pr := range pair {
+					for r := 0; r < sparse.BlockSize; r++ {
+						copy(aT[(h*4+r)*mmu.K:], pr.a.Vals[r*4:r*4+4])
+						for cc := 0; cc < sparse.BlockSize; cc++ {
+							bT[r*mmu.N+h*4+cc] = pr.b.Vals[r*4+cc]
+						}
+					}
+				}
+				mmu.DMMATile(cT, aT, bT)
+				for h, pr := range pair {
+					t := acc.tile(pr.jDst)
+					for r := 0; r < 4; r++ {
+						for cc := 0; cc < 4; cc++ {
+							t[r*4+cc] += cT[(h*4+r)*mmu.N+h*4+cc]
+						}
 					}
 				}
 			}
-			mmu.DMMATile(cT, aT, bT)
-			for h, pr := range pair {
-				t := acc.tile(pr.jDst)
-				for r := 0; r < 4; r++ {
-					for cc := 0; cc < 4; cc++ {
-						t[r*4+cc] += cT[(h*4+r)*mmu.N+h*4+cc]
-					}
-				}
-			}
+			flushRowSums(d, bi, &acc, out)
 		}
-		flushRowSums(d, bi, &acc, out)
-	}
+	})
 	return out
 }
 
@@ -283,27 +316,29 @@ func computeMMA(d *caseData) []float64 {
 func computeEssential(d *caseData) []float64 {
 	b := d.bsr
 	out := make([]float64, d.mat.Rows)
-	for bi := 0; bi < b.BlockRows; bi++ {
-		acc := rowAccumulator{tiles: map[int32]*[16]float64{}}
-		for p := b.RowPtr[bi]; p < b.RowPtr[bi+1]; p++ {
-			ab := &b.Blocks[p]
-			k := int(ab.BlockCol)
-			for q := b.RowPtr[k]; q < b.RowPtr[k+1]; q++ {
-				bb := &b.Blocks[q]
-				t := acc.tile(bb.BlockCol)
-				for r := 0; r < 4; r++ {
-					for cc := 0; cc < 4; cc++ {
-						v := t[r*4+cc]
-						for kk := 0; kk < 4; kk++ {
-							v = mmu.FMA(ab.Vals[r*4+kk], bb.Vals[kk*4+cc], v)
+	par.ForTiles(b.BlockRows, func(lo, hi int) {
+		for bi := lo; bi < hi; bi++ {
+			acc := rowAccumulator{tiles: map[int32]*[16]float64{}}
+			for p := b.RowPtr[bi]; p < b.RowPtr[bi+1]; p++ {
+				ab := &b.Blocks[p]
+				k := int(ab.BlockCol)
+				for q := b.RowPtr[k]; q < b.RowPtr[k+1]; q++ {
+					bb := &b.Blocks[q]
+					t := acc.tile(bb.BlockCol)
+					for r := 0; r < 4; r++ {
+						for cc := 0; cc < 4; cc++ {
+							v := t[r*4+cc]
+							for kk := 0; kk < 4; kk++ {
+								v = mmu.FMA(ab.Vals[r*4+kk], bb.Vals[kk*4+cc], v)
+							}
+							t[r*4+cc] = v
 						}
-						t[r*4+cc] = v
 					}
 				}
 			}
+			flushRowSums(d, bi, &acc, out)
 		}
-		flushRowSums(d, bi, &acc, out)
-	}
+	})
 	return out
 }
 
@@ -312,30 +347,32 @@ func computeEssential(d *caseData) []float64 {
 // insertion order differs from the ascending merge), FMA-contracted.
 func computeBaseline(d *caseData) []float64 {
 	m := d.mat
-	acc := make([]float64, m.Cols)
-	touched := make([]int32, 0, 256)
 	out := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		touched = touched[:0]
-		for k := m.RowPtr[i+1] - 1; k >= m.RowPtr[i]; k-- {
-			a := m.Vals[k]
-			kr := int(m.ColIdx[k])
-			for q := m.RowPtr[kr+1] - 1; q >= m.RowPtr[kr]; q-- {
-				j := m.ColIdx[q]
-				if acc[j] == 0 {
-					touched = append(touched, j)
+	par.ForTiles(m.Rows, func(lo, hi int) {
+		acc := make([]float64, m.Cols)
+		touched := make([]int32, 0, 256)
+		for i := lo; i < hi; i++ {
+			touched = touched[:0]
+			for k := m.RowPtr[i+1] - 1; k >= m.RowPtr[i]; k-- {
+				a := m.Vals[k]
+				kr := int(m.ColIdx[k])
+				for q := m.RowPtr[kr+1] - 1; q >= m.RowPtr[kr]; q-- {
+					j := m.ColIdx[q]
+					if acc[j] == 0 {
+						touched = append(touched, j)
+					}
+					acc[j] = mmu.FMA(a, m.Vals[q], acc[j])
 				}
-				acc[j] = mmu.FMA(a, m.Vals[q], acc[j])
 			}
+			insertionSortInt32(touched)
+			var sum float64
+			for _, j := range touched {
+				sum += acc[j]
+				acc[j] = 0
+			}
+			out[i] = sum
 		}
-		insertionSortInt32(touched)
-		var sum float64
-		for _, j := range touched {
-			sum += acc[j]
-			acc[j] = 0
-		}
-		out[i] = sum
-	}
+	})
 	return out
 }
 

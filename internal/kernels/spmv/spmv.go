@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/lcg"
 	"repro/internal/mmu"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/sparse"
 	"repro/internal/workload"
@@ -67,7 +68,7 @@ func (w *Workload) data(c workload.Case) (*caseData, error) {
 	if d, ok := w.cache[c.Dataset]; ok {
 		return d, nil
 	}
-	m, err := sparse.Synthesize(c.Dataset)
+	m, err := sparse.SynthesizeShared(c.Dataset)
 	if err != nil {
 		return nil, err
 	}
@@ -118,13 +119,15 @@ func (w *Workload) Reference(c workload.Case) ([]float64, error) {
 	}
 	m := d.mat
 	y := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		var acc float64
-		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-			acc += m.Vals[k] * d.x[int(m.ColIdx[k])]
+	par.ForTiles(m.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var acc float64
+			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+				acc += m.Vals[k] * d.x[int(m.ColIdx[k])]
+			}
+			y[i] = acc
 		}
-		y[i] = acc
-	}
+	})
 	return y, nil
 }
 
@@ -133,51 +136,64 @@ func computeDASPMMA(d *caseData) []float64 {
 	return ApplyDASP(d.dasp, d.x)
 }
 
+// daspScratch pools the per-sweep MMA staging tiles of ApplyDASP: the A and
+// B operands (32 each) plus the C accumulator (64), one buffer per worker.
+var daspScratch = par.NewScratch(mmu.M*mmu.K + mmu.K*mmu.N + mmu.M*mmu.N)
+
 // ApplyDASP computes y = A·x with the DASP tensor-core algorithm: per
 // block, the C tile accumulates over all segments (one MMA each, gathering
 // x into the per-lane B columns); the diagonal is then extracted. Long-row
 // blocks sum their eight lane partials pairwise in lane order. Exported so
 // applications (e.g. iterative solvers) can reuse the MMU SpMV as a linear
 // operator.
+//
+// Blocks are independent — ToDASP assigns each output row to exactly one
+// block (long rows occupy all eight lanes of a single block) — so the block
+// sweep runs on the par worker pool with bit-identical results for every
+// worker count.
 func ApplyDASP(dasp *sparse.DASP, x []float64) []float64 {
 	y := make([]float64, dasp.Rows)
-	aT := make([]float64, mmu.M*mmu.K)
-	bT := make([]float64, mmu.K*mmu.N)
-	cT := make([]float64, mmu.M*mmu.N)
-	for bi := range dasp.Blocks {
-		blk := &dasp.Blocks[bi]
-		for i := range cT {
-			cT[i] = 0
-		}
-		for si := range blk.Segments {
-			seg := &blk.Segments[si]
+	par.ForTiles(len(dasp.Blocks), func(lo, hi int) {
+		buf := daspScratch.Get()
+		defer daspScratch.Put(buf)
+		aT := buf[0 : mmu.M*mmu.K]
+		bT := buf[mmu.M*mmu.K : mmu.M*mmu.K+mmu.K*mmu.N]
+		cT := buf[mmu.M*mmu.K+mmu.K*mmu.N:]
+		for bi := lo; bi < hi; bi++ {
+			blk := &dasp.Blocks[bi]
+			for i := range cT {
+				cT[i] = 0
+			}
+			for si := range blk.Segments {
+				seg := &blk.Segments[si]
+				for l := 0; l < mmu.M; l++ {
+					for k := 0; k < mmu.K; k++ {
+						aT[l*mmu.K+k] = seg.Vals[l][k]
+						bT[k*mmu.N+l] = x[seg.Cols[l][k]]
+					}
+				}
+				mmu.DMMATile(cT, aT, bT)
+			}
+			if blk.Category == sparse.LongRow {
+				r := blk.RowOf[0]
+				var partial [mmu.M]float64
+				for l := 0; l < mmu.M; l++ {
+					partial[l] = cT[l*mmu.N+l]
+				}
+				s01 := partial[0] + partial[1]
+				s23 := partial[2] + partial[3]
+				s45 := partial[4] + partial[5]
+				s67 := partial[6] + partial[7]
+				y[r] += (s01 + s23) + (s45 + s67)
+				continue
+			}
 			for l := 0; l < mmu.M; l++ {
-				for k := 0; k < mmu.K; k++ {
-					aT[l*mmu.K+k] = seg.Vals[l][k]
-					bT[k*mmu.N+l] = x[seg.Cols[l][k]]
+				if r := blk.RowOf[l]; r >= 0 {
+					y[r] = cT[l*mmu.N+l]
 				}
 			}
-			mmu.DMMATile(cT, aT, bT)
 		}
-		if blk.Category == sparse.LongRow {
-			r := blk.RowOf[0]
-			var partial [mmu.M]float64
-			for l := 0; l < mmu.M; l++ {
-				partial[l] = cT[l*mmu.N+l]
-			}
-			s01 := partial[0] + partial[1]
-			s23 := partial[2] + partial[3]
-			s45 := partial[4] + partial[5]
-			s67 := partial[6] + partial[7]
-			y[r] += (s01 + s23) + (s45 + s67)
-			continue
-		}
-		for l := 0; l < mmu.M; l++ {
-			if r := blk.RowOf[l]; r >= 0 {
-				y[r] = cT[l*mmu.N+l]
-			}
-		}
-	}
+	})
 	return y
 }
 
@@ -210,58 +226,63 @@ func (o *Operator) Rows() int { return o.dasp.Rows }
 // deviate numerically from TC/CC (Table 6).
 func computeEssential(d *caseData) []float64 {
 	y := make([]float64, d.mat.Rows)
-	for bi := range d.dasp.Blocks {
-		blk := &d.dasp.Blocks[bi]
-		var part [mmu.M][sparse.DASPSegWidth]float64
-		for si := range blk.Segments {
-			seg := &blk.Segments[si]
-			for l := 0; l < mmu.M; l++ {
-				for k := 0; k < sparse.DASPSegWidth; k++ {
-					if seg.Vals[l][k] != 0 {
-						part[l][k] = mmu.FMA(seg.Vals[l][k], d.x[seg.Cols[l][k]], part[l][k])
+	par.ForTiles(len(d.dasp.Blocks), func(lo, hi int) {
+		for bi := lo; bi < hi; bi++ {
+			blk := &d.dasp.Blocks[bi]
+			var part [mmu.M][sparse.DASPSegWidth]float64
+			for si := range blk.Segments {
+				seg := &blk.Segments[si]
+				for l := 0; l < mmu.M; l++ {
+					for k := 0; k < sparse.DASPSegWidth; k++ {
+						if seg.Vals[l][k] != 0 {
+							part[l][k] = mmu.FMA(seg.Vals[l][k], d.x[seg.Cols[l][k]], part[l][k])
+						}
 					}
 				}
 			}
-		}
-		lane := func(l int) float64 {
-			return (part[l][0] + part[l][1]) + (part[l][2] + part[l][3])
-		}
-		if blk.Category == sparse.LongRow {
-			var acc float64
+			lane := func(l int) float64 {
+				return (part[l][0] + part[l][1]) + (part[l][2] + part[l][3])
+			}
+			if blk.Category == sparse.LongRow {
+				var acc float64
+				for l := 0; l < mmu.M; l++ {
+					acc += lane(l)
+				}
+				y[blk.RowOf[0]] += acc
+				continue
+			}
 			for l := 0; l < mmu.M; l++ {
-				acc += lane(l)
-			}
-			y[blk.RowOf[0]] += acc
-			continue
-		}
-		for l := 0; l < mmu.M; l++ {
-			if r := blk.RowOf[l]; r >= 0 {
-				y[r] = lane(l)
+				if r := blk.RowOf[l]; r >= 0 {
+					y[r] = lane(l)
+				}
 			}
 		}
-	}
+	})
 	return y
 }
 
 // computeBaseline is the cuSPARSE-class CSR SpMV: a warp of 32 lanes per
-// row, strided partial sums, binary-tree lane reduction.
+// row, strided partial sums, binary-tree lane reduction. Rows are
+// independent, so the sweep runs on the par worker pool.
 func computeBaseline(d *caseData) []float64 {
 	m := d.mat
 	y := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		var part [32]float64
-		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
-		for k := lo; k < hi; k++ {
-			l := (k - lo) % 32
-			part[l] = mmu.FMA(m.Vals[k], d.x[int(m.ColIdx[k])], part[l])
-		}
-		for stride := 16; stride >= 1; stride /= 2 {
-			for l := 0; l < stride; l++ {
-				part[l] += part[l+stride]
+	par.ForTiles(m.Rows, func(rlo, rhi int) {
+		for i := rlo; i < rhi; i++ {
+			var part [32]float64
+			lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+			for k := lo; k < hi; k++ {
+				l := (k - lo) % 32
+				part[l] = mmu.FMA(m.Vals[k], d.x[int(m.ColIdx[k])], part[l])
 			}
+			for stride := 16; stride >= 1; stride /= 2 {
+				for l := 0; l < stride; l++ {
+					part[l] += part[l+stride]
+				}
+			}
+			y[i] = part[0]
 		}
-		y[i] = part[0]
-	}
+	})
 	return y
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/lcg"
 	"repro/internal/mmu"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/tensor"
 	"repro/internal/workload"
@@ -142,16 +143,18 @@ func (w *Workload) Reference(c workload.Case) ([]float64, error) {
 		}
 		return u.At(i, j)
 	}
-	for i := 0; i < u.Rows; i++ {
-		for j := 0; j < u.Cols; j++ {
-			v := wCenter * at(i, j)
-			v += wSide * at(i-1, j)
-			v += wSide * at(i+1, j)
-			v += wSide * at(i, j-1)
-			v += wSide * at(i, j+1)
-			out.Set(i, j, v)
+	par.ForTiles(u.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < u.Cols; j++ {
+				v := wCenter * at(i, j)
+				v += wSide * at(i-1, j)
+				v += wSide * at(i+1, j)
+				v += wSide * at(i, j-1)
+				v += wSide * at(i, j+1)
+				out.Set(i, j, v)
+			}
 		}
-	}
+	})
 	return out.Data, nil
 }
 
@@ -181,51 +184,64 @@ func bandMatrixA(centerWeight float64) []float64 {
 	return a
 }
 
+// sweepScratch pools the per-sweep staging of sweepMMA and the Sweep3DMMA
+// band passes: two haloed tiles (96 each), the 8×8 accumulator, and the
+// A/B MMA operand segments (32 each).
+var sweepScratch = par.NewScratch(2*96 + 64 + 2*32)
+
 // sweepMMA executes one star2d1r sweep in the LoRaStencil style: per 8×8
 // tile, a horizontal band product X_ext(8×12)·B(12×8) plus a vertical band
 // product A(8×12)·X_ext(12×8) with a zeroed center weight, both as chains
-// of m8n8k4 MMAs against the constant band matrices.
+// of m8n8k4 MMAs against the constant band matrices. Output tiles are
+// disjoint, so the tile-row grid runs on the par worker pool with the
+// per-tile MMA chain order unchanged.
 func sweepMMA(u *tensor.Matrix) *tensor.Matrix {
 	out := tensor.NewMatrix(u.Rows, u.Cols)
 	bH := bandMatrixB(wCenter)
 	aV := bandMatrixA(0)
-	xh := make([]float64, 8*12)  // tile with one-column halo each side
-	xv := make([]float64, 12*8)  // tile with one-row halo each side
-	acc := make([]float64, 8*8)  // accumulates both passes
-	aSeg := make([]float64, 8*4) // MMA operand staging
-	bSeg := make([]float64, 4*8)
-
-	for i0 := 0; i0 < u.Rows; i0 += 8 {
-		for j0 := 0; j0 < u.Cols; j0 += 8 {
-			u.Tile(xh, i0, j0-1, 8, 12)
-			u.Tile(xv, i0-1, j0, 12, 8)
-			for i := range acc {
-				acc[i] = 0
-			}
-			// Horizontal: acc += X_ext · B, k swept in 4-wide steps.
-			for k0 := 0; k0 < 12; k0 += 4 {
-				for r := 0; r < 8; r++ {
-					copy(aSeg[r*4:], xh[r*12+k0:r*12+k0+4])
+	rowTiles := (u.Rows + 7) / 8
+	par.ForTiles(rowTiles, func(lo, hi int) {
+		buf := sweepScratch.Get()
+		defer sweepScratch.Put(buf)
+		xh := buf[0:96]      // tile with one-column halo each side
+		xv := buf[96:192]    // tile with one-row halo each side
+		acc := buf[192:256]  // accumulates both passes
+		aSeg := buf[256:288] // MMA operand staging
+		bSeg := buf[288:320]
+		for ti := lo; ti < hi; ti++ {
+			i0 := ti * 8
+			for j0 := 0; j0 < u.Cols; j0 += 8 {
+				u.Tile(xh, i0, j0-1, 8, 12)
+				u.Tile(xv, i0-1, j0, 12, 8)
+				for i := range acc {
+					acc[i] = 0
 				}
-				copy(bSeg, bH[k0*8:(k0+4)*8])
-				mmu.DMMATile(acc, aSeg, bSeg)
-			}
-			// Vertical: acc += A · X_ext, center weight zero.
-			for k0 := 0; k0 < 12; k0 += 4 {
-				for r := 0; r < 8; r++ {
-					copy(aSeg[r*4:], aV[r*12+k0:r*12+k0+4])
+				// Horizontal: acc += X_ext · B, k swept in 4-wide steps.
+				for k0 := 0; k0 < 12; k0 += 4 {
+					for r := 0; r < 8; r++ {
+						copy(aSeg[r*4:], xh[r*12+k0:r*12+k0+4])
+					}
+					copy(bSeg, bH[k0*8:(k0+4)*8])
+					mmu.DMMATile(acc, aSeg, bSeg)
 				}
-				copy(bSeg, xv[k0*8:(k0+4)*8])
-				mmu.DMMATile(acc, aSeg, bSeg)
+				// Vertical: acc += A · X_ext, center weight zero.
+				for k0 := 0; k0 < 12; k0 += 4 {
+					for r := 0; r < 8; r++ {
+						copy(aSeg[r*4:], aV[r*12+k0:r*12+k0+4])
+					}
+					copy(bSeg, xv[k0*8:(k0+4)*8])
+					mmu.DMMATile(acc, aSeg, bSeg)
+				}
+				out.SetTile(acc, i0, j0, 8, 8)
 			}
-			out.SetTile(acc, i0, j0, 8, 8)
 		}
-	}
+	})
 	return out
 }
 
 // sweepDirect is the DRStencil-class vector baseline: a direct 5-point
-// gather per point with FMA contraction in fixed neighbor order.
+// gather per point with FMA contraction in fixed neighbor order, rows
+// executed on the par worker pool.
 func sweepDirect(u *tensor.Matrix) *tensor.Matrix {
 	out := tensor.NewMatrix(u.Rows, u.Cols)
 	at := func(i, j int) float64 {
@@ -234,16 +250,18 @@ func sweepDirect(u *tensor.Matrix) *tensor.Matrix {
 		}
 		return u.At(i, j)
 	}
-	for i := 0; i < u.Rows; i++ {
-		for j := 0; j < u.Cols; j++ {
-			v := mmu.FMA(wCenter, at(i, j), 0)
-			v = mmu.FMA(wSide, at(i-1, j), v)
-			v = mmu.FMA(wSide, at(i+1, j), v)
-			v = mmu.FMA(wSide, at(i, j-1), v)
-			v = mmu.FMA(wSide, at(i, j+1), v)
-			out.Set(i, j, v)
+	par.ForTiles(u.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < u.Cols; j++ {
+				v := mmu.FMA(wCenter, at(i, j), 0)
+				v = mmu.FMA(wSide, at(i-1, j), v)
+				v = mmu.FMA(wSide, at(i+1, j), v)
+				v = mmu.FMA(wSide, at(i, j-1), v)
+				v = mmu.FMA(wSide, at(i, j+1), v)
+				out.Set(i, j, v)
+			}
 		}
-	}
+	})
 	return out
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mmu"
+	"repro/internal/par"
 )
 
 // Grid3D is a dense nx×ny×nz field stored z-major within rows (index
@@ -47,44 +48,51 @@ func Sweep3DMMA(u *Grid3D) (*Grid3D, error) {
 	bandC := bandMatrixB(wCenter) // 12×8, center weight included
 	band0 := bandMatrixB(0)       // 12×8, neighbors only
 
-	lineExt := make([]float64, 8*12) // 8 lines × (8 points + halo)
-	acc := make([]float64, 64)
-	aSeg := make([]float64, 32)
-	bSeg := make([]float64, 32)
-
 	// pass applies a 1D band along the fastest-varying axis of an
 	// (outer, lines, points) view: gather takes (line, point) to a value,
-	// scatter accumulates the result.
+	// scatter accumulates the result. Each 8-line tile row scatters to a
+	// disjoint set of grid elements within the pass, so the line-tile grid
+	// runs on the par worker pool (passes themselves stay sequential).
 	pass := func(lines, points int, band []float64,
 		gather func(line, pt int) float64, scatter func(line, pt int, v float64)) {
-		for l0 := 0; l0 < lines; l0 += 8 {
-			for p0 := 0; p0 < points; p0 += 8 {
-				for r := 0; r < 8; r++ {
-					for c := 0; c < 12; c++ {
-						if l0+r < lines {
-							lineExt[r*12+c] = gatherSafe(gather, l0+r, p0+c-1, points)
-						} else {
-							lineExt[r*12+c] = 0
+		lineTiles := (lines + 7) / 8
+		par.ForTiles(lineTiles, func(tlo, thi int) {
+			buf := sweepScratch.Get()
+			defer sweepScratch.Put(buf)
+			lineExt := buf[0:96] // 8 lines × (8 points + halo)
+			acc := buf[96:160]
+			aSeg := buf[160:192]
+			bSeg := buf[192:224]
+			for lt := tlo; lt < thi; lt++ {
+				l0 := lt * 8
+				for p0 := 0; p0 < points; p0 += 8 {
+					for r := 0; r < 8; r++ {
+						for c := 0; c < 12; c++ {
+							if l0+r < lines {
+								lineExt[r*12+c] = gatherSafe(gather, l0+r, p0+c-1, points)
+							} else {
+								lineExt[r*12+c] = 0
+							}
+						}
+					}
+					for i := range acc {
+						acc[i] = 0
+					}
+					for k0 := 0; k0 < 12; k0 += 4 {
+						for r := 0; r < 8; r++ {
+							copy(aSeg[r*4:], lineExt[r*12+k0:r*12+k0+4])
+						}
+						copy(bSeg, band[k0*8:(k0+4)*8])
+						mmu.DMMATile(acc, aSeg, bSeg)
+					}
+					for r := 0; r < 8 && l0+r < lines; r++ {
+						for c := 0; c < 8 && p0+c < points; c++ {
+							scatter(l0+r, p0+c, acc[r*8+c])
 						}
 					}
 				}
-				for i := range acc {
-					acc[i] = 0
-				}
-				for k0 := 0; k0 < 12; k0 += 4 {
-					for r := 0; r < 8; r++ {
-						copy(aSeg[r*4:], lineExt[r*12+k0:r*12+k0+4])
-					}
-					copy(bSeg, band[k0*8:(k0+4)*8])
-					mmu.DMMATile(acc, aSeg, bSeg)
-				}
-				for r := 0; r < 8 && l0+r < lines; r++ {
-					for c := 0; c < 8 && p0+c < points; c++ {
-						scatter(l0+r, p0+c, acc[r*8+c])
-					}
-				}
 			}
-		}
+		})
 	}
 
 	nx, ny, nz := u.NX, u.NY, u.NZ
@@ -118,22 +126,24 @@ func gatherSafe(gather func(line, pt int) float64, line, pt, points int) float64
 }
 
 // Sweep3DDirect is the direct 7-point reference with separate multiply and
-// add.
+// add, x-planes executed on the par worker pool.
 func Sweep3DDirect(u *Grid3D) *Grid3D {
 	out := NewGrid3D(u.NX, u.NY, u.NZ)
-	for i := 0; i < u.NX; i++ {
-		for j := 0; j < u.NY; j++ {
-			for k := 0; k < u.NZ; k++ {
-				v := wCenter * u.At(i, j, k)
-				v += wSide * u.At(i-1, j, k)
-				v += wSide * u.At(i+1, j, k)
-				v += wSide * u.At(i, j-1, k)
-				v += wSide * u.At(i, j+1, k)
-				v += wSide * u.At(i, j, k-1)
-				v += wSide * u.At(i, j, k+1)
-				out.Set(i, j, k, v)
+	par.ForTiles(u.NX, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < u.NY; j++ {
+				for k := 0; k < u.NZ; k++ {
+					v := wCenter * u.At(i, j, k)
+					v += wSide * u.At(i-1, j, k)
+					v += wSide * u.At(i+1, j, k)
+					v += wSide * u.At(i, j-1, k)
+					v += wSide * u.At(i, j+1, k)
+					v += wSide * u.At(i, j, k-1)
+					v += wSide * u.At(i, j, k+1)
+					out.Set(i, j, k, v)
+				}
 			}
 		}
-	}
+	})
 	return out
 }

@@ -1,0 +1,218 @@
+// Package par is the deterministic parallel tile-grid execution engine of
+// the Cubie suite. Every kernel variant really executes its FP64 arithmetic
+// through the pure-Go MMA layer (internal/mmu), and the paper's central
+// property — MMA semantics are per-tile deterministic and tile-independent
+// (Sun et al.; Khattak & Mikaitis) — is exactly what makes output tiles safe
+// to compute concurrently: each output element's FMA accumulation chain is
+// confined to one tile, so executing tiles on N workers produces the same
+// bits as executing them on one.
+//
+// The engine provides:
+//
+//   - ForTiles: statically partitions an index space of independent output
+//     tiles into contiguous ranges executed by a persistent worker pool.
+//     Because a tile never straddles a range boundary, results are
+//     bit-identical for every worker count (the Table 6 TC ≡ CC invariant
+//     survives parallel execution).
+//   - ReduceTiles (reduce.go): chunked fan-out with per-worker partial
+//     accumulators merged at join in fixed chunk order. Chunk boundaries
+//     depend only on the grid, never on the worker count, so even
+//     floating-point reductions are reproducible across pool sizes.
+//   - Scratch (scratch.go): sync.Pool-backed fixed-size scratch buffers for
+//     the fragment/tile temporaries kernels stage MMA operands in.
+//
+// The pool is sized from GOMAXPROCS and can be overridden with the
+// CUBIE_WORKERS environment variable or SetWorkers. Workers(1) disables
+// parallelism entirely (every range runs inline on the caller), which the
+// suite-wide determinism test uses as the serial reference.
+package par
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvWorkers is the environment variable that overrides the default worker
+// count at process start.
+const EnvWorkers = "CUBIE_WORKERS"
+
+var workerCount atomic.Int64
+
+func init() {
+	workerCount.Store(int64(defaultWorkers()))
+}
+
+// defaultWorkers resolves the initial worker count: CUBIE_WORKERS when set
+// and valid, GOMAXPROCS otherwise.
+func defaultWorkers() int {
+	if s := os.Getenv(EnvWorkers); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 1 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Workers returns the current worker count used to partition tile grids.
+func Workers() int { return int(workerCount.Load()) }
+
+// SetWorkers sets the worker count and returns the previous value. n < 1 is
+// clamped to 1. The setting only affects how grids are partitioned — results
+// are bit-identical for every value (see the package comment).
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(workerCount.Swap(int64(n)))
+}
+
+// WorkerPanic wraps a panic recovered on a pool worker so it can be
+// re-raised on the submitting goroutine with the worker's stack attached.
+type WorkerPanic struct {
+	Value any    // the original panic value
+	Stack []byte // stack of the panicking worker
+}
+
+func (p *WorkerPanic) Error() string {
+	return fmt.Sprintf("par: worker panic: %v\n%s", p.Value, p.Stack)
+}
+
+// Unwrap exposes the original panic value when it is an error.
+func (p *WorkerPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// pool is the persistent worker pool: a fixed set of goroutines draining a
+// shared task queue. Submission never blocks (inline fallback), and waiters
+// help drain the queue, so nested ForTiles calls cannot deadlock even when
+// every worker is busy.
+type pool struct {
+	once    sync.Once
+	tasks   chan func()
+	started int
+}
+
+var engine pool
+
+// start lazily launches the worker goroutines. The pool is sized to the
+// machine (GOMAXPROCS, or CUBIE_WORKERS when larger) — SetWorkers only
+// changes partitioning, never the number of OS-scheduled workers, so a
+// burst of nested calls cannot oversubscribe the host.
+func (p *pool) start() {
+	p.once.Do(func() {
+		n := runtime.GOMAXPROCS(0)
+		if env := defaultWorkers(); env > n {
+			n = env
+		}
+		// A deep queue lets nested calls park tasks without forcing the
+		// inline fallback; waiters drain it, so depth only affects scheduling.
+		p.tasks = make(chan func(), 4*n)
+		p.started = n
+		for i := 0; i < n; i++ {
+			go func() {
+				for t := range p.tasks {
+					t()
+				}
+			}()
+		}
+	})
+}
+
+// submit enqueues t if a queue slot is free and returns true; otherwise the
+// caller must run t inline.
+func (p *pool) submit(t func()) bool {
+	p.start()
+	select {
+	case p.tasks <- t:
+		return true
+	default:
+		return false
+	}
+}
+
+// PoolSize reports how many persistent workers back the engine (zero before
+// the first parallel call starts the pool).
+func PoolSize() int {
+	engine.start()
+	return engine.started
+}
+
+// ForTiles executes fn over the index space [0, n), statically partitioned
+// into at most Workers() contiguous ranges [lo, hi). Each range runs exactly
+// once, on one goroutine, with fn free to keep per-range scratch state.
+// ForTiles returns when every range has finished; a panic inside fn is
+// re-raised on the caller as *WorkerPanic. ForTiles is safe for concurrent
+// and nested use.
+//
+// Determinism contract: callers must ensure each index writes only its own
+// output region and that per-index work is independent (the tile property).
+// Under that contract the result is bit-identical for every worker count.
+func ForTiles(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		fn(0, n)
+		return
+	}
+
+	var (
+		mu       sync.Mutex
+		panicked *WorkerPanic
+		done     = make(chan struct{}, w)
+	)
+	run := func(lo, hi int) {
+		defer func() {
+			if r := recover(); r != nil {
+				wp := &WorkerPanic{Value: r, Stack: debug.Stack()}
+				mu.Lock()
+				if panicked == nil {
+					panicked = wp
+				}
+				mu.Unlock()
+			}
+			done <- struct{}{}
+		}()
+		fn(lo, hi)
+	}
+
+	// Balanced static partition: range i is [i*n/w, (i+1)*n/w).
+	submitted := 0
+	for i := 1; i < w; i++ {
+		lo, hi := i*n/w, (i+1)*n/w
+		if lo == hi {
+			continue
+		}
+		task := func() { run(lo, hi) }
+		if !engine.submit(task) {
+			task() // queue full: run inline rather than block
+		}
+		submitted++
+	}
+	// The caller owns range 0 and then helps drain the queue while waiting,
+	// which keeps nested ForTiles deadlock-free.
+	run(0, n/w)
+	for finished := 0; finished <= submitted; {
+		select {
+		case <-done:
+			finished++
+		case t := <-engine.tasks:
+			t()
+		}
+	}
+	if panicked != nil {
+		panic(panicked)
+	}
+}

@@ -1,0 +1,255 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// withWorkers runs f under a temporary worker count.
+func withWorkers(t *testing.T, n int, f func()) {
+	t.Helper()
+	prev := SetWorkers(n)
+	defer SetWorkers(prev)
+	f()
+}
+
+func TestWorkersDefaultAndClamp(t *testing.T) {
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d, want >= 1", Workers())
+	}
+	prev := SetWorkers(0) // clamped
+	defer SetWorkers(prev)
+	if Workers() != 1 {
+		t.Fatalf("SetWorkers(0) left Workers() = %d, want 1", Workers())
+	}
+	SetWorkers(7)
+	if Workers() != 7 {
+		t.Fatalf("Workers() = %d, want 7", Workers())
+	}
+}
+
+func TestPoolSizing(t *testing.T) {
+	if n := PoolSize(); n < 1 {
+		t.Fatalf("PoolSize() = %d, want >= 1", n)
+	}
+	// SetWorkers must not change the persistent pool size.
+	withWorkers(t, 64, func() {
+		before := PoolSize()
+		ForTiles(128, func(lo, hi int) {})
+		if PoolSize() != before {
+			t.Fatalf("pool resized from %d to %d", before, PoolSize())
+		}
+	})
+}
+
+// TestForTilesCoverage checks every index is visited exactly once, over
+// even, uneven, tiny, and degenerate grids and several worker counts.
+func TestForTilesCoverage(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 8, 61} {
+		for _, n := range []int{0, 1, 2, 7, 64, 1000, 1023} {
+			t.Run(fmt.Sprintf("w%d_n%d", w, n), func(t *testing.T) {
+				withWorkers(t, w, func() {
+					counts := make([]int32, n)
+					ForTiles(n, func(lo, hi int) {
+						if lo < 0 || hi > n || lo > hi {
+							t.Errorf("bad range [%d,%d) for n=%d", lo, hi, n)
+						}
+						for i := lo; i < hi; i++ {
+							atomic.AddInt32(&counts[i], 1)
+						}
+					})
+					for i, c := range counts {
+						if c != 1 {
+							t.Fatalf("index %d visited %d times", i, c)
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// TestForTilesBitIdentical pins the core determinism contract: a tiled
+// computation produces the same bits at Workers(1) and Workers(N).
+func TestForTilesBitIdentical(t *testing.T) {
+	const n = 513
+	compute := func() []float64 {
+		out := make([]float64, n)
+		ForTiles(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				acc := 0.0
+				for k := 0; k < 17; k++ {
+					acc += float64(i+1) / float64(k+3)
+				}
+				out[i] = acc
+			}
+		})
+		return out
+	}
+	var serial, parallel []float64
+	withWorkers(t, 1, func() { serial = compute() })
+	withWorkers(t, 13, func() { parallel = compute() })
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("out[%d]: serial %v != parallel %v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestForTilesPanicPropagation(t *testing.T) {
+	sentinel := errors.New("tile 3 exploded")
+	for _, w := range []int{1, 4} {
+		withWorkers(t, w, func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", w)
+				}
+				if w == 1 {
+					// Inline path re-raises the original value untouched.
+					if !errors.Is(r.(error), sentinel) {
+						t.Fatalf("workers=1: got %v", r)
+					}
+					return
+				}
+				wp, ok := r.(*WorkerPanic)
+				if !ok {
+					t.Fatalf("workers=%d: got %T (%v), want *WorkerPanic", w, r, r)
+				}
+				if !errors.Is(wp, sentinel) {
+					t.Fatalf("WorkerPanic unwraps to %v, want sentinel", wp.Unwrap())
+				}
+				if len(wp.Stack) == 0 {
+					t.Fatal("WorkerPanic carries no stack")
+				}
+			}()
+			ForTiles(16, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if i == 3 {
+						panic(sentinel)
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestForTilesNested exercises ForTiles called from inside ForTiles workers:
+// the engine must make progress (help-while-waiting) and cover the full 2D
+// grid exactly once.
+func TestForTilesNested(t *testing.T) {
+	withWorkers(t, 4, func() {
+		const rows, cols = 37, 29
+		var counts [rows * cols]int32
+		ForTiles(rows, func(rlo, rhi int) {
+			for r := rlo; r < rhi; r++ {
+				r := r
+				ForTiles(cols, func(clo, chi int) {
+					for c := clo; c < chi; c++ {
+						atomic.AddInt32(&counts[r*cols+c], 1)
+					}
+				})
+			}
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("cell %d visited %d times", i, c)
+			}
+		}
+	})
+}
+
+// TestForTilesConcurrent runs many ForTiles calls from independent
+// goroutines sharing the pool.
+func TestForTilesConcurrent(t *testing.T) {
+	withWorkers(t, 3, func() {
+		var wg sync.WaitGroup
+		var total atomic.Int64
+		for g := 0; g < 16; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ForTiles(100, func(lo, hi int) {
+					total.Add(int64(hi - lo))
+				})
+			}()
+		}
+		wg.Wait()
+		if total.Load() != 1600 {
+			t.Fatalf("covered %d indices, want 1600", total.Load())
+		}
+	})
+}
+
+// TestReduceTilesDeterministic pins that chunked reduction is bit-identical
+// across worker counts, including a floating-point sum whose plain serial
+// order would differ.
+func TestReduceTilesDeterministic(t *testing.T) {
+	sum := func() float64 {
+		return ReduceTiles(1000, 64, func(lo, hi int, acc *float64) {
+			for i := lo; i < hi; i++ {
+				*acc += 1.0 / float64(i+1)
+			}
+		}, func(dst, src *float64) { *dst += *src })
+	}
+	var s1, sN float64
+	withWorkers(t, 1, func() { s1 = sum() })
+	withWorkers(t, 9, func() { sN = sum() })
+	if s1 != sN {
+		t.Fatalf("ReduceTiles: serial %v != parallel %v", s1, sN)
+	}
+	if s1 == 0 {
+		t.Fatal("ReduceTiles returned zero")
+	}
+}
+
+func TestReduceTilesCounts(t *testing.T) {
+	type stats struct{ n, sum int }
+	got := ReduceTiles(101, 7, func(lo, hi int, acc *stats) {
+		for i := lo; i < hi; i++ {
+			acc.n++
+			acc.sum += i
+		}
+	}, func(dst, src *stats) { dst.n += src.n; dst.sum += src.sum })
+	if got.n != 101 || got.sum != 101*100/2 {
+		t.Fatalf("got %+v, want n=101 sum=5050", got)
+	}
+}
+
+func TestScratch(t *testing.T) {
+	s := NewScratch(64)
+	if s.Len() != 64 {
+		t.Fatalf("Len() = %d", s.Len())
+	}
+	b := s.Get()
+	if len(b) != 64 {
+		t.Fatalf("Get() len = %d", len(b))
+	}
+	for i := range b {
+		b[i] = 42
+	}
+	s.Put(b)
+	z := s.GetZeroed()
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("GetZeroed()[%d] = %v", i, v)
+		}
+	}
+	s.Put(z)
+	s.Put(make([]float64, 3)) // wrong size: must be dropped, not poison
+	if got := s.Get(); len(got) != 64 {
+		t.Fatalf("pool poisoned: Get() len = %d", len(got))
+	}
+}
+
+func BenchmarkForTilesOverhead(b *testing.B) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ForTiles(64, func(lo, hi int) {})
+	}
+}

@@ -1,0 +1,41 @@
+package par
+
+// ReduceTiles fans the index space [0, n) out in fixed-size chunks of grain
+// indices, fills one zero-valued accumulator per chunk with fn, and merges
+// the chunk accumulators into a single result in ascending chunk order.
+//
+// Chunk boundaries depend only on n and grain — never on Workers() — and the
+// merge order is fixed, so the result is bit-identical for every worker
+// count. This is the safe way to accumulate execution-profile statistics
+// (sim.Profile partials, symbolic FLOP/byte counts) from a parallel sweep:
+// each worker owns private partials, and the join replays a deterministic
+// merge. Note the chunked merge order may differ from a plain serial loop's
+// element order; for the integer-valued counters the kernels accumulate the
+// distinction is invisible, and for floating-point sums the chunked order is
+// itself the pinned, reproducible definition.
+//
+// A panic inside fn propagates as *WorkerPanic (see ForTiles).
+func ReduceTiles[T any](n, grain int, fn func(lo, hi int, acc *T), merge func(dst, src *T)) T {
+	var out T
+	if n <= 0 {
+		return out
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	accs := make([]T, chunks)
+	ForTiles(chunks, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			lo, hi := c*grain, (c+1)*grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi, &accs[c])
+		}
+	})
+	for i := range accs {
+		merge(&out, &accs[i])
+	}
+	return out
+}

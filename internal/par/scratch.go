@@ -1,0 +1,53 @@
+package par
+
+import "sync"
+
+// Scratch is a sync.Pool-backed pool of fixed-size float64 scratch buffers.
+// Kernels use it for the MMA fragment/tile temporaries (A/B operand staging,
+// C accumulators) that were previously allocated on every call: one Get per
+// worker range amortizes the allocation across the whole tile sweep, and Put
+// recycles the buffer for the next call.
+//
+// Buffers returned by Get have the pool's fixed length but unspecified
+// contents — callers must fully initialize (or zero) every region they read.
+// GetZeroed returns a cleared buffer for accumulator use.
+type Scratch struct {
+	n    int
+	pool sync.Pool
+}
+
+// NewScratch creates a pool of length-n buffers.
+func NewScratch(n int) *Scratch {
+	s := &Scratch{n: n}
+	s.pool.New = func() any {
+		b := make([]float64, n)
+		return &b
+	}
+	return s
+}
+
+// Len returns the buffer length this pool hands out.
+func (s *Scratch) Len() int { return s.n }
+
+// Get returns a length-n buffer with unspecified contents.
+func (s *Scratch) Get() []float64 {
+	return *s.pool.Get().(*[]float64)
+}
+
+// GetZeroed returns a length-n buffer with every element set to zero.
+func (s *Scratch) GetZeroed() []float64 {
+	b := s.Get()
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
+// Put returns a buffer obtained from Get to the pool. Buffers of the wrong
+// length are dropped (defensive: never poison the pool).
+func (s *Scratch) Put(b []float64) {
+	if len(b) != s.n {
+		return
+	}
+	s.pool.Put(&b)
+}

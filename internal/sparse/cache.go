@@ -1,0 +1,31 @@
+package sparse
+
+import "sync"
+
+// shared caches synthesized Table 4 matrices process-wide. Synthesis is
+// deterministic, so every consumer sees identical structure and values.
+var shared = struct {
+	mu sync.Mutex
+	m  map[string]*CSR
+}{m: map[string]*CSR{}}
+
+// SynthesizeShared returns the process-wide shared instance of the named
+// Table 4 matrix, synthesizing it on first use. The returned CSR must be
+// treated as read-only: SpMV, SpGEMM, and the harness coverage/ablation
+// studies all hold the same pointer (previously each synthesized its own
+// copy — raefsky3 alone is ~1.5 M nonzeros built three times over). The
+// lock is held across synthesis so concurrent first callers do the work
+// exactly once.
+func SynthesizeShared(name string) (*CSR, error) {
+	shared.mu.Lock()
+	defer shared.mu.Unlock()
+	if m, ok := shared.m[name]; ok {
+		return m, nil
+	}
+	m, err := Synthesize(name)
+	if err != nil {
+		return nil, err
+	}
+	shared.m[name] = m
+	return m, nil
+}

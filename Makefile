@@ -1,16 +1,18 @@
 # Build/test entry points for the Cubie reproduction.
 #
-#   make test    - vet + unit tests (tier-1 gate)
-#   make race    - full test suite under the race detector
-#   make bench   - kernel + harness benchmarks with memory stats,
-#                  archived as benchdata/BENCH_<date>.json (see
-#                  docs/PERFORMANCE.md)
-#   make build   - compile everything
-#   make vet     - static analysis only
+#   make test       - vet + docs-check + unit tests (tier-1 gate)
+#   make race       - full test suite under the race detector
+#   make bench      - kernel + harness benchmarks with memory stats,
+#                     archived as benchdata/BENCH_<date>.json (see
+#                     docs/PERFORMANCE.md)
+#   make build      - compile everything
+#   make vet        - static analysis only
+#   make docs-check - verify docs/README references (flags, make targets,
+#                     CUBIE_* env vars) against the code
 
 GO ?= go
 
-.PHONY: all build vet test race bench clean
+.PHONY: all build vet test race bench docs-check clean
 
 all: test
 
@@ -20,7 +22,10 @@ build:
 vet:
 	$(GO) vet ./...
 
-test: vet
+docs-check:
+	$(GO) run ./cmd/docscheck
+
+test: vet docs-check
 	$(GO) test ./...
 
 race:

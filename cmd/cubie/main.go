@@ -28,7 +28,12 @@
 //	trace      write a Chrome-trace timeline of the measurement campaign
 //	selfbench  time this repo's own compute paths (§6 methodology)
 //	explain    resource-level breakdown of one workload/case/variant
+//	run        execute workloads through the instrumented harness path
 //	all        run everything above in paper order
+//
+// Every command additionally accepts the observability flags --metrics,
+// --trace-host, and --pprof (see docs/OBSERVABILITY.md). Flags come before
+// positional arguments: cubie run --metrics - SpMV.
 package main
 
 import (
@@ -57,11 +62,19 @@ func main() {
 	of := fs.String("of", "tc-vs-baseline", "speedup pair: tc-vs-baseline, cc-vs-tc, cce-vs-tc")
 	corpus := fs.Int("corpus", 499, "corpus size for the coverage analysis")
 	format := fs.String("format", "text", "output format for perf and error: text, csv, json")
+	metricsOut := fs.String("metrics", "", "write a metrics snapshot after the command: Prometheus text, or JSON for *.json paths (\"-\" = stdout)")
+	traceHost := fs.String("trace-host", "", "record real host execution spans and write Chrome-trace JSON (\"-\" = stdout)")
+	pprofOut := fs.String("pprof", "", "write a CPU profile of the command (inspect with go tool pprof)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
 
 	spec, err := cubie.DeviceByName(*gpu)
+	if err != nil {
+		fatal(err)
+	}
+
+	obs, err := startObservability(*pprofOut, *traceHost, *metricsOut)
 	if err != nil {
 		fatal(err)
 	}
@@ -211,11 +224,16 @@ func main() {
 		if err := h.Explain(os.Stdout, args[0], caseName, variant, spec); err != nil {
 			fatal(err)
 		}
+	case "run":
+		cmdRun(h, fs.Args(), spec)
 	case "all":
 		cmdAll(h)
 	default:
 		usage()
 		os.Exit(2)
+	}
+	if err := obs.finish(); err != nil {
+		fatal(err)
 	}
 }
 
@@ -462,7 +480,15 @@ commands:
   perf | speedup [--of tc-vs-baseline|cc-vs-tc|cce-vs-tc]
   edp | power | error | roofline [--gpu A100|H200|B200]
   coverage [--corpus N] | ablate | advise | whatif | sweep | trace | selfbench
-  explain <workload> [case] [variant] | all`)
+  explain <workload> [case] [variant]
+  run [<workload> [case] [variant]]
+  all
+
+observability flags (any command; flags precede positional args):
+  --metrics <file|->     metrics snapshot after the command (Prometheus
+                         text; *.json path writes JSON)
+  --trace-host <file|->  Chrome-trace JSON of real host execution spans
+  --pprof <file>         CPU profile labeled by workload/variant/phase`)
 }
 
 func fatal(err error) {

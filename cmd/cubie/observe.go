@@ -1,0 +1,144 @@
+package main
+
+// Observability plumbing for the CLI: every cubie command accepts
+//
+//	--metrics <file|->     metrics snapshot after the command (Prometheus
+//	                       text; a .json path switches to JSON)
+//	--trace-host <file|->  Chrome-trace JSON of real host execution spans
+//	--pprof <file>         CPU profile of the command, with samples labeled
+//	                       by {workload, variant, phase}
+//
+// plus the `run` command, which executes workloads through the harness for
+// exactly this kind of inspection. See docs/OBSERVABILITY.md.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime/pprof"
+	"strings"
+
+	"repro/cubie"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// observability holds the sinks opened before the command runs.
+type observability struct {
+	pprofFile   *os.File
+	host        *trace.HostRecorder
+	hostPath    string
+	metricsPath string
+}
+
+// startObservability opens the requested sinks: it starts the CPU profile
+// and the host-span recorder before the command executes. Empty paths
+// disable the corresponding sink.
+func startObservability(pprofPath, hostPath, metricsPath string) (*observability, error) {
+	o := &observability{hostPath: hostPath, metricsPath: metricsPath}
+	if pprofPath != "" {
+		f, err := os.Create(pprofPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("start cpu profile: %w", err)
+		}
+		o.pprofFile = f
+	}
+	if hostPath != "" {
+		o.host = trace.StartHost()
+	}
+	return o, nil
+}
+
+// finish flushes every active sink: stops the CPU profile, writes the host
+// timeline, and writes the metrics snapshot (in that order, so the snapshot
+// reflects the whole command).
+func (o *observability) finish() error {
+	if o.pprofFile != nil {
+		pprof.StopCPUProfile()
+		if err := o.pprofFile.Close(); err != nil {
+			return err
+		}
+		o.pprofFile = nil
+	}
+	if o.host != nil {
+		trace.StopHost()
+		if err := writeTo(o.hostPath, o.host.Write); err != nil {
+			return fmt.Errorf("write host trace: %w", err)
+		}
+		o.host = nil
+	}
+	if o.metricsPath != "" {
+		write := metrics.WritePrometheus
+		if strings.HasSuffix(o.metricsPath, ".json") {
+			write = metrics.WriteJSON
+		}
+		if err := writeTo(o.metricsPath, write); err != nil {
+			return fmt.Errorf("write metrics: %w", err)
+		}
+	}
+	return nil
+}
+
+// writeTo streams fn's output to path; "-" means stdout.
+func writeTo(path string, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// cmdRun executes workloads through the instrumented harness path:
+//
+//	cubie run                          every workload, representative case, TC
+//	cubie run <workload>               representative case, TC
+//	cubie run <workload> <case>        TC
+//	cubie run <workload> <case> <variant>
+//
+// Combined with --metrics / --trace-host / --pprof it is the suite's
+// observability entry point: one command that really executes kernels and
+// then snapshots what the runtime saw.
+func cmdRun(h *cubie.Harness, args []string, spec cubie.Device) {
+	type sel struct {
+		workload, caseName string
+		v                  cubie.Variant
+	}
+	var sels []sel
+	if len(args) == 0 {
+		for _, w := range h.Suite.Workloads() {
+			sels = append(sels, sel{workload: w.Name(), v: cubie.TC})
+		}
+	} else {
+		s := sel{workload: args[0], v: cubie.TC}
+		if len(args) > 1 {
+			s.caseName = args[1]
+		}
+		if len(args) > 2 {
+			s.v = cubie.Variant(args[2])
+		}
+		sels = append(sels, s)
+	}
+
+	fmt.Printf("%-10s %-18s %-8s %12s %-9s %14s %s\n",
+		"workload", "case", "variant", "work", "metric", "sim("+spec.Name+") s", "bottleneck")
+	for _, s := range sels {
+		c, res, err := h.RunOne(s.workload, s.caseName, s.v)
+		if err != nil {
+			fatal(err)
+		}
+		r := cubie.Simulate(spec, res.Profile)
+		fmt.Printf("%-10s %-18s %-8s %12.4e %-9s %14.4e %s\n",
+			s.workload, c.Name, s.v, res.Work, res.MetricName, r.Time, r.Bottleneck)
+	}
+}

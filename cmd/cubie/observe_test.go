@@ -1,0 +1,161 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/cubie"
+	"repro/internal/metrics"
+)
+
+// TestCmdRun pins the `cubie run` table and the acceptance-criteria metric
+// series: after a real run the Prometheus snapshot must contain the par task
+// counter, the harness dedup counter, and a per-workload latency histogram.
+func TestCmdRun(t *testing.T) {
+	h := cubie.NewHarness()
+	out := capture(t, func() { cmdRun(h, []string{"Reduction"}, cubie.H200()) })
+	for _, want := range []string{"workload", "Reduction", "GElem/s", "sim(H200)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("run output missing %q:\n%s", want, out)
+		}
+	}
+
+	var buf strings.Builder
+	if err := metrics.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap := buf.String()
+	for _, series := range []string{
+		"cubie_par_tasks_total",
+		"cubie_harness_runs_deduped_total",
+		`cubie_harness_run_seconds_bucket{workload="Reduction"`,
+	} {
+		if !strings.Contains(snap, series) {
+			t.Errorf("metrics snapshot missing %q", series)
+		}
+	}
+	if len(snap) == 0 {
+		t.Error("metrics snapshot is empty")
+	}
+}
+
+// TestCmdRunAllWorkloads checks the no-argument form covers every workload at
+// its representative case.
+func TestCmdRunAllWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every workload")
+	}
+	h := cubie.NewHarness()
+	out := capture(t, func() { cmdRun(h, nil, cubie.A100()) })
+	for _, w := range h.Suite.Workloads() {
+		if !strings.Contains(out, w.Name()) {
+			t.Errorf("run-all output missing workload %q", w.Name())
+		}
+	}
+}
+
+// TestObservabilitySinks drives startObservability/finish exactly as main
+// does and checks each sink produced a usable artifact: a non-empty pprof
+// profile, valid Chrome-trace JSON, and metric snapshots in both exposition
+// formats.
+func TestObservabilitySinks(t *testing.T) {
+	dir := t.TempDir()
+	pprofPath := filepath.Join(dir, "cpu.pprof")
+	tracePath := filepath.Join(dir, "host.json")
+	promPath := filepath.Join(dir, "metrics.txt")
+
+	obs, err := startObservability(pprofPath, tracePath, promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := cubie.NewHarness()
+	if _, _, err := h.RunOne("Scan", "", cubie.TC); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	if fi, err := os.Stat(pprofPath); err != nil || fi.Size() == 0 {
+		t.Errorf("pprof profile missing or empty: %v", err)
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string  `json:"ph"`
+			Cat  string  `json:"cat"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int     `json:"pid"`
+			Name string  `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("host trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("host trace has no events")
+	}
+	sawRun := false
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" && e.Ph != "M" {
+			t.Errorf("unexpected event phase %q", e.Ph)
+		}
+		if e.TS < 0 || e.Dur < 0 {
+			t.Errorf("negative timestamp in event %q", e.Name)
+		}
+		if e.Cat == "harness-run" {
+			sawRun = true
+		}
+	}
+	if !sawRun {
+		t.Error("host trace missing a harness-run span")
+	}
+
+	prom, err := os.ReadFile(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(prom), "cubie_harness_runs_started_total") {
+		t.Error("Prometheus snapshot missing harness counters")
+	}
+
+	// The .json suffix must switch the metrics sink to JSON exposition.
+	jsonPath := filepath.Join(dir, "metrics.json")
+	obs2, err := startObservability("", "", jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs2.finish(); err != nil {
+		t.Fatal(err)
+	}
+	jraw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(jraw) {
+		t.Error("JSON metrics snapshot is not valid JSON")
+	}
+	if !strings.Contains(string(jraw), "cubie_par_tasks_total") {
+		t.Error("JSON metrics snapshot missing par counters")
+	}
+}
+
+// TestWriteToStdout checks the "-" path streams to stdout.
+func TestWriteToStdout(t *testing.T) {
+	out := capture(t, func() {
+		if err := writeTo("-", metrics.WritePrometheus); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(out, "# TYPE") {
+		t.Errorf("stdout snapshot missing Prometheus framing:\n%.200s", out)
+	}
+}

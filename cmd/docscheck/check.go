@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// facts is everything the code side declares: the vocabulary the docs are
+// checked against.
+type facts struct {
+	flags       map[string]bool // CLI flag names, without dashes
+	makeTargets map[string]bool
+	envVars     map[string]bool // CUBIE_* literals in .go files
+}
+
+var (
+	reMakeTarget = regexp.MustCompile(`^([A-Za-z0-9][A-Za-z0-9_.-]*):`)
+	reFlagDef    = regexp.MustCompile(`\.(?:String|Int|Int64|Uint|Bool|Float64|Duration)\("([a-z][a-z0-9-]*)"`)
+	reEnvDef     = regexp.MustCompile(`"(CUBIE_[A-Z][A-Z0-9_]*)"`)
+
+	reFlagRef = regexp.MustCompile(`--([a-z][a-z0-9-]*)`)
+	reMakeRef = regexp.MustCompile(`\bmake ([a-z][a-z0-9_.-]*)`)
+	reEnvRef  = regexp.MustCompile(`\bCUBIE_[A-Z][A-Z0-9_]*\b`)
+	reSpan    = regexp.MustCompile("`([^`]*)`")
+)
+
+// gather collects the code-side facts from the repository at root.
+func gather(root string) (*facts, error) {
+	f := &facts{
+		flags:       map[string]bool{},
+		makeTargets: map[string]bool{},
+		envVars:     map[string]bool{},
+	}
+
+	mk, err := os.ReadFile(filepath.Join(root, "Makefile"))
+	if err != nil {
+		return nil, fmt.Errorf("read Makefile: %w", err)
+	}
+	for _, line := range strings.Split(string(mk), "\n") {
+		if m := reMakeTarget.FindStringSubmatch(line); m != nil && m[1] != ".PHONY" {
+			f.makeTargets[m[1]] = true
+		}
+	}
+
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Docs only talk about this repository's code.
+			if name := d.Name(); name == ".git" || name == "benchdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range reEnvDef.FindAllStringSubmatch(string(src), -1) {
+			f.envVars[m[1]] = true
+		}
+		// Flag definitions live in the command packages.
+		if strings.Contains(filepath.ToSlash(path), "/cmd/") ||
+			strings.HasPrefix(filepath.ToSlash(path), "cmd/") {
+			for _, m := range reFlagDef.FindAllStringSubmatch(string(src), -1) {
+				f.flags[m[1]] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// docFiles returns the documentation set: README.md plus docs/*.md.
+func docFiles(root string) ([]string, error) {
+	files := []string{filepath.Join(root, "README.md")}
+	more, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(more)
+	return append(files, more...), nil
+}
+
+// check verifies every doc reference against the code-side facts and
+// returns one "file:line: message" string per stale reference.
+func check(root string) ([]string, error) {
+	f, err := gather(root)
+	if err != nil {
+		return nil, err
+	}
+	files, err := docFiles(root)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, path := range files {
+		v, err := checkFile(path, f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v...)
+	}
+	return out, nil
+}
+
+// checkFile scans one markdown file. Only code-marked regions are
+// inspected: the interior of ``` fences, and inline backtick spans.
+func checkFile(path string, f *facts) ([]string, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+
+	var out []string
+	inFence := false
+	lineNo := 0
+	sc := bufio.NewScanner(file)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		var region string
+		if inFence {
+			region = line
+		} else {
+			for _, m := range reSpan.FindAllStringSubmatch(line, -1) {
+				region += m[1] + " "
+			}
+		}
+		if region == "" {
+			continue
+		}
+		for _, m := range reFlagRef.FindAllStringSubmatch(region, -1) {
+			if !f.flags[m[1]] {
+				out = append(out, fmt.Sprintf("%s:%d: flag --%s is not defined by any command", path, lineNo, m[1]))
+			}
+		}
+		for _, m := range reMakeRef.FindAllStringSubmatch(region, -1) {
+			if !f.makeTargets[m[1]] {
+				out = append(out, fmt.Sprintf("%s:%d: make target %q is not in the Makefile", path, lineNo, m[1]))
+			}
+		}
+		for _, m := range reEnvRef.FindAllString(region, -1) {
+			if !f.envVars[m] {
+				out = append(out, fmt.Sprintf("%s:%d: environment variable %s is not read by any .go file", path, lineNo, m))
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes a fake repository for the checker.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+const fakeMakefile = ".PHONY: all test\nall: test\n\ntest:\n\tgo test ./...\n\nbench:\n\tgo test -bench=.\n"
+
+const fakeMain = `package main
+
+import "flag"
+
+func main() {
+	fs := flag.NewFlagSet("x", flag.ExitOnError)
+	fs.String("metrics", "", "")
+	fs.Bool("verbose", false, "")
+	_ = fs
+}
+`
+
+const fakeEnvUser = `package par
+
+import "os"
+
+var n = os.Getenv("CUBIE_WORKERS")
+`
+
+// TestCheckClean verifies a consistent docs tree produces no violations.
+func TestCheckClean(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"Makefile":          fakeMakefile,
+		"cmd/tool/main.go":  fakeMain,
+		"internal/p/env.go": fakeEnvUser,
+		"README.md":         "Use `--metrics` and `make test`.\n\n```sh\ntool --verbose\nmake bench   # CUBIE_WORKERS=2 make bench\n```\n",
+		"docs/GUIDE.md":     "Prose mentioning --not-a-flag and make nothing and CUBIE_BOGUS is fine\nwhen it is not inside code markers.\n",
+	})
+	v, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 0 {
+		t.Fatalf("clean tree produced violations: %v", v)
+	}
+}
+
+// TestCheckViolations verifies each reference class is caught, with
+// file:line positions.
+func TestCheckViolations(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"Makefile":          fakeMakefile,
+		"cmd/tool/main.go":  fakeMain,
+		"internal/p/env.go": fakeEnvUser,
+		"README.md":         "ok\n",
+		"docs/BAD.md":       "line one\n`tool --bogus-flag`\n\n```\nmake deploy\nCUBIE_TURBO=1 tool\n```\n",
+	})
+	v, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(v, "\n")
+	for _, want := range []string{
+		"BAD.md:2: flag --bogus-flag",
+		`BAD.md:5: make target "deploy"`,
+		"BAD.md:6: environment variable CUBIE_TURBO",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("violations missing %q:\n%s", want, joined)
+		}
+	}
+	if len(v) != 3 {
+		t.Errorf("want exactly 3 violations, got %d:\n%s", len(v), joined)
+	}
+}
+
+// TestCheckRealRepo dogfoods the checker on this repository: the docs the
+// PR ships must themselves pass.
+func TestCheckRealRepo(t *testing.T) {
+	v, err := check("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 0 {
+		t.Errorf("repository docs have stale references:\n%s", strings.Join(v, "\n"))
+	}
+}
+
+// TestGather pins the fact extraction itself.
+func TestGather(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"Makefile":          fakeMakefile,
+		"cmd/tool/main.go":  fakeMain,
+		"internal/p/env.go": fakeEnvUser,
+		"README.md":         "ok\n",
+	})
+	f, err := gather(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.flags["metrics"] || !f.flags["verbose"] || f.flags["bogus"] {
+		t.Errorf("flags = %v", f.flags)
+	}
+	if !f.makeTargets["test"] || !f.makeTargets["bench"] || f.makeTargets[".PHONY"] {
+		t.Errorf("makeTargets = %v", f.makeTargets)
+	}
+	if !f.envVars["CUBIE_WORKERS"] {
+		t.Errorf("envVars = %v", f.envVars)
+	}
+}

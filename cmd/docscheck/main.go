@@ -1,0 +1,42 @@
+// Command docscheck cross-references the documentation against the code,
+// so README.md and docs/*.md cannot drift from what the repository
+// actually ships. It verifies that every reference inside a code fence or
+// inline code span to
+//
+//   - a double-dash CLI flag (--metrics) names a flag cmd/cubie defines,
+//   - a make target (make docs-check) names a target the Makefile defines,
+//   - a CUBIE_* environment variable names one a .go file reads,
+//
+// and exits non-zero listing file:line for every stale reference. Run it
+// via `make docs-check`; `make test` includes it, so documentation drift
+// fails the tier-1 gate.
+//
+// The checker is deliberately conservative: it only inspects code-marked
+// regions (fenced blocks and backtick spans), where a token is a concrete
+// claim about the repository rather than prose.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	violations, err := check(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(1)
+	}
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, v)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d stale documentation reference(s)\n", len(violations))
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: documentation references are consistent with the code")
+}

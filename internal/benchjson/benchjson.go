@@ -1,6 +1,14 @@
 // Package benchjson parses the text output of `go test -bench` into a
 // structured snapshot, so benchmark runs can be stored and diffed as JSON
-// (see docs/PERFORMANCE.md for the workflow).
+// (see docs/PERFORMANCE.md for the workflow; cmd/benchjson is the CLI
+// wrapper that make bench invokes).
+//
+// Parsing is deterministic: a given input byte stream always yields the
+// same Snapshot, with benchmarks in input order and custom metrics keyed
+// by their literal unit strings. The package keeps no state — Parse only
+// touches its arguments — so concurrent calls are safe, and a returned
+// Snapshot is plain data, safe to share once callers treat it as
+// read-only.
 package benchjson
 
 import (

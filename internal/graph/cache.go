@@ -1,6 +1,19 @@
 package graph
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Shared-cache metrics: hits are requests served from the process-wide
+// cache; misses ran the (expensive) synthesis.
+var (
+	metCacheHits = metrics.NewCounter("cubie_graph_synthesize_hits_total",
+		"Table 3 graph requests served from the shared cache.")
+	metCacheMisses = metrics.NewCounter("cubie_graph_synthesize_misses_total",
+		"Table 3 graph requests that synthesized a new instance.")
+)
 
 // shared caches synthesized Table 3 graphs process-wide. Synthesis is
 // deterministic, so every consumer sees the identical graph.
@@ -19,8 +32,10 @@ func SynthesizeShared(name string) (*Graph, error) {
 	shared.mu.Lock()
 	defer shared.mu.Unlock()
 	if g, ok := shared.m[name]; ok {
+		metCacheHits.Inc()
 		return g, nil
 	}
+	metCacheMisses.Inc()
 	g, err := Synthesize(name)
 	if err != nil {
 		return nil, err

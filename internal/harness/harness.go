@@ -2,29 +2,71 @@
 // workload variant on the simulated devices and assembles the exact rows
 // and series behind Figures 3–12 and Tables 6–7. The cmd/cubie CLI and the
 // top-level benchmarks print these structures.
+//
+// # Concurrency and observability
+//
+// A Harness is safe for concurrent use. Workload executions are cached
+// per (workload, case, variant) key with singleflight semantics: the first
+// caller runs the kernel, concurrent callers for the same key block on its
+// completion and share the outcome, and a failed run is evicted so a later
+// caller can retry. Figure drivers fan out over a bounded worker set but
+// always assemble their rows in deterministic grid order, so harness output
+// is independent of scheduling (the same property internal/par guarantees
+// one level down).
+//
+// Every execution is instrumented (docs/OBSERVABILITY.md): runs started /
+// deduplicated / failed / retried counters, a per-workload wall-time
+// histogram (cubie_harness_run_seconds{workload=...}), runtime/pprof labels
+// {workload, variant, phase} via par.DoLabeled so CPU profiles attribute
+// samples to kernels, and — when host tracing is active — one
+// trace.HostSpan per kernel execution.
 package harness
 
 import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/accuracy"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/metrics"
+	"repro/internal/par"
 	"repro/internal/power"
 	"repro/internal/roofline"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// Harness execution metrics (see docs/OBSERVABILITY.md).
+var (
+	metRunsStarted = metrics.NewCounter("cubie_harness_runs_started_total",
+		"Workload executions the harness actually started (cache misses).")
+	metRunsDeduped = metrics.NewCounter("cubie_harness_runs_deduped_total",
+		"Run requests served by the singleflight cache (joined an in-flight execution or reused a completed one).")
+	metRunsFailed = metrics.NewCounter("cubie_harness_runs_failed_total",
+		"Workload executions that returned an error (evicted for retry).")
+	metRunsRetried = metrics.NewCounter("cubie_harness_runs_retried_total",
+		"Executions re-started for a key whose previous run failed.")
+)
+
+// runSeconds returns the per-workload wall-time histogram.
+func runSeconds(workloadName string) *metrics.Histogram {
+	return metrics.NewHistogram("cubie_harness_run_seconds",
+		"Host wall-clock seconds of one workload-variant execution (Go arithmetic, not simulated device time).",
+		metrics.DefTimeBuckets, metrics.Label{Key: "workload", Value: workloadName})
+}
 
 // Harness caches workload runs so each (workload, case, variant) executes
 // once across all experiments.
 type Harness struct {
 	Suite *core.Suite
 
-	mu    sync.Mutex
-	cache map[string]*flight
+	mu     sync.Mutex
+	cache  map[string]*flight
+	failed map[string]bool // keys whose last execution errored
 }
 
 // flight is one singleflight cache entry: the first caller for a key owns
@@ -37,7 +79,11 @@ type flight struct {
 
 // New creates a harness over a fresh suite.
 func New() *Harness {
-	return &Harness{Suite: core.NewSuite(), cache: map[string]*flight{}}
+	return &Harness{
+		Suite:  core.NewSuite(),
+		cache:  map[string]*flight{},
+		failed: map[string]bool{},
+	}
 }
 
 // run executes (or returns the cached) result for one workload/case/variant.
@@ -50,21 +96,59 @@ func (h *Harness) run(w workload.Workload, c workload.Case, v workload.Variant) 
 	h.mu.Lock()
 	if f, ok := h.cache[key]; ok {
 		h.mu.Unlock()
+		metRunsDeduped.Inc()
 		<-f.done
 		return f.res, f.err
 	}
 	f := &flight{done: make(chan struct{})}
 	h.cache[key] = f
+	retry := h.failed[key]
+	delete(h.failed, key)
 	h.mu.Unlock()
 
-	f.res, f.err = w.Run(c, v)
+	metRunsStarted.Inc()
+	if retry {
+		metRunsRetried.Inc()
+	}
+	endSpan := trace.HostSpan("harness-run", key)
+	t0 := time.Now()
+	par.DoLabeled(w.Name(), string(v), "run", func() {
+		f.res, f.err = w.Run(c, v)
+	})
+	runSeconds(w.Name()).Observe(time.Since(t0).Seconds())
+	endSpan()
 	if f.err != nil {
+		metRunsFailed.Inc()
 		h.mu.Lock()
 		delete(h.cache, key)
+		h.failed[key] = true
 		h.mu.Unlock()
 	}
 	close(f.done)
 	return f.res, f.err
+}
+
+// RunOne executes a single (workload, case, variant) through the harness
+// cache — the entry point behind `cubie run`. An empty caseName selects the
+// workload's representative case. The returned Case reports what actually
+// ran.
+func (h *Harness) RunOne(workloadName, caseName string, v workload.Variant) (workload.Case, *workload.Result, error) {
+	w, err := h.Suite.ByName(workloadName)
+	if err != nil {
+		return workload.Case{}, nil, err
+	}
+	c := w.Representative()
+	if caseName != "" {
+		if c, err = workload.FindCase(w, caseName); err != nil {
+			return workload.Case{}, nil, err
+		}
+	}
+	if !workload.HasVariant(w, v) {
+		return workload.Case{}, nil, fmt.Errorf("workload %s: variant %q not implemented (have %v)",
+			w.Name(), v, w.Variants())
+	}
+	res, err := h.run(w, c, v)
+	return c, res, err
 }
 
 // PerfCell is one marker of Figure 3: absolute performance of one workload

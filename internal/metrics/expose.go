@@ -1,0 +1,193 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): `# HELP` / `# TYPE` headers once per family, then
+// one line per series, with histograms expanded into cumulative
+// `_bucket{le=...}` / `_sum` / `_count` lines. Zero-valued series are
+// included, so the output doubles as an inventory of every instrument the
+// process registered.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	lastFamily := ""
+	for _, s := range r.snapshot() {
+		if s.name != lastFamily {
+			lastFamily = s.name
+			if s.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.name, s.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.name, s.promType()); err != nil {
+				return err
+			}
+		}
+		if err := s.writeProm(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promType maps the instrument kind to a Prometheus metric type.
+func (s *series) promType() string {
+	switch s.kind {
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "counter"
+	}
+}
+
+// promLabels renders the label block, optionally with an extra trailing
+// label (used for histogram `le`).
+func promLabels(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraKey, extraVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a float the way Prometheus expects.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeProm renders one series' sample lines.
+func (s *series) writeProm(w io.Writer) error {
+	switch s.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", s.name, promLabels(s.labels, "", ""), s.counter.Value())
+		return err
+	case kindSharded:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", s.name, promLabels(s.labels, "", ""), s.sharded.Value())
+		return err
+	case kindFloatCounter:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", s.name, promLabels(s.labels, "", ""), formatFloat(s.fcounter.Value()))
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", s.name, promLabels(s.labels, "", ""), formatFloat(s.gauge.Value()))
+		return err
+	case kindHistogram:
+		h := s.hist
+		counts := h.BucketCounts()
+		var cum uint64
+		for i, bound := range h.bounds {
+			cum += counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				s.name, promLabels(s.labels, "le", formatFloat(bound)), cum); err != nil {
+				return err
+			}
+		}
+		cum += counts[len(counts)-1]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			s.name, promLabels(s.labels, "le", "+Inf"), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+			s.name, promLabels(s.labels, "", ""), formatFloat(h.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n",
+			s.name, promLabels(s.labels, "", ""), h.Count())
+		return err
+	}
+	return nil
+}
+
+// JSONBucket is one histogram bucket in the JSON exposition. Le is the
+// upper bound rendered as a string so "+Inf" stays representable.
+type JSONBucket struct {
+	Le    string `json:"le"`
+	Count uint64 `json:"count"` // cumulative, Prometheus semantics
+}
+
+// JSONSeries is one instrument in the JSON exposition.
+type JSONSeries struct {
+	Name    string            `json:"name"`
+	Type    string            `json:"type"`
+	Help    string            `json:"help,omitempty"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   *float64          `json:"value,omitempty"` // counters and gauges
+	Count   *uint64           `json:"count,omitempty"` // histograms
+	Sum     *float64          `json:"sum,omitempty"`
+	Buckets []JSONBucket      `json:"buckets,omitempty"`
+}
+
+// WriteJSON renders the registry as a JSON document {"series": [...]}, the
+// machine-diffable twin of WritePrometheus.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	var out struct {
+		Series []JSONSeries `json:"series"`
+	}
+	for _, s := range r.snapshot() {
+		js := JSONSeries{Name: s.name, Type: s.promType(), Help: s.help}
+		if len(s.labels) > 0 {
+			js.Labels = map[string]string{}
+			for _, l := range s.labels {
+				js.Labels[l.Key] = l.Value
+			}
+		}
+		switch s.kind {
+		case kindCounter:
+			v := float64(s.counter.Value())
+			js.Value = &v
+		case kindSharded:
+			v := float64(s.sharded.Value())
+			js.Value = &v
+		case kindFloatCounter:
+			v := s.fcounter.Value()
+			js.Value = &v
+		case kindGauge:
+			v := s.gauge.Value()
+			js.Value = &v
+		case kindHistogram:
+			h := s.hist
+			n := h.Count()
+			sum := h.Sum()
+			js.Count = &n
+			js.Sum = &sum
+			counts := h.BucketCounts()
+			var cum uint64
+			for i, bound := range h.bounds {
+				cum += counts[i]
+				js.Buckets = append(js.Buckets, JSONBucket{Le: formatFloat(bound), Count: cum})
+			}
+			cum += counts[len(counts)-1]
+			js.Buckets = append(js.Buckets, JSONBucket{Le: "+Inf", Count: cum})
+		}
+		out.Series = append(out.Series, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// WritePrometheus renders the default registry (see Registry.WritePrometheus).
+func WritePrometheus(w io.Writer) error { return Default().WritePrometheus(w) }
+
+// WriteJSON renders the default registry (see Registry.WriteJSON).
+func WriteJSON(w io.Writer) error { return Default().WriteJSON(w) }

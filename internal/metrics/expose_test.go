@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// buildTestRegistry assembles one instrument of every kind with known
+// values, for the exposition golden tests.
+func buildTestRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("cubie_demo_tasks_total", "Tasks executed.")
+	c.Add(42)
+	r.Counter("cubie_demo_empty_total", "Never incremented.")
+	f := r.FloatCounter("cubie_demo_busy_seconds_total", "Busy time.")
+	f.Add(1.5)
+	g := r.Gauge("cubie_demo_workers", "Pool size.")
+	g.Set(8)
+	h := r.Histogram("cubie_demo_run_seconds", "Run latency.",
+		[]float64{0.1, 1},
+		Label{Key: "workload", Value: "SpMV"})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+	lc := r.Counter("cubie_demo_labeled_total", "Labeled counter.",
+		Label{Key: "variant", Value: "TC"})
+	lc.Inc()
+	return r
+}
+
+// TestWritePrometheusGolden pins the exact text exposition output.
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTestRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP cubie_demo_busy_seconds_total Busy time.
+# TYPE cubie_demo_busy_seconds_total counter
+cubie_demo_busy_seconds_total 1.5
+# HELP cubie_demo_empty_total Never incremented.
+# TYPE cubie_demo_empty_total counter
+cubie_demo_empty_total 0
+# HELP cubie_demo_labeled_total Labeled counter.
+# TYPE cubie_demo_labeled_total counter
+cubie_demo_labeled_total{variant="TC"} 1
+# HELP cubie_demo_run_seconds Run latency.
+# TYPE cubie_demo_run_seconds histogram
+cubie_demo_run_seconds_bucket{workload="SpMV",le="0.1"} 1
+cubie_demo_run_seconds_bucket{workload="SpMV",le="1"} 2
+cubie_demo_run_seconds_bucket{workload="SpMV",le="+Inf"} 3
+cubie_demo_run_seconds_sum{workload="SpMV"} 2.55
+cubie_demo_run_seconds_count{workload="SpMV"} 3
+# HELP cubie_demo_tasks_total Tasks executed.
+# TYPE cubie_demo_tasks_total counter
+cubie_demo_tasks_total 42
+# HELP cubie_demo_workers Pool size.
+# TYPE cubie_demo_workers gauge
+cubie_demo_workers 8
+`
+	if got := buf.String(); got != want {
+		t.Errorf("prometheus exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWriteJSON checks the JSON exposition is valid and carries the same
+// values as the text form.
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTestRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Series []JSONSeries `json:"series"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	byName := map[string]JSONSeries{}
+	for _, s := range doc.Series {
+		byName[s.Name+seriesSuffix(s.Labels)] = s
+	}
+	if s := byName["cubie_demo_tasks_total"]; s.Value == nil || *s.Value != 42 {
+		t.Errorf("tasks_total = %+v, want value 42", s)
+	}
+	if s := byName["cubie_demo_empty_total"]; s.Value == nil || *s.Value != 0 {
+		t.Errorf("zero-valued counters must still be present: %+v", s)
+	}
+	hist := byName["cubie_demo_run_seconds{workload=SpMV}"]
+	if hist.Count == nil || *hist.Count != 3 || hist.Sum == nil || *hist.Sum != 2.55 {
+		t.Fatalf("histogram JSON = %+v, want count 3 sum 2.55", hist)
+	}
+	if len(hist.Buckets) != 3 || hist.Buckets[2].Le != "+Inf" || hist.Buckets[2].Count != 3 {
+		t.Errorf("histogram buckets = %+v", hist.Buckets)
+	}
+}
+
+func seriesSuffix(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(labels))
+	for k, v := range labels {
+		parts = append(parts, k+"="+v)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// TestDefaultRegistryExposition smoke-tests the package-level writers.
+func TestDefaultRegistryExposition(t *testing.T) {
+	NewCounter("cubie_metrics_selftest_total", "Registered by the metrics test.").Inc()
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cubie_metrics_selftest_total 1") {
+		t.Error("default registry exposition missing the selftest counter")
+	}
+	buf.Reset()
+	if err := WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("default registry JSON exposition is invalid")
+	}
+}

@@ -1,0 +1,375 @@
+// Package metrics is the dependency-free observability registry of the
+// Cubie runtime. The paper is a measurement campaign over a GPU's counters;
+// this package gives the *emulator itself* the same kind of counters, so the
+// parallel engine (internal/par), the experiment harness
+// (internal/harness), and the MMA layer (internal/mmu) can be characterized
+// rather than guessed at.
+//
+// Four instrument kinds are provided, all safe for concurrent use and all
+// allocation-free on their update paths (asserted by TestCounterFastPathAllocs):
+//
+//   - Counter: monotonically increasing uint64 (atomic add).
+//   - FloatCounter: monotonically increasing float64 (CAS add) — for
+//     accumulated durations such as worker busy seconds.
+//   - Gauge: settable float64 (atomic bit store).
+//   - Histogram: fixed-bound bucketed distribution with count and sum.
+//
+// ShardedCounter is a Counter specialization for extremely hot call sites
+// (per-MMA-tile increments): updates land on one of 64 cache-line-padded
+// shards chosen from a caller-supplied address hint, so concurrent workers
+// do not serialize on a single cache line.
+//
+// Instruments are registered on a Registry — usually the process-wide
+// Default() — under a Prometheus-style name plus optional constant labels,
+// with get-or-create semantics: calling a constructor twice with the same
+// name and labels returns the same instrument, so package-level `var`
+// declarations across the codebase compose into one coherent snapshot.
+// Exposition (expose.go) renders the registry in the Prometheus text format
+// or as JSON; zero-valued series are included, so a snapshot always shows
+// the full instrument inventory.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one constant key/value pair attached to an instrument at
+// registration time (e.g. {workload="SpMV"}).
+type Label struct {
+	Key, Value string
+}
+
+// Counter is a monotonically increasing integer counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// FloatCounter is a monotonically increasing float64 counter (use for
+// accumulated seconds). Add is a CAS loop; callers should batch updates on
+// very hot paths.
+type FloatCounter struct {
+	bits atomic.Uint64
+}
+
+// Add adds v (v must be >= 0 to keep the counter monotone).
+func (f *FloatCounter) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated total.
+func (f *FloatCounter) Value() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Gauge is a float64 value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// numShards is the shard count of ShardedCounter (power of two).
+const numShards = 64
+
+// shard is one cache-line-padded counter cell.
+type shard struct {
+	v atomic.Uint64
+	_ [7]uint64 // pad to 64 bytes: adjacent shards never share a line
+}
+
+// ShardedCounter is a Counter whose increments are spread across
+// cache-line-padded shards. It is meant for per-tile hot paths executed
+// concurrently by many workers, where a single atomic cell would make every
+// worker bounce the same cache line.
+type ShardedCounter struct {
+	shards [numShards]shard
+}
+
+// IncAt adds 1 to the shard selected by hint. Callers pass a cheap
+// quasi-random address (e.g. the address of the tile being processed); the
+// low six bits are discarded so addresses within one cache line map to the
+// same shard.
+func (s *ShardedCounter) IncAt(hint uintptr) {
+	s.shards[(hint>>6)%numShards].v.Add(1)
+}
+
+// Add adds n to shard 0 (cold-path bulk updates).
+func (s *ShardedCounter) Add(n uint64) { s.shards[0].v.Add(n) }
+
+// Value returns the sum over all shards.
+func (s *ShardedCounter) Value() uint64 {
+	var sum uint64
+	for i := range s.shards {
+		sum += s.shards[i].v.Load()
+	}
+	return sum
+}
+
+// Histogram is a fixed-bound bucketed distribution. Observe is lock-free:
+// one atomic add on the matching bucket, one on the count, one CAS on the
+// sum. Bounds are upper-inclusive (Prometheus `le` semantics) with an
+// implicit +Inf bucket.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sum     FloatCounter
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Bounds returns the bucket upper bounds (without the implicit +Inf).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// BucketCounts returns the per-bucket (non-cumulative) counts, one entry
+// per bound plus the final +Inf bucket.
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// ExponentialBuckets returns count upper bounds starting at start and
+// multiplying by factor: {start, start·factor, …}.
+func ExponentialBuckets(start, factor float64, count int) []float64 {
+	out := make([]float64, count)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DefTimeBuckets are the default latency bounds (seconds): decades from
+// 10 µs to 10 s. They cover everything from a single small-kernel call to a
+// full figure regeneration.
+var DefTimeBuckets = ExponentialBuckets(1e-5, 10, 7)
+
+// kind discriminates the instrument union inside a series.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindFloatCounter
+	kindGauge
+	kindHistogram
+	kindSharded
+)
+
+// series is one registered instrument with its identity.
+type series struct {
+	name   string
+	help   string
+	labels []Label
+	kind   kind
+
+	counter  *Counter
+	fcounter *FloatCounter
+	gauge    *Gauge
+	hist     *Histogram
+	sharded  *ShardedCounter
+}
+
+// Registry holds a set of named instruments. The zero value is not usable;
+// use NewRegistry (tests) or Default (the process registry).
+type Registry struct {
+	mu   sync.Mutex
+	byID map[string]*series
+}
+
+// NewRegistry returns an empty registry (tests use private registries so
+// they do not see the process-wide counters).
+func NewRegistry() *Registry {
+	return &Registry{byID: map[string]*series{}}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry every package-level instrument
+// registers on.
+func Default() *Registry { return defaultRegistry }
+
+// seriesID renders the unique identity of (name, labels). Labels are sorted
+// by key so registration order does not matter.
+func seriesID(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// sortLabels returns a copy of labels sorted by key.
+func sortLabels(labels []Label) []Label {
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// register get-or-creates a series. A name+label collision with a different
+// instrument kind is a programming error and panics.
+func (r *Registry) register(name, help string, k kind, labels []Label, mk func(*series)) *series {
+	labels = sortLabels(labels)
+	id := seriesID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.byID[id]; ok {
+		if s.kind != k {
+			panic(fmt.Sprintf("metrics: %s re-registered with a different kind", id))
+		}
+		return s
+	}
+	s := &series{name: name, help: help, labels: labels, kind: k}
+	mk(s)
+	r.byID[id] = s
+	return s
+}
+
+// Counter get-or-creates a counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.register(name, help, kindCounter, labels,
+		func(s *series) { s.counter = &Counter{} }).counter
+}
+
+// FloatCounter get-or-creates a float counter.
+func (r *Registry) FloatCounter(name, help string, labels ...Label) *FloatCounter {
+	return r.register(name, help, kindFloatCounter, labels,
+		func(s *series) { s.fcounter = &FloatCounter{} }).fcounter
+}
+
+// Gauge get-or-creates a gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.register(name, help, kindGauge, labels,
+		func(s *series) { s.gauge = &Gauge{} }).gauge
+}
+
+// Histogram get-or-creates a histogram with the given bucket upper bounds.
+// Bounds are fixed at first registration; later calls with the same
+// name+labels return the existing histogram regardless of bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	return r.register(name, help, kindHistogram, labels, func(s *series) {
+		s.hist = &Histogram{
+			bounds:  append([]float64(nil), bounds...),
+			buckets: make([]atomic.Uint64, len(bounds)+1),
+		}
+	}).hist
+}
+
+// ShardedCounter get-or-creates a sharded counter (exposed as a counter).
+func (r *Registry) ShardedCounter(name, help string, labels ...Label) *ShardedCounter {
+	return r.register(name, help, kindSharded, labels,
+		func(s *series) { s.sharded = &ShardedCounter{} }).sharded
+}
+
+// snapshot returns the registered series sorted by (name, label identity).
+func (r *Registry) snapshot() []*series {
+	r.mu.Lock()
+	out := make([]*series, 0, len(r.byID))
+	ids := make([]string, 0, len(r.byID))
+	for id := range r.byID {
+		ids = append(ids, id)
+	}
+	r.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool {
+		ni, nj := familyOf(ids[i]), familyOf(ids[j])
+		if ni != nj {
+			return ni < nj
+		}
+		return ids[i] < ids[j]
+	})
+	r.mu.Lock()
+	for _, id := range ids {
+		if s, ok := r.byID[id]; ok {
+			out = append(out, s)
+		}
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// familyOf strips the label suffix from a series id.
+func familyOf(id string) string {
+	if i := strings.IndexByte(id, '{'); i >= 0 {
+		return id[:i]
+	}
+	return id
+}
+
+// Package-level constructors on the Default registry. These are what the
+// instrumented packages use in their `var` blocks.
+
+// NewCounter get-or-creates a counter on the default registry.
+func NewCounter(name, help string, labels ...Label) *Counter {
+	return Default().Counter(name, help, labels...)
+}
+
+// NewFloatCounter get-or-creates a float counter on the default registry.
+func NewFloatCounter(name, help string, labels ...Label) *FloatCounter {
+	return Default().FloatCounter(name, help, labels...)
+}
+
+// NewGauge get-or-creates a gauge on the default registry.
+func NewGauge(name, help string, labels ...Label) *Gauge {
+	return Default().Gauge(name, help, labels...)
+}
+
+// NewHistogram get-or-creates a histogram on the default registry.
+func NewHistogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	return Default().Histogram(name, help, bounds, labels...)
+}
+
+// NewShardedCounter get-or-creates a sharded counter on the default registry.
+func NewShardedCounter(name, help string, labels ...Label) *ShardedCounter {
+	return Default().ShardedCounter(name, help, labels...)
+}

@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentIncrements hammers every instrument kind from many
+// goroutines; the exact totals prove no update was lost, and `go test
+// -race` proves the paths are data-race free.
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	f := r.FloatCounter("f_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{1, 2, 4})
+	s := r.ShardedCounter("s_total", "")
+
+	const workers = 8
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				f.Add(0.5)
+				g.Set(float64(w))
+				h.Observe(float64(i % 6))
+				s.IncAt(uintptr(w<<12 + i<<6))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	const n = workers * perWorker
+	if got := c.Value(); got != n {
+		t.Errorf("counter = %d, want %d", got, n)
+	}
+	if got := f.Value(); got != n*0.5 {
+		t.Errorf("float counter = %g, want %g", got, n*0.5)
+	}
+	if got := h.Count(); got != n {
+		t.Errorf("histogram count = %d, want %d", got, n)
+	}
+	if got := s.Value(); got != n {
+		t.Errorf("sharded counter = %d, want %d", got, n)
+	}
+	if g.Value() < 0 || g.Value() >= workers {
+		t.Errorf("gauge = %g, want one of the worker ids", g.Value())
+	}
+}
+
+// TestGetOrCreate verifies that re-registering the same name+labels returns
+// the identical instrument (the property package-level vars rely on).
+func TestGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "", Label{Key: "k", Value: "v"})
+	b := r.Counter("x_total", "", Label{Key: "k", Value: "v"})
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	other := r.Counter("x_total", "", Label{Key: "k", Value: "w"})
+	if a == other {
+		t.Fatal("different label values must return distinct counters")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch must panic")
+		}
+	}()
+	r.Gauge("x_total", "", Label{Key: "k", Value: "v"})
+}
+
+// TestHistogramBuckets pins the le (upper-inclusive) bucketing semantics.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 5, 100} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 2, 2, 2} // le=1: {0.5,1}; le=2: {1.5,2}; le=4: {3,4}; +Inf: {5,100}
+	got := h.BucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Sum() != 117 {
+		t.Errorf("sum = %g, want 117", h.Sum())
+	}
+}
+
+// TestCounterFastPathAllocs asserts the acceptance criterion that the
+// update fast paths allocate nothing.
+func TestCounterFastPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	f := r.FloatCounter("f_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", DefTimeBuckets)
+	s := r.ShardedCounter("s_total", "")
+	cases := map[string]func(){
+		"Counter.Inc":          func() { c.Inc() },
+		"Counter.Add":          func() { c.Add(3) },
+		"FloatCounter.Add":     func() { f.Add(0.25) },
+		"Gauge.Set":            func() { g.Set(1) },
+		"Histogram.Observe":    func() { h.Observe(0.001) },
+		"ShardedCounter.IncAt": func() { s.IncAt(0xdeadbeef) },
+	}
+	for name, fn := range cases {
+		if allocs := testing.AllocsPerRun(1000, fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f times per call, want 0", name, allocs)
+		}
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	got := ExponentialBuckets(1e-5, 10, 7)
+	if len(got) != 7 || got[0] != 1e-5 || got[6] != 10 {
+		t.Fatalf("unexpected buckets: %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("bounds not ascending: %v", got)
+		}
+	}
+}
+
+// TestSeriesIDLabelOrder checks label order does not split series.
+func TestSeriesIDLabelOrder(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("y_total", "",
+		Label{Key: "a", Value: "1"}, Label{Key: "b", Value: "2"})
+	b := r.Counter("y_total", "",
+		Label{Key: "b", Value: "2"}, Label{Key: "a", Value: "1"})
+	if a != b {
+		t.Fatal("label registration order must not create a new series")
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(sb.String(), "y_total{") != 1 {
+		t.Fatalf("expected exactly one y_total series:\n%s", sb.String())
+	}
+}

@@ -1,6 +1,9 @@
 package mmu
 
-import "math/bits"
+import (
+	"math/bits"
+	"unsafe"
+)
 
 // Shapes of the single-bit m8n8k128 MMA.
 const (
@@ -31,6 +34,7 @@ type BitFragC [BitM * BitN]int32
 // c[i][j] += popcount(Arow_i AND Bcol_j). This is the bit-MMA BerryBees uses
 // to intersect frontier bitmaps with adjacency bitmap slices.
 func BMMAAndPopc(c *BitFragC, a *BitFragA, b *BitFragB) {
+	metBMMAOps.IncAt(hintOf(unsafe.Pointer(c)))
 	for i := 0; i < BitM; i++ {
 		for j := 0; j < BitN; j++ {
 			var p int

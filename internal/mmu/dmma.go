@@ -1,6 +1,9 @@
 package mmu
 
-import "math"
+import (
+	"math"
+	"unsafe"
+)
 
 // FLOPsPerDMMA is the floating-point operation count of one FP64 m8n8k4 MMA
 // (8·8·4 multiplies plus as many adds).
@@ -11,6 +14,7 @@ const FLOPsPerDMMA = 2 * M * N * K
 // chain over k = 0..3 — the deterministic dot-product order the tensor core
 // datapath applies. d and c may alias.
 func DMMAWarp(d, c *FragC, a *FragA, b *FragB) {
+	metDMMAWarps.IncAt(hintOf(unsafe.Pointer(d)))
 	// Gather operands into matrix form. On hardware this is the implicit
 	// cross-lane operand exchange inside the tensor core.
 	var am [M][K]float64
@@ -42,6 +46,7 @@ func dot4(a []float64, b [][N]float64, col int, acc float64) float64 {
 // fragments, calling DMMAWarp, and storing the result — the kernels use this
 // convenience form, and TestDMMATileMatchesWarp pins the equivalence.
 func DMMATile(c, a, b []float64) {
+	metDMMATiles.IncAt(hintOf(unsafe.Pointer(&c[0])))
 	for i := 0; i < M; i++ {
 		for j := 0; j < N; j++ {
 			acc := c[i*N+j]

@@ -1,0 +1,29 @@
+package mmu
+
+// MMA-layer instrumentation. These are the hottest counters in the suite —
+// one increment per executed MMA tile — so they use sharded counters whose
+// shard is picked from the output tile's address: concurrent internal/par
+// workers process disjoint tiles and therefore land on (mostly) disjoint
+// cache lines, keeping the per-tile cost to a single uncontended atomic
+// add. FLOP totals are derivable (tiles × FLOPsPerDMMA, ops × OpsPerBMMA),
+// so only call counts are kept.
+
+import (
+	"unsafe"
+
+	"repro/internal/metrics"
+)
+
+var (
+	metDMMATiles = metrics.NewShardedCounter("cubie_mmu_dmma_tiles_total",
+		"FP64 m8n8k4 MMA tile executions (TC and CC variants both route here; ×512 for FLOPs).")
+	metDMMAWarps = metrics.NewShardedCounter("cubie_mmu_dmma_warps_total",
+		"FP64 m8n8k4 MMAs executed on explicit warp-register fragments.")
+	metBMMAOps = metrics.NewShardedCounter("cubie_mmu_bmma_ops_total",
+		"Single-bit m8n8k128 AND+POPC MMA executions (×2048 for bit ops).")
+	metFragmentOps = metrics.NewShardedCounter("cubie_mmu_fragment_ops_total",
+		"Warp fragment load/store operations (FragA/FragB/FragC traffic).")
+)
+
+// hintOf derives a shard hint from a pointer without retaining it.
+func hintOf(p unsafe.Pointer) uintptr { return uintptr(p) }

@@ -1,0 +1,125 @@
+package par
+
+import (
+	"runtime/pprof"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForTilesMetrics checks the engine counters advance when grids run,
+// and that inline (serial) execution is attributed to the inlined counter.
+func TestForTilesMetrics(t *testing.T) {
+	withWorkers(t, 1, func() {
+		before := metInlined.Value()
+		ForTiles(32, func(lo, hi int) {})
+		if metInlined.Value() != before+1 {
+			t.Fatalf("serial ForTiles did not count as inlined: %d -> %d",
+				before, metInlined.Value())
+		}
+	})
+	withWorkers(t, 4, func() {
+		tasksBefore := metTasks.Value() + metInlined.Value() + metStolen.Value()
+		helpBefore := metHelpDepth.Count()
+		ForTiles(64, func(lo, hi int) {})
+		tasksAfter := metTasks.Value() + metInlined.Value() + metStolen.Value()
+		// A 4-way grid produces at least the caller's range plus one more
+		// accounted execution (submitted, inlined, or stolen).
+		if tasksAfter < tasksBefore+2 {
+			t.Fatalf("parallel ForTiles accounted %d range executions, want >= 2",
+				tasksAfter-tasksBefore)
+		}
+		if metHelpDepth.Count() != helpBefore+1 {
+			t.Fatalf("help-depth histogram not observed: %d -> %d",
+				helpBefore, metHelpDepth.Count())
+		}
+	})
+}
+
+// TestScratchMetrics checks the hit/miss accounting: a fresh pool misses
+// once, and a Get after Put is a hit (gets advance, misses may not).
+func TestScratchMetrics(t *testing.T) {
+	s := NewScratch(16)
+	getsBefore, missesBefore := metScratchGets.Value(), metScratchMisses.Value()
+	b := s.Get()
+	if metScratchGets.Value() != getsBefore+1 {
+		t.Fatal("Get did not count")
+	}
+	if metScratchMisses.Value() != missesBefore+1 {
+		t.Fatal("first Get on a fresh pool must be a miss")
+	}
+	s.Put(b)
+	// The recycled buffer should usually come back without a new miss; we
+	// only assert gets advance (sync.Pool may legally drop the buffer).
+	_ = s.Get()
+	if metScratchGets.Value() != getsBefore+2 {
+		t.Fatal("second Get did not count")
+	}
+}
+
+// TestDoLabeled checks labels are visible on the calling goroutine during
+// fn, that the pool advertisement is cleaned up afterwards, and that fn's
+// tile ranges still cover the grid.
+func TestDoLabeled(t *testing.T) {
+	if kernelCtx.Load() != nil {
+		t.Fatal("kernelCtx not nil before DoLabeled")
+	}
+	var covered atomic.Int64
+	var sawLabel bool
+	DoLabeled("SpMV", "TC", "run", func() {
+		if ctxp := kernelCtx.Load(); ctxp != nil {
+			if v, ok := pprof.Label(*ctxp, "workload"); ok && v == "SpMV" {
+				sawLabel = true
+			}
+		}
+		withWorkers(t, 4, func() {
+			ForTiles(100, func(lo, hi int) { covered.Add(int64(hi - lo)) })
+		})
+	})
+	if !sawLabel {
+		t.Error("workload label not advertised during DoLabeled")
+	}
+	if covered.Load() != 100 {
+		t.Errorf("covered %d indices, want 100", covered.Load())
+	}
+	if kernelCtx.Load() != nil {
+		t.Error("kernelCtx not restored after DoLabeled")
+	}
+}
+
+// TestRangeHook checks the hook fires once per executed range with closers
+// called, in both serial and parallel modes, and that clearing it stops
+// the callbacks.
+func TestRangeHook(t *testing.T) {
+	var began, ended atomic.Int64
+	var coveredByHook atomic.Int64
+	SetRangeHook(func(lo, hi int) func() {
+		began.Add(1)
+		coveredByHook.Add(int64(hi - lo))
+		return func() { ended.Add(1) }
+	})
+	defer SetRangeHook(nil)
+
+	withWorkers(t, 1, func() { ForTiles(10, func(lo, hi int) {}) })
+	if began.Load() != 1 || ended.Load() != 1 || coveredByHook.Load() != 10 {
+		t.Fatalf("serial: began=%d ended=%d covered=%d, want 1/1/10",
+			began.Load(), ended.Load(), coveredByHook.Load())
+	}
+
+	began.Store(0)
+	ended.Store(0)
+	coveredByHook.Store(0)
+	withWorkers(t, 4, func() { ForTiles(100, func(lo, hi int) {}) })
+	if began.Load() != ended.Load() {
+		t.Fatalf("parallel: %d begins but %d ends", began.Load(), ended.Load())
+	}
+	if coveredByHook.Load() != 100 {
+		t.Fatalf("parallel: hook saw %d indices, want 100", coveredByHook.Load())
+	}
+
+	SetRangeHook(nil)
+	began.Store(0)
+	withWorkers(t, 1, func() { ForTiles(10, func(lo, hi int) {}) })
+	if began.Load() != 0 {
+		t.Fatal("cleared hook still fired")
+	}
+}

@@ -25,26 +25,71 @@
 // CUBIE_WORKERS environment variable or SetWorkers. Workers(1) disables
 // parallelism entirely (every range runs inline on the caller), which the
 // suite-wide determinism test uses as the serial reference.
+//
+// # Observability
+//
+// The engine self-reports through internal/metrics (see
+// docs/OBSERVABILITY.md for the full metric catalog): tasks submitted to
+// the pool, ranges inlined on callers, tasks stolen by waiting callers
+// (with a help-depth histogram), cumulative worker busy seconds, and
+// scratch-pool traffic. The instrumentation is batched per ForTiles call —
+// a handful of atomic adds per grid, never per tile — so it stays well
+// under the suite's <2% overhead budget. None of it perturbs scheduling or
+// determinism.
+//
+// DoLabeled attaches runtime/pprof labels (workload, variant, phase) to the
+// calling goroutine and advertises them to the pool so worker goroutines
+// executing the caller's tile ranges carry the same labels; CPU profiles
+// (`cubie run --pprof`) then attribute samples to kernels instead of to an
+// anonymous pool. SetRangeHook lets internal/trace record one real
+// wall-clock span per executed range when host tracing is enabled.
 package par
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
 )
 
 // EnvWorkers is the environment variable that overrides the default worker
 // count at process start.
 const EnvWorkers = "CUBIE_WORKERS"
 
+// Engine metrics (registered on the metrics.Default registry; all names are
+// documented in docs/OBSERVABILITY.md).
+var (
+	metTasks = metrics.NewCounter("cubie_par_tasks_total",
+		"Tile-range tasks submitted to the worker pool queue.")
+	metInlined = metrics.NewCounter("cubie_par_tasks_inlined_total",
+		"Tile ranges executed inline on the calling goroutine (serial path, the caller's own range, or a full queue).")
+	metStolen = metrics.NewCounter("cubie_par_tasks_stolen_total",
+		"Queued tasks drained by a caller that was waiting for its own grid (help-while-waiting).")
+	metHelpDepth = metrics.NewHistogram("cubie_par_help_depth",
+		"Tasks a waiting caller helped drain per ForTiles call.",
+		[]float64{0, 1, 2, 4, 8, 16, 32})
+	metBusy = metrics.NewFloatCounter("cubie_par_worker_busy_seconds_total",
+		"Cumulative wall-clock seconds pool workers spent executing tasks.")
+	metWorkers = metrics.NewGauge("cubie_par_workers",
+		"Current partitioning worker count (SetWorkers / CUBIE_WORKERS).")
+	metPoolSize = metrics.NewGauge("cubie_par_pool_goroutines",
+		"OS-scheduled goroutines backing the pool (0 until first use).")
+)
+
 var workerCount atomic.Int64
 
 func init() {
-	workerCount.Store(int64(defaultWorkers()))
+	n := defaultWorkers()
+	workerCount.Store(int64(n))
+	metWorkers.Set(float64(n))
 }
 
 // defaultWorkers resolves the initial worker count: CUBIE_WORKERS when set
@@ -68,6 +113,7 @@ func SetWorkers(n int) int {
 	if n < 1 {
 		n = 1
 	}
+	metWorkers.Set(float64(n))
 	return int(workerCount.Swap(int64(n)))
 }
 
@@ -102,6 +148,48 @@ type pool struct {
 
 var engine pool
 
+// bgCtx is the label-free context workers reset their pprof labels to after
+// running a labeled task.
+var bgCtx = context.Background()
+
+// kernelCtx advertises the most recent DoLabeled context so pool workers
+// can adopt the caller's pprof labels. It is best-effort by design: under
+// concurrent DoLabeled calls (the Figure 3 fan-out) the last writer wins,
+// which can momentarily misattribute a worker's samples. Single-kernel
+// profiling (`cubie run --pprof`) is exact.
+var kernelCtx atomic.Pointer[context.Context]
+
+// rangeHook, when set, is invoked at the start of every executed tile range
+// and the returned closer at its end. internal/trace installs it to record
+// host-side spans; nil (the default) costs one atomic load per range.
+var rangeHook atomic.Pointer[func(lo, hi int) func()]
+
+// SetRangeHook installs h as the per-range observer (nil clears it). The
+// hook runs on the goroutine executing the range, around the user fn; it
+// must be safe for concurrent use and should be cheap — it fires once per
+// contiguous range, not once per tile.
+func SetRangeHook(h func(lo, hi int) func()) {
+	if h == nil {
+		rangeHook.Store(nil)
+		return
+	}
+	rangeHook.Store(&h)
+}
+
+// DoLabeled runs fn with runtime/pprof labels {workload, variant, phase}
+// applied to the calling goroutine, and advertises the label set to the
+// worker pool so tile ranges fanned out by fn are attributed to the same
+// kernel in CPU profiles. Labels nest per goroutine (pprof.Do restores the
+// previous set); the pool-wide advertisement is last-writer-wins and
+// therefore best-effort under concurrent kernels.
+func DoLabeled(workload, variant, phase string, fn func()) {
+	ctx := pprof.WithLabels(bgCtx, pprof.Labels(
+		"workload", workload, "variant", variant, "phase", phase))
+	prev := kernelCtx.Swap(&ctx)
+	defer kernelCtx.Store(prev)
+	pprof.Do(ctx, pprof.Labels(), func(context.Context) { fn() })
+}
+
 // start lazily launches the worker goroutines. The pool is sized to the
 // machine (GOMAXPROCS, or CUBIE_WORKERS when larger) — SetWorkers only
 // changes partitioning, never the number of OS-scheduled workers, so a
@@ -116,10 +204,13 @@ func (p *pool) start() {
 		// inline fallback; waiters drain it, so depth only affects scheduling.
 		p.tasks = make(chan func(), 4*n)
 		p.started = n
+		metPoolSize.Set(float64(n))
 		for i := 0; i < n; i++ {
 			go func() {
 				for t := range p.tasks {
+					t0 := time.Now()
 					t()
+					metBusy.Add(time.Since(t0).Seconds())
 				}
 			}()
 		}
@@ -164,7 +255,8 @@ func ForTiles(n int, fn func(lo, hi int)) {
 		w = n
 	}
 	if w <= 1 {
-		fn(0, n)
+		metInlined.Inc()
+		runRange(0, n, fn)
 		return
 	}
 
@@ -185,34 +277,75 @@ func ForTiles(n int, fn func(lo, hi int)) {
 			}
 			done <- struct{}{}
 		}()
-		fn(lo, hi)
+		runRange(lo, hi, fn)
 	}
 
+	ctxp := kernelCtx.Load()
+
 	// Balanced static partition: range i is [i*n/w, (i+1)*n/w).
+	// statTasks/statInlined/statStolen batch the engine metrics so the
+	// whole grid costs a fixed handful of atomic adds.
 	submitted := 0
+	statTasks, statInlined := 0, 1 // the caller always runs range 0
 	for i := 1; i < w; i++ {
 		lo, hi := i*n/w, (i+1)*n/w
 		if lo == hi {
 			continue
 		}
-		task := func() { run(lo, hi) }
-		if !engine.submit(task) {
-			task() // queue full: run inline rather than block
+		task := func() {
+			if ctxp != nil {
+				pprof.SetGoroutineLabels(*ctxp)
+				defer pprof.SetGoroutineLabels(bgCtx)
+			}
+			run(lo, hi)
+		}
+		if engine.submit(task) {
+			statTasks++
+		} else {
+			run(lo, hi) // queue full: run inline rather than block
+			statInlined++
 		}
 		submitted++
 	}
 	// The caller owns range 0 and then helps drain the queue while waiting,
 	// which keeps nested ForTiles deadlock-free.
 	run(0, n/w)
+	statStolen := 0
 	for finished := 0; finished <= submitted; {
 		select {
 		case <-done:
 			finished++
 		case t := <-engine.tasks:
 			t()
+			statStolen++
+			if ctxp != nil {
+				// The stolen task may belong to another kernel and have
+				// reset this goroutine's labels; reinstate ours.
+				pprof.SetGoroutineLabels(*ctxp)
+			}
 		}
 	}
+	if statTasks > 0 {
+		metTasks.Add(uint64(statTasks))
+	}
+	metInlined.Add(uint64(statInlined))
+	if statStolen > 0 {
+		metStolen.Add(uint64(statStolen))
+	}
+	metHelpDepth.Observe(float64(statStolen))
 	if panicked != nil {
 		panic(panicked)
 	}
+}
+
+// runRange executes fn on [lo, hi), wrapped in the host-trace range hook
+// when one is installed.
+func runRange(lo, hi int, fn func(lo, hi int)) {
+	if hp := rangeHook.Load(); hp != nil {
+		end := (*hp)(lo, hi)
+		fn(lo, hi)
+		end()
+		return
+	}
+	fn(lo, hi)
 }

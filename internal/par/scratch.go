@@ -1,6 +1,19 @@
 package par
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Scratch-pool metrics: a miss is a Get that had to allocate a fresh buffer
+// (the sync.Pool was empty); hits = gets − misses.
+var (
+	metScratchGets = metrics.NewCounter("cubie_par_scratch_gets_total",
+		"Scratch buffers checked out of the sync.Pool-backed pools.")
+	metScratchMisses = metrics.NewCounter("cubie_par_scratch_misses_total",
+		"Scratch checkouts that allocated a fresh buffer (pool empty).")
+)
 
 // Scratch is a sync.Pool-backed pool of fixed-size float64 scratch buffers.
 // Kernels use it for the MMA fragment/tile temporaries (A/B operand staging,
@@ -20,6 +33,7 @@ type Scratch struct {
 func NewScratch(n int) *Scratch {
 	s := &Scratch{n: n}
 	s.pool.New = func() any {
+		metScratchMisses.Inc()
 		b := make([]float64, n)
 		return &b
 	}
@@ -31,6 +45,7 @@ func (s *Scratch) Len() int { return s.n }
 
 // Get returns a length-n buffer with unspecified contents.
 func (s *Scratch) Get() []float64 {
+	metScratchGets.Inc()
 	return *s.pool.Get().(*[]float64)
 }
 

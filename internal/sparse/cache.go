@@ -1,6 +1,19 @@
 package sparse
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Shared-cache metrics: hits are requests served from the process-wide
+// cache; misses ran the (expensive) synthesis.
+var (
+	metCacheHits = metrics.NewCounter("cubie_sparse_synthesize_hits_total",
+		"Table 4 matrix requests served from the shared cache.")
+	metCacheMisses = metrics.NewCounter("cubie_sparse_synthesize_misses_total",
+		"Table 4 matrix requests that synthesized a new instance.")
+)
 
 // shared caches synthesized Table 4 matrices process-wide. Synthesis is
 // deterministic, so every consumer sees identical structure and values.
@@ -20,8 +33,10 @@ func SynthesizeShared(name string) (*CSR, error) {
 	shared.mu.Lock()
 	defer shared.mu.Unlock()
 	if m, ok := shared.m[name]; ok {
+		metCacheHits.Inc()
 		return m, nil
 	}
+	metCacheMisses.Inc()
 	m, err := Synthesize(name)
 	if err != nil {
 		return nil, err

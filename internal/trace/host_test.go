@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/par"
+)
+
+// TestHostRecorderSpans checks lane allocation, event capture, and that
+// concurrent spans land on distinct lanes.
+func TestHostRecorderSpans(t *testing.T) {
+	rec := NewHostRecorder()
+	endA := rec.Span("test", "a")
+	endB := rec.Span("test", "b") // concurrent with a: second lane
+	endB()
+	endA()
+	endC := rec.Span("test", "c") // a's lane is free again
+	endC()
+
+	if rec.Len() != 3 {
+		t.Fatalf("recorded %d spans, want 3", rec.Len())
+	}
+	evs := rec.Events()
+	byName := map[string]Event{}
+	for _, e := range evs {
+		byName[e.Name] = e
+	}
+	if byName["a"].TID == byName["b"].TID {
+		t.Error("concurrent spans must occupy distinct lanes")
+	}
+	if byName["c"].TID != 1 {
+		t.Errorf("lane not reused: span c on lane %d, want 1", byName["c"].TID)
+	}
+}
+
+// TestHostRecorderWrite checks the output is valid Chrome-trace JSON with
+// monotonically non-decreasing, non-negative timestamps.
+func TestHostRecorderWrite(t *testing.T) {
+	rec := NewHostRecorder()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			end := rec.Span("test", "work")
+			time.Sleep(time.Millisecond)
+			end()
+		}()
+	}
+	wg.Wait()
+
+	var buf bytes.Buffer
+	if err := rec.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("host trace is not valid JSON: %v", err)
+	}
+	var prev float64 = -1
+	spans := 0
+	for _, e := range doc.TraceEvents {
+		switch e.Phase {
+		case "M":
+			continue
+		case "X":
+			spans++
+			if e.TimeUS < 0 || e.DurUS < 0 {
+				t.Fatalf("negative timestamp in %+v", e)
+			}
+			if e.TimeUS < prev {
+				t.Fatalf("timestamps not monotonic: %v after %v", e.TimeUS, prev)
+			}
+			prev = e.TimeUS
+			if e.PID != hostPID || e.TID < 1 {
+				t.Fatalf("bad track ids in %+v", e)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", e.Phase)
+		}
+	}
+	if spans != 8 {
+		t.Fatalf("wrote %d spans, want 8", spans)
+	}
+}
+
+// TestHostSpanInactive checks the disabled path is a cheap no-op.
+func TestHostSpanInactive(t *testing.T) {
+	if ActiveHost() != nil {
+		t.Fatal("unexpected active recorder")
+	}
+	end := HostSpan("test", "nothing")
+	end() // must not panic
+	if allocs := testing.AllocsPerRun(100, func() { HostSpan("x", "y")() }); allocs != 0 {
+		t.Errorf("inactive HostSpan allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// TestStartStopHost checks the par range hook wiring: with host tracing
+// active, tile ranges show up as par-range spans; after StopHost they stop.
+func TestStartStopHost(t *testing.T) {
+	prev := par.SetWorkers(2)
+	defer par.SetWorkers(prev)
+
+	rec := StartHost()
+	if ActiveHost() != rec {
+		t.Fatal("StartHost did not install the recorder")
+	}
+	end := HostSpan("harness-run", "GEMM|case|TC")
+	par.ForTiles(64, func(lo, hi int) {})
+	end()
+	if got := StopHost(); got != rec {
+		t.Fatalf("StopHost returned %p, want %p", got, rec)
+	}
+	if ActiveHost() != nil {
+		t.Fatal("recorder still active after StopHost")
+	}
+
+	var sawRange, sawRun bool
+	for _, e := range rec.Events() {
+		switch e.Category {
+		case "par-range":
+			sawRange = true
+		case "harness-run":
+			sawRun = true
+		}
+	}
+	if !sawRange {
+		t.Error("no par-range spans recorded while host tracing was active")
+	}
+	if !sawRun {
+		t.Error("harness-run span missing")
+	}
+
+	before := rec.Len()
+	par.ForTiles(64, func(lo, hi int) {})
+	if rec.Len() != before {
+		t.Error("range hook still firing after StopHost")
+	}
+}

@@ -1,18 +1,34 @@
 # Build/test entry points for the Cubie reproduction.
 #
-#   make test       - vet + docs-check + unit tests (tier-1 gate)
-#   make race       - full test suite under the race detector
-#   make bench      - kernel + harness benchmarks with memory stats,
-#                     archived as benchdata/BENCH_<date>.json (see
-#                     docs/PERFORMANCE.md)
-#   make build      - compile everything
-#   make vet        - static analysis only
-#   make docs-check - verify docs/README references (flags, make targets,
-#                     CUBIE_* env vars) against the code
+#   make test          - vet + docs-check + unit tests (tier-1 gate)
+#   make race          - full test suite under the race detector
+#   make bench         - kernel + harness benchmarks with memory stats,
+#                        archived as benchdata/BENCH_<date>.json (see
+#                        docs/PERFORMANCE.md); set BENCHTIME=100ms for a
+#                        quick smoke pass
+#   make bench-compare - diff two benchmark snapshots and fail on >10%
+#                        ns/op regressions:
+#                        make bench-compare OLD=benchdata/BENCH_pre_panel.json \
+#                                           NEW=benchdata/BENCH_post_panel.json
+#   make build         - compile everything
+#   make vet           - static analysis only
+#   make docs-check    - verify docs/README references (flags, make targets,
+#                        CUBIE_* env vars) against the code
 
 GO ?= go
 
-.PHONY: all build vet test race bench docs-check clean
+# Per-benchmark measurement time for make bench. The default 1s matches go
+# test's own default; BENCHTIME=100ms gives a fast smoke signal, BENCHTIME=5x
+# runs a fixed iteration count for noisy boxes.
+BENCHTIME ?= 1s
+
+# Snapshots diffed by make bench-compare, and the slowdown fraction that
+# fails the gate (0.10 = 10% ns/op).
+OLD ?= benchdata/BENCH_pre_panel.json
+NEW ?= benchdata/BENCH_post_panel.json
+TOLERANCE ?= 0.10
+
+.PHONY: all build vet test race bench bench-compare docs-check clean
 
 all: test
 
@@ -31,8 +47,13 @@ test: vet docs-check
 race:
 	$(GO) test -race ./...
 
+# -p 1 runs the package test binaries serially: concurrent binaries contend
+# for cores and distort ns/op (macro benchmarks inflate 2-3x).
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson
+	$(GO) test -p 1 -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson
+
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare -tolerance $(TOLERANCE) $(OLD) $(NEW)
 
 clean:
 	$(GO) clean ./...

@@ -1,14 +1,21 @@
 // Command benchjson converts `go test -bench` text output into a JSON
-// snapshot for the performance log described in docs/PERFORMANCE.md.
+// snapshot for the performance log described in docs/PERFORMANCE.md, and
+// diffs two snapshots for regressions.
 //
 // Usage:
 //
 //	go test -bench=. -benchmem ./... | go run ./cmd/benchjson [-o DIR]
+//	go run ./cmd/benchjson -compare old.json new.json [-tolerance 0.10]
 //
-// It parses the standard benchmark result lines (name, iterations, ns/op,
-// optional B/op, allocs/op, and any custom metrics) plus the goos/goarch/
-// pkg/cpu headers, and writes BENCH_<date>.json into DIR (default
-// "benchdata"). Pass -o - to print the JSON to stdout instead.
+// In capture mode it parses the standard benchmark result lines (name,
+// iterations, ns/op, optional B/op, allocs/op, and any custom metrics) plus
+// the goos/goarch/pkg/cpu headers, and writes BENCH_<date>.json into DIR
+// (default "benchdata"). Pass -o - to print the JSON to stdout instead.
+//
+// In compare mode it matches the benchmarks of the two snapshots by package
+// and name, prints an aligned diff table (worst regression first), and exits
+// non-zero if any benchmark slowed down by more than the tolerance (default
+// 10% ns/op) — the gate make bench-compare runs.
 package main
 
 import (
@@ -25,7 +32,13 @@ import (
 
 func main() {
 	out := flag.String("o", "benchdata", "output directory, or - for stdout")
+	compare := flag.Bool("compare", false, "compare two snapshot files: benchjson -compare old.json new.json")
+	tolerance := flag.Float64("tolerance", 0.10, "ns/op slowdown fraction that fails -compare (0.10 = 10%)")
 	flag.Parse()
+
+	if *compare {
+		os.Exit(runCompare(flag.Args(), *tolerance))
+	}
 
 	snap, err := benchjson.Parse(bufio.NewReader(os.Stdin))
 	if err != nil {
@@ -55,4 +68,46 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+}
+
+func runCompare(args []string, tolerance float64) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two snapshot files: old.json new.json")
+		return 2
+	}
+	old, err := loadSnapshot(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	new, err := loadSnapshot(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	cmp := benchjson.Compare(old, new)
+	cmp.Render(os.Stdout, tolerance)
+	if regs := cmp.Regressions(tolerance); len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%% ns/op\n",
+			len(regs), tolerance*100)
+		return 1
+	}
+	fmt.Printf("no regressions beyond %.0f%% across %d matched benchmarks\n",
+		tolerance*100, len(cmp.Deltas))
+	return 0
+}
+
+func loadSnapshot(path string) (*benchjson.Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap benchjson.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(snap.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in snapshot", path)
+	}
+	return &snap, nil
 }

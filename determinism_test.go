@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/mmu"
 	"repro/internal/par"
 	"repro/internal/workload"
 )
@@ -74,6 +75,51 @@ func TestSuiteDeterminism(t *testing.T) {
 		if s.res.Work != p.res.Work || s.res.MetricName != p.res.MetricName ||
 			s.res.InputUtil != p.res.InputUtil || s.res.OutputUtil != p.res.OutputUtil {
 			t.Errorf("%s: result metadata differs", key)
+		}
+	}
+}
+
+// TestSuitePanelDeterminism is the panel engine's suite-wide bit-identity
+// contract: every workload's representative case, in every variant, must
+// produce the bit-identical Output with the fused panel fast paths disabled
+// (the CUBIE_NO_PANEL reference route of tile-at-a-time MMAs). The fused
+// k-sweeps keep the exact ascending-k FMA chain per element, so this holds
+// bitwise, not just to within round-off.
+func TestSuitePanelDeterminism(t *testing.T) {
+	runAll := func(panels bool) map[string][]float64 {
+		was := mmu.SetPanelEnabled(panels)
+		defer mmu.SetPanelEnabled(was)
+		out := map[string][]float64{}
+		for _, w := range core.NewSuite().Workloads() {
+			c := w.Representative()
+			for _, v := range w.Variants() {
+				res, err := w.Run(c, v)
+				if err != nil {
+					t.Fatalf("%s/%s (panels=%v): %v", w.Name(), v, panels, err)
+				}
+				out[w.Name()+"/"+string(v)] = res.Output
+			}
+		}
+		return out
+	}
+
+	fused := runAll(true)
+	reference := runAll(false)
+
+	if len(fused) != len(reference) {
+		t.Fatalf("run counts differ: %d vs %d", len(fused), len(reference))
+	}
+	for key, f := range fused {
+		r := reference[key]
+		if len(f) != len(r) {
+			t.Errorf("%s: output lengths differ: %d vs %d", key, len(f), len(r))
+			continue
+		}
+		for i := range f {
+			if math.Float64bits(f[i]) != math.Float64bits(r[i]) {
+				t.Errorf("%s: output[%d] differs bitwise: %v vs %v", key, i, f[i], r[i])
+				break
+			}
 		}
 	}
 }

@@ -1,0 +1,130 @@
+package benchjson
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Delta is the ns/op movement of one benchmark between two snapshots.
+type Delta struct {
+	Name    string  `json:"name"`
+	Package string  `json:"package,omitempty"`
+	OldNs   float64 `json:"old_ns_per_op"`
+	NewNs   float64 `json:"new_ns_per_op"`
+	// Ratio is NewNs/OldNs: < 1 is a speedup, > 1 a slowdown.
+	Ratio float64 `json:"ratio"`
+}
+
+// Pct returns the signed percentage change (+ is slower, − is faster).
+func (d Delta) Pct() float64 { return (d.Ratio - 1) * 100 }
+
+// Comparison is the matched diff of two snapshots.
+type Comparison struct {
+	Deltas  []Delta  `json:"deltas"`
+	OldOnly []string `json:"old_only,omitempty"` // benchmarks missing from the new run
+	NewOnly []string `json:"new_only,omitempty"` // benchmarks added by the new run
+}
+
+// key identifies a benchmark across runs: package + name (the name already
+// carries the -GOMAXPROCS suffix, which we keep — comparing across different
+// parallelism would be meaningless anyway).
+func key(b Benchmark) string { return b.Package + "." + b.Name }
+
+// Compare matches the benchmarks of two snapshots by package and name and
+// reports the ns/op ratio of each pair, sorted worst regression first.
+// Snapshots captured with `go test -count=N` carry N samples per
+// benchmark; Compare takes the minimum ns/op of each side (benchstat's
+// best-of rule: the fastest sample is the least-disturbed measurement of
+// the code, everything above it is scheduler/GC noise). Benchmarks
+// present in only one snapshot are listed but not treated as failures —
+// suites grow and shrink between commits.
+func Compare(old, new *Snapshot) *Comparison {
+	oldBy := map[string]Benchmark{}
+	for _, b := range old.Benchmarks {
+		if prev, ok := oldBy[key(b)]; !ok || b.NsPerOp < prev.NsPerOp {
+			oldBy[key(b)] = b
+		}
+	}
+	newBy := map[string]Benchmark{}
+	var order []string
+	for _, b := range new.Benchmarks {
+		k := key(b)
+		if prev, ok := newBy[k]; !ok || b.NsPerOp < prev.NsPerOp {
+			if _, ok := newBy[k]; !ok {
+				order = append(order, k)
+			}
+			newBy[k] = b
+		}
+	}
+	cmp := &Comparison{}
+	seen := map[string]bool{}
+	for _, k := range order {
+		nb := newBy[k]
+		seen[k] = true
+		ob, ok := oldBy[k]
+		if !ok {
+			cmp.NewOnly = append(cmp.NewOnly, k)
+			continue
+		}
+		d := Delta{
+			Name:    nb.Name,
+			Package: nb.Package,
+			OldNs:   ob.NsPerOp,
+			NewNs:   nb.NsPerOp,
+		}
+		if ob.NsPerOp > 0 {
+			d.Ratio = nb.NsPerOp / ob.NsPerOp
+		}
+		cmp.Deltas = append(cmp.Deltas, d)
+	}
+	for k := range oldBy {
+		if !seen[k] {
+			cmp.OldOnly = append(cmp.OldOnly, k)
+		}
+	}
+	sort.Strings(cmp.OldOnly)
+	sort.Slice(cmp.Deltas, func(i, j int) bool {
+		if cmp.Deltas[i].Ratio != cmp.Deltas[j].Ratio {
+			return cmp.Deltas[i].Ratio > cmp.Deltas[j].Ratio
+		}
+		return key(Benchmark{Name: cmp.Deltas[i].Name, Package: cmp.Deltas[i].Package}) <
+			key(Benchmark{Name: cmp.Deltas[j].Name, Package: cmp.Deltas[j].Package})
+	})
+	return cmp
+}
+
+// Regressions returns the deltas whose slowdown exceeds tolerance (e.g. 0.10
+// flags benchmarks that got more than 10% slower).
+func (c *Comparison) Regressions(tolerance float64) []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Ratio > 1+tolerance {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Render writes the comparison as an aligned table, worst regression first,
+// marking every delta beyond tolerance.
+func (c *Comparison) Render(w io.Writer, tolerance float64) {
+	fmt.Fprintf(w, "%-52s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, d := range c.Deltas {
+		mark := ""
+		switch {
+		case d.Ratio > 1+tolerance:
+			mark = "  << REGRESSION"
+		case d.Ratio < 1-tolerance:
+			mark = "  (faster)"
+		}
+		fmt.Fprintf(w, "%-52s %14.0f %14.0f %+8.1f%%%s\n",
+			d.Name, d.OldNs, d.NewNs, d.Pct(), mark)
+	}
+	for _, k := range c.OldOnly {
+		fmt.Fprintf(w, "%-52s   removed in new run\n", k)
+	}
+	for _, k := range c.NewOnly {
+		fmt.Fprintf(w, "%-52s   new benchmark\n", k)
+	}
+}

@@ -1,0 +1,130 @@
+package benchjson
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func snap(benches ...Benchmark) *Snapshot { return &Snapshot{Benchmarks: benches} }
+
+func bench(pkg, name string, ns float64) Benchmark {
+	return Benchmark{Name: name, Package: pkg, Iterations: 1, NsPerOp: ns}
+}
+
+func TestCompareMatchesAndSorts(t *testing.T) {
+	old := snap(
+		bench("repro/a", "BenchmarkFast-8", 1000),
+		bench("repro/a", "BenchmarkSlow-8", 1000),
+		bench("repro/a", "BenchmarkGone-8", 500),
+	)
+	new := snap(
+		bench("repro/a", "BenchmarkFast-8", 600),  // 40% faster
+		bench("repro/a", "BenchmarkSlow-8", 1500), // 50% slower
+		bench("repro/a", "BenchmarkNew-8", 123),
+	)
+	c := Compare(old, new)
+	if len(c.Deltas) != 2 {
+		t.Fatalf("%d deltas, want 2", len(c.Deltas))
+	}
+	// Worst regression first.
+	if c.Deltas[0].Name != "BenchmarkSlow-8" || c.Deltas[0].Ratio != 1.5 {
+		t.Fatalf("first delta: %+v", c.Deltas[0])
+	}
+	if c.Deltas[1].Ratio != 0.6 {
+		t.Fatalf("second delta: %+v", c.Deltas[1])
+	}
+	if got := c.Deltas[0].Pct(); got < 49.9 || got > 50.1 {
+		t.Fatalf("Pct = %v", got)
+	}
+	if len(c.OldOnly) != 1 || c.OldOnly[0] != "repro/a.BenchmarkGone-8" {
+		t.Fatalf("old-only: %v", c.OldOnly)
+	}
+	if len(c.NewOnly) != 1 || c.NewOnly[0] != "repro/a.BenchmarkNew-8" {
+		t.Fatalf("new-only: %v", c.NewOnly)
+	}
+}
+
+func TestCompareDistinguishesPackages(t *testing.T) {
+	// The same benchmark name in two packages must not cross-match.
+	old := snap(bench("repro/a", "BenchmarkX-8", 100), bench("repro/b", "BenchmarkX-8", 200))
+	new := snap(bench("repro/a", "BenchmarkX-8", 100), bench("repro/b", "BenchmarkX-8", 400))
+	c := Compare(old, new)
+	if len(c.Deltas) != 2 {
+		t.Fatalf("%d deltas, want 2", len(c.Deltas))
+	}
+	if c.Deltas[0].Package != "repro/b" || c.Deltas[0].Ratio != 2 {
+		t.Fatalf("first delta: %+v", c.Deltas[0])
+	}
+}
+
+func TestRegressionsTolerance(t *testing.T) {
+	old := snap(
+		bench("p", "BenchmarkA-8", 1000),
+		bench("p", "BenchmarkB-8", 1000),
+		bench("p", "BenchmarkC-8", 1000),
+	)
+	new := snap(
+		bench("p", "BenchmarkA-8", 1050), // +5%: within tolerance
+		bench("p", "BenchmarkB-8", 1200), // +20%: regression
+		bench("p", "BenchmarkC-8", 700),  // faster
+	)
+	regs := Compare(old, new).Regressions(0.10)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkB-8" {
+		t.Fatalf("regressions: %+v", regs)
+	}
+	if regs = Compare(old, new).Regressions(0.01); len(regs) != 2 {
+		t.Fatalf("tight tolerance regressions: %+v", regs)
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	old := snap(bench("p", "BenchmarkA-8", 1000), bench("p", "BenchmarkDrop-8", 10))
+	new := snap(bench("p", "BenchmarkA-8", 2000), bench("p", "BenchmarkAdd-8", 10))
+	var buf bytes.Buffer
+	Compare(old, new).Render(&buf, 0.10)
+	out := buf.String()
+	for _, want := range []string{"REGRESSION", "+100.0%", "removed in new run", "new benchmark"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareZeroOldNs(t *testing.T) {
+	c := Compare(snap(bench("p", "BenchmarkZ-8", 0)), snap(bench("p", "BenchmarkZ-8", 5)))
+	if len(c.Deltas) != 1 || c.Deltas[0].Ratio != 0 {
+		t.Fatalf("zero-baseline delta: %+v", c.Deltas)
+	}
+	if len(c.Regressions(0.1)) != 0 {
+		t.Fatal("zero-baseline must not be flagged as regression")
+	}
+}
+
+func TestCompareTakesMinOfRepeatedSamples(t *testing.T) {
+	// -count=N runs leave N lines per benchmark; Compare must use the
+	// fastest sample on each side (benchstat's best-of rule).
+	old := snap(
+		bench("p", "BenchmarkA-8", 1500),
+		bench("p", "BenchmarkA-8", 1000), // old best
+		bench("p", "BenchmarkA-8", 1300),
+	)
+	new := snap(
+		bench("p", "BenchmarkA-8", 1100), // new best
+		bench("p", "BenchmarkA-8", 1900),
+	)
+	c := Compare(old, new)
+	if len(c.Deltas) != 1 {
+		t.Fatalf("%d deltas, want 1 (samples must collapse)", len(c.Deltas))
+	}
+	if d := c.Deltas[0]; d.OldNs != 1000 || d.NewNs != 1100 {
+		t.Fatalf("delta uses %v/%v, want best-of 1000/1100", d.OldNs, d.NewNs)
+	}
+	// A benchmark repeated only in old must appear once in OldOnly.
+	old2 := snap(bench("p", "BenchmarkGone-8", 5), bench("p", "BenchmarkGone-8", 6),
+		bench("p", "BenchmarkA-8", 1))
+	c2 := Compare(old2, snap(bench("p", "BenchmarkA-8", 1)))
+	if len(c2.OldOnly) != 1 {
+		t.Fatalf("OldOnly = %v, want one entry", c2.OldOnly)
+	}
+}

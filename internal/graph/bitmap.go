@@ -12,18 +12,19 @@ import (
 // stored. Each block is directly usable as the A operand of the single-bit
 // m8n8k128 MMA.
 
-// BitmapBlock is one nonempty 8×128 adjacency block.
-type BitmapBlock struct {
-	ColSeg int32 // column segment index: covers columns [128·ColSeg, 128·(ColSeg+1))
-	Bits   mmu.BitFragA
-}
-
-// SliceSet is the bitmap block slice-set encoding of a graph.
+// SliceSet is the bitmap block slice-set encoding of a graph. Blocks are
+// stored structure-of-arrays: block i is the pair (ColSegs[i], Bits[i]),
+// with a slice's blocks occupying the contiguous index range
+// [SlicePtr[si], SlicePtr[si+1]) sorted by column segment. The split layout
+// keeps the bit payloads contiguous in memory, so a slice's whole block run
+// feeds mmu.BMMAPanel as one packed sweep — the panel-engine equivalent of
+// the BLIS operand packing the FP kernels use.
 type SliceSet struct {
 	N         int
-	RowSlices int           // ceil(N/8)
-	SlicePtr  []int         // length RowSlices+1, indexes Blocks
-	Blocks    []BitmapBlock // sorted by ColSeg within each slice
+	RowSlices int     // ceil(N/8)
+	SlicePtr  []int   // length RowSlices+1, indexes ColSegs/Bits
+	ColSegs   []int32 // column segment of block i: columns [128·seg, 128·(seg+1))
+	Bits      []mmu.BitFragA
 }
 
 // ToSliceSet converts a CSR graph into the 8×128 bitmap slice-set format.
@@ -33,7 +34,7 @@ func ToSliceSet(g *Graph) *SliceSet {
 	rs := (g.N + 7) / 8
 	s := &SliceSet{N: g.N, RowSlices: rs, SlicePtr: make([]int, rs+1)}
 	for si := 0; si < rs; si++ {
-		blocks := map[int32]*BitmapBlock{}
+		blocks := map[int32]*mmu.BitFragA{}
 		var order []int32
 		for r := 0; r < 8; r++ {
 			v := si*8 + r
@@ -44,11 +45,11 @@ func ToSliceSet(g *Graph) *SliceSet {
 				seg := u / 128
 				blk, ok := blocks[seg]
 				if !ok {
-					blk = &BitmapBlock{ColSeg: seg}
+					blk = new(mmu.BitFragA)
 					blocks[seg] = blk
 					order = append(order, seg)
 				}
-				blk.Bits.SetBit(r, int(u%128))
+				blk.SetBit(r, int(u%128))
 			}
 		}
 		for a := 1; a < len(order); a++ {
@@ -57,23 +58,24 @@ func ToSliceSet(g *Graph) *SliceSet {
 			}
 		}
 		for _, seg := range order {
-			s.Blocks = append(s.Blocks, *blocks[seg])
+			s.ColSegs = append(s.ColSegs, seg)
+			s.Bits = append(s.Bits, *blocks[seg])
 		}
-		s.SlicePtr[si+1] = len(s.Blocks)
+		s.SlicePtr[si+1] = len(s.ColSegs)
 	}
 	return s
 }
 
 // BlockCount returns the number of stored 8×128 blocks.
-func (s *SliceSet) BlockCount() int { return len(s.Blocks) }
+func (s *SliceSet) BlockCount() int { return len(s.ColSegs) }
 
 // FillRatio returns edges / (blocks · 8 · 128): the bitmap payload density,
 // i.e. the MMU input utilization of the BFS workload.
 func (s *SliceSet) FillRatio(edges int) float64 {
-	if len(s.Blocks) == 0 {
+	if len(s.ColSegs) == 0 {
 		return 0
 	}
-	return float64(edges) / float64(len(s.Blocks)*8*128)
+	return float64(edges) / float64(len(s.ColSegs)*8*128)
 }
 
 // Frontier is a vertex bitset used by the bitmap BFS.

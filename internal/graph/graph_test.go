@@ -70,12 +70,12 @@ func TestSliceSetRoundTrip(t *testing.T) {
 	count := 0
 	for si := 0; si < s.RowSlices; si++ {
 		for p := s.SlicePtr[si]; p < s.SlicePtr[si+1]; p++ {
-			blk := s.Blocks[p]
+			bits := &s.Bits[p]
 			for r := 0; r < 8; r++ {
 				for b := 0; b < 128; b++ {
-					if blk.Bits.Bit(r, b) {
+					if bits.Bit(r, b) {
 						v := si*8 + r
-						u := int32(blk.ColSeg)*128 + int32(b)
+						u := s.ColSegs[p]*128 + int32(b)
 						count++
 						found := false
 						for _, w := range g.Adj(v) {
@@ -108,7 +108,7 @@ func TestSliceSetBlocksSorted(t *testing.T) {
 	s := ToSliceSet(g)
 	for si := 0; si < s.RowSlices; si++ {
 		for p := s.SlicePtr[si] + 1; p < s.SlicePtr[si+1]; p++ {
-			if s.Blocks[p].ColSeg <= s.Blocks[p-1].ColSeg {
+			if s.ColSegs[p] <= s.ColSegs[p-1] {
 				t.Fatalf("slice %d blocks not sorted", si)
 			}
 		}

@@ -227,8 +227,6 @@ func bitmapBFS(d *caseData) ([]int32, counters) {
 	visited := graph.NewFrontier(g.N)
 	visited.Set(d.source)
 
-	var b mmu.BitFragB
-	var cAcc mmu.BitFragC
 	for level := int32(1); !frontier.Empty(); level++ {
 		ct.levels++
 		ct.frontierW += float64(len(frontier.Words)) * 2
@@ -246,29 +244,17 @@ func bitmapBFS(d *caseData) ([]int32, counters) {
 			if allVisited {
 				continue
 			}
+			// The slice's whole block run executes as one BMMAPanel sweep:
+			// the SoA layout hands the packed bit payloads and column
+			// segments over directly, blocks whose frontier segment is empty
+			// are skipped inside the sweep, and the executed count comes
+			// back for the measured-work profiles.
+			p0, p1 := s.SlicePtr[si], s.SlicePtr[si+1]
 			var rowHits [8]int32
-			for p := s.SlicePtr[si]; p < s.SlicePtr[si+1]; p++ {
-				blk := &s.Blocks[p]
-				ct.segChecks++
-				seg := frontier.Segment(blk.ColSeg)
-				if seg[0] == 0 && seg[1] == 0 {
-					continue
-				}
-				ct.blockLoads++
-				ct.bmma++
-				// Broadcast the frontier segment into every B column; the
-				// kernel consumes only column 0 of the result.
-				for col := 0; col < mmu.BitN; col++ {
-					b[col][0], b[col][1] = seg[0], seg[1]
-				}
-				for i := range cAcc {
-					cAcc[i] = 0
-				}
-				mmu.BMMAAndPopc(&cAcc, &blk.Bits, &b)
-				for r := 0; r < 8; r++ {
-					rowHits[r] += cAcc[r*mmu.BitN]
-				}
-			}
+			n := mmu.BMMAPanel(&rowHits, s.Bits[p0:p1], s.ColSegs[p0:p1], frontier.Words)
+			ct.segChecks += float64(p1 - p0)
+			ct.blockLoads += float64(n)
+			ct.bmma += float64(n)
 			for r := 0; r < 8; r++ {
 				v := si*8 + r
 				if v < g.N && rowHits[r] > 0 && levels[v] < 0 {

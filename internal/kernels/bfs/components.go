@@ -36,8 +36,6 @@ func componentsOf(d *caseData) *ComponentsResult {
 		res.Labels[i] = -1
 	}
 
-	var b mmu.BitFragB
-	var cAcc mmu.BitFragC
 	sizes := []int{}
 	for start := 0; start < g.N; start++ {
 		if res.Labels[start] >= 0 {
@@ -64,25 +62,10 @@ func componentsOf(d *caseData) *ComponentsResult {
 				if allLabeled {
 					continue
 				}
+				p0, p1 := s.SlicePtr[si], s.SlicePtr[si+1]
 				var rowHits [8]int32
-				for p := s.SlicePtr[si]; p < s.SlicePtr[si+1]; p++ {
-					blk := &s.Blocks[p]
-					seg := frontier.Segment(blk.ColSeg)
-					if seg[0] == 0 && seg[1] == 0 {
-						continue
-					}
-					res.BMMA++
-					for col := 0; col < mmu.BitN; col++ {
-						b[col][0], b[col][1] = seg[0], seg[1]
-					}
-					for i := range cAcc {
-						cAcc[i] = 0
-					}
-					mmu.BMMAAndPopc(&cAcc, &blk.Bits, &b)
-					for r := 0; r < 8; r++ {
-						rowHits[r] += cAcc[r*mmu.BitN]
-					}
-				}
+				res.BMMA += float64(mmu.BMMAPanel(&rowHits,
+					s.Bits[p0:p1], s.ColSegs[p0:p1], frontier.Words))
 				for r := 0; r < 8; r++ {
 					v := si*8 + r
 					if v < g.N && rowHits[r] > 0 && res.Labels[v] < 0 {

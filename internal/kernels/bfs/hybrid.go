@@ -56,8 +56,6 @@ func hybridBFS(d *caseData) *HybridResult {
 	frontier.Set(d.source)
 	threshold := g.Edges() / pushThresholdAlpha
 
-	var b mmu.BitFragB
-	var cAcc mmu.BitFragC
 	for level := int32(1); len(frontierList) > 0; level++ {
 		// Outgoing edges of the current frontier decide the direction.
 		frontierEdges := 0
@@ -93,25 +91,10 @@ func hybridBFS(d *caseData) *HybridResult {
 				if allVisited {
 					continue
 				}
+				p0, p1 := s.SlicePtr[si], s.SlicePtr[si+1]
 				var rowHits [8]int32
-				for p := s.SlicePtr[si]; p < s.SlicePtr[si+1]; p++ {
-					blk := &s.Blocks[p]
-					seg := frontier.Segment(blk.ColSeg)
-					if seg[0] == 0 && seg[1] == 0 {
-						continue
-					}
-					out.PullBMMA++
-					for col := 0; col < mmu.BitN; col++ {
-						b[col][0], b[col][1] = seg[0], seg[1]
-					}
-					for i := range cAcc {
-						cAcc[i] = 0
-					}
-					mmu.BMMAAndPopc(&cAcc, &blk.Bits, &b)
-					for r := 0; r < 8; r++ {
-						rowHits[r] += cAcc[r*mmu.BitN]
-					}
-				}
+				out.PullBMMA += float64(mmu.BMMAPanel(&rowHits,
+					s.Bits[p0:p1], s.ColSegs[p0:p1], frontier.Words))
 				for r := 0; r < 8; r++ {
 					v := si*8 + r
 					if v < g.N && rowHits[r] > 0 && out.Levels[v] < 0 {

@@ -18,7 +18,9 @@ import (
 
 	"repro/internal/lcg"
 	"repro/internal/mmu"
+	"repro/internal/par"
 	"repro/internal/sim"
+	"repro/internal/tensor"
 	"repro/internal/workload"
 )
 
@@ -123,42 +125,38 @@ func matmulComplexMMA(cRe, cIm, aRe, aIm, bRe, bIm []float64, m, k, n int) {
 	realMMA(cIm, aIm, bRe, m, k, n)
 }
 
-// realMMA accumulates C += A·B with tiled m8n8k4 MMAs (zero-padded edges).
+// fftPanelScratch pools the packed A/B operand panels and the C tile of
+// realMMA across calls (four per complex product, many per transform).
+var fftPanelScratch = par.NewSizedScratch()
+
+// realMMA accumulates C += A·B with fused m8n8k4 MMA k-sweeps (zero-padded
+// edges). The operands arrive as raw row-major slices; wrapping them in
+// tensor.Matrix views gives the panel packers their fast interior paths. The
+// A row-panel is packed once per row block and reused across every j0 column
+// (the tile-at-a-time version re-gathered the same 8×4 tiles n/8 times);
+// the per-element FMA chain stays the ascending-k order of the old loop, so
+// results are bit-identical (CUBIE_NO_PANEL=1 verifies).
 func realMMA(c, a, b []float64, m, k, n int) {
-	aT := make([]float64, mmu.M*mmu.K)
-	bT := make([]float64, mmu.K*mmu.N)
-	cT := make([]float64, mmu.M*mmu.N)
+	av := &tensor.Matrix{Rows: m, Cols: k, Data: a}
+	bv := &tensor.Matrix{Rows: k, Cols: n, Data: b}
+	kTiles := (k + mmu.K - 1) / mmu.K
+	buf := fftPanelScratch.Get(mmu.M*mmu.N + kTiles*(mmu.M*mmu.K+mmu.K*mmu.N))
+	defer fftPanelScratch.Put(buf)
+	cT := buf[0 : mmu.M*mmu.N]
+	aPanel := buf[mmu.M*mmu.N : mmu.M*mmu.N+kTiles*mmu.M*mmu.K]
+	bPanel := buf[mmu.M*mmu.N+kTiles*mmu.M*mmu.K:]
 	for i0 := 0; i0 < m; i0 += mmu.M {
+		h := minInt(mmu.M, m-i0)
+		av.PackAPanel(aPanel, i0, 0, kTiles)
 		for j0 := 0; j0 < n; j0 += mmu.N {
-			h := minInt(mmu.M, m-i0)
 			w := minInt(mmu.N, n-j0)
+			bv.PackBPanel(bPanel, 0, j0, kTiles)
 			for i := 0; i < h; i++ {
 				for j := 0; j < w; j++ {
 					cT[i*mmu.N+j] = c[(i0+i)*n+j0+j]
 				}
 			}
-			for k0 := 0; k0 < k; k0 += mmu.K {
-				kk := minInt(mmu.K, k-k0)
-				for i := 0; i < mmu.M; i++ {
-					for x := 0; x < mmu.K; x++ {
-						if i < h && x < kk {
-							aT[i*mmu.K+x] = a[(i0+i)*k+k0+x]
-						} else {
-							aT[i*mmu.K+x] = 0
-						}
-					}
-				}
-				for x := 0; x < mmu.K; x++ {
-					for j := 0; j < mmu.N; j++ {
-						if x < kk && j < w {
-							bT[x*mmu.N+j] = b[(k0+x)*n+j0+j]
-						} else {
-							bT[x*mmu.N+j] = 0
-						}
-					}
-				}
-				mmu.DMMATile(cT, aT, bT)
-			}
+			mmu.DMMAPanel(cT, aPanel, bPanel, kTiles)
 			for i := 0; i < h; i++ {
 				for j := 0; j < w; j++ {
 					c[(i0+i)*n+j0+j] = cT[i*mmu.N+j]

@@ -146,10 +146,12 @@ func (w *Workload) Reference(c workload.Case) ([]float64, error) {
 	return out.Data, nil
 }
 
-// mmaScratch pools the per-sweep fragment temporaries of multiplyMMA: the
-// A/B operand tiles (32 each) and the even/odd/sum accumulators (64 each),
-// packed into one 256-element buffer sliced per worker range.
-var mmaScratch = par.NewScratch(2*mmu.M*mmu.K + 3*mmu.M*mmu.N)
+// mmaAccScratch pools the per-sweep even/odd C accumulators of multiplyMMA.
+var mmaAccScratch = par.NewScratch(2 * mmu.M * mmu.N)
+
+// mmaPanelScratch pools the packed A/B operand panels, whose length depends
+// on the case's k extent.
+var mmaPanelScratch = par.NewSizedScratch()
 
 // multiplyMMA executes the tiled tensor-core GEMM: 64×64 block tiles, each
 // built from 8×8 MMA accumulator fragments swept over k in steps of 4. Like
@@ -157,6 +159,14 @@ var mmaScratch = par.NewScratch(2*mmu.M*mmu.K + 3*mmu.M*mmu.N)
 // and odd k-tiles) per fragment and sums them at the end — this double
 // buffering is what makes the MMA result differ in rounding from the
 // single-accumulator baseline (Table 6: GEMM TC error exceeds baseline).
+//
+// The k-sweep runs on the panel engine: the A row-panel is packed once per
+// row-tile and reused across every j0 column (BLIS-style operand packing —
+// the tile-at-a-time version re-gathered the identical 8×4 tile n/8 times),
+// the B column-panel is packed once per output tile, and
+// mmu.DMMAPanelPair executes the whole sweep with both accumulators
+// register-resident. Accumulation order per element is unchanged, so the
+// result stays bit-identical to the tile loop (CUBIE_NO_PANEL=1 verifies).
 //
 // The output-tile grid is executed on the par worker pool: each 8×8 output
 // tile's FMA chains run whole on one worker in the fixed k order, so the
@@ -166,33 +176,28 @@ func multiplyMMA(a, b *tensor.Matrix) *tensor.Matrix {
 	m, k, n := a.Rows, a.Cols, b.Cols
 	out := tensor.NewMatrix(m, n)
 	rowTiles := (m + mmu.M - 1) / mmu.M
+	kTiles := (k + mmu.K - 1) / mmu.K
 	par.ForTiles(rowTiles, func(lo, hi int) {
-		buf := mmaScratch.Get()
-		defer mmaScratch.Put(buf)
-		aT := buf[0 : mmu.M*mmu.K]
-		bT := buf[mmu.M*mmu.K : 2*mmu.M*mmu.K]
-		cEven := buf[2*mmu.M*mmu.K : 2*mmu.M*mmu.K+mmu.M*mmu.N]
-		cOdd := buf[2*mmu.M*mmu.K+mmu.M*mmu.N : 2*mmu.M*mmu.K+2*mmu.M*mmu.N]
-		sum := buf[2*mmu.M*mmu.K+2*mmu.M*mmu.N:]
+		acc := mmaAccScratch.Get()
+		defer mmaAccScratch.Put(acc)
+		panels := mmaPanelScratch.Get(kTiles * (mmu.M*mmu.K + mmu.K*mmu.N))
+		defer mmaPanelScratch.Put(panels)
+		cEven := acc[0 : mmu.M*mmu.N]
+		cOdd := acc[mmu.M*mmu.N:]
+		aPanel := panels[0 : kTiles*mmu.M*mmu.K]
+		bPanel := panels[kTiles*mmu.M*mmu.K:]
 		for ti := lo; ti < hi; ti++ {
 			i0 := ti * mmu.M
+			a.PackAPanel(aPanel, i0, 0, kTiles)
 			for j0 := 0; j0 < n; j0 += mmu.N {
+				b.PackBPanel(bPanel, 0, j0, kTiles)
 				for i := range cEven {
 					cEven[i], cOdd[i] = 0, 0
 				}
-				for k0, kt := 0, 0; k0 < k; k0, kt = k0+mmu.K, kt+1 {
-					a.Tile(aT, i0, k0, mmu.M, mmu.K)
-					b.Tile(bT, k0, j0, mmu.K, mmu.N)
-					if kt%2 == 0 {
-						mmu.DMMATile(cEven, aT, bT)
-					} else {
-						mmu.DMMATile(cOdd, aT, bT)
-					}
-				}
-				for i := range sum {
-					sum[i] = cEven[i] + cOdd[i]
-				}
-				out.SetTile(sum, i0, j0, mmu.M, mmu.N)
+				mmu.DMMAPanelPair(cEven, cOdd, aPanel, bPanel, kTiles)
+				// Fused epilogue: one add per element straight into the
+				// output tile — no separate summing pass or staging buffer.
+				out.SetTileSum(cEven, cOdd, i0, j0, mmu.M, mmu.N)
 			}
 		}
 	})

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/lcg"
 	"repro/internal/mmu"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/tensor"
 	"repro/internal/workload"
@@ -123,31 +124,44 @@ func (w *Workload) Reference(c workload.Case) ([]float64, error) {
 	return y, nil
 }
 
-// computeMMA runs the TC algorithm: 8-row blocks of A, x broadcast into B,
-// MMA per 4-wide segment, first column of C extracted as y.
+// gemvScratch pools the C accumulator plus the packed A/B panels, whose
+// length depends on the case's n extent.
+var gemvScratch = par.NewSizedScratch()
+
+// computeMMA runs the TC algorithm on the panel engine: 8-row blocks of A,
+// x broadcast into B, a fused k-sweep per block, first column of C extracted
+// as y. The broadcast B panel depends only on x, so it is built once per call
+// and reused by every row block (the tile-at-a-time version rebuilt the same
+// 4×8 broadcast tile m/8 × n/4 times); the A row-panel packing replaces the
+// per-k-step Tile re-gathers. Per-element FMA order is the same ascending-k
+// chain, so results are bit-identical (CUBIE_NO_PANEL=1 verifies).
 func computeMMA(a *tensor.Matrix, x []float64) []float64 {
 	m, n := a.Rows, a.Cols
 	y := make([]float64, m)
-	aT := make([]float64, mmu.M*mmu.K)
-	bT := make([]float64, mmu.K*mmu.N)
-	cT := make([]float64, mmu.M*mmu.N)
+	kTiles := (n + mmu.K - 1) / mmu.K
+	buf := gemvScratch.Get(mmu.M*mmu.N + kTiles*(mmu.M*mmu.K+mmu.K*mmu.N))
+	defer gemvScratch.Put(buf)
+	cT := buf[0 : mmu.M*mmu.N]
+	aPanel := buf[mmu.M*mmu.N : mmu.M*mmu.N+kTiles*mmu.M*mmu.K]
+	bPanel := buf[mmu.M*mmu.N+kTiles*mmu.M*mmu.K:]
+	for t := 0; t < kTiles; t++ {
+		tile := bPanel[t*mmu.K*mmu.N:]
+		for k := 0; k < mmu.K; k++ {
+			var xv float64
+			if t*mmu.K+k < n {
+				xv = x[t*mmu.K+k]
+			}
+			for j := 0; j < mmu.N; j++ {
+				tile[k*mmu.N+j] = xv // broadcast x into every column
+			}
+		}
+	}
 	for i0 := 0; i0 < m; i0 += mmu.M {
+		a.PackAPanel(aPanel, i0, 0, kTiles)
 		for i := range cT {
 			cT[i] = 0
 		}
-		for k0 := 0; k0 < n; k0 += mmu.K {
-			a.Tile(aT, i0, k0, mmu.M, mmu.K)
-			for k := 0; k < mmu.K; k++ {
-				var xv float64
-				if k0+k < n {
-					xv = x[k0+k]
-				}
-				for j := 0; j < mmu.N; j++ {
-					bT[k*mmu.N+j] = xv // broadcast x into every column
-				}
-			}
-			mmu.DMMATile(cT, aT, bT)
-		}
+		mmu.DMMAPanel(cT, aPanel, bPanel, kTiles)
 		for i := 0; i < mmu.M && i0+i < m; i++ {
 			y[i0+i] = cT[i*mmu.N] // column 0 of the all-equal output tile
 		}

@@ -234,7 +234,7 @@ func pushMMA(st []float64) {
 			for i := range c1 {
 				c1[i] = 0
 			}
-			mmu.DMMATile(c1, vBlk, bKick)
+			mmu.DMMAPanel(c1, vBlk, bKick, 1)
 			// t = v1·Cross1.
 			for r := 0; r < mmu.M; r++ {
 				copy(vBlk[r*4:], c1[r*mmu.N:r*mmu.N+4])
@@ -242,13 +242,13 @@ func pushMMA(st []float64) {
 			for i := range c2 {
 				c2[i] = 0
 			}
-			mmu.DMMATile(c2, vBlk, bCross1)
+			mmu.DMMAPanel(c2, vBlk, bCross1, 1)
 			// v2 = v1 + t·Cross2: c1 already holds v1 and serves as the MMA
 			// accumulator while t (in c2) multiplies the second cross map.
 			for r := 0; r < mmu.M; r++ {
 				copy(vBlk[r*4:], c2[r*mmu.N:r*mmu.N+4])
 			}
-			mmu.DMMATile(c1, vBlk, bCross2)
+			mmu.DMMAPanel(c1, vBlk, bCross2, 1)
 			// Second half kick: V3 = V2·Kick (reload rows into the A block).
 			for r := 0; r < mmu.M; r++ {
 				copy(vBlk[r*4:], c1[r*mmu.N:r*mmu.N+4])
@@ -257,7 +257,7 @@ func pushMMA(st []float64) {
 			for i := range c2 {
 				c2[i] = 0
 			}
-			mmu.DMMATile(c2, vBlk, bKick)
+			mmu.DMMAPanel(c2, vBlk, bKick, 1)
 			// Write back velocities and advance positions.
 			for r := 0; r < cnt; r++ {
 				p := p0 + r

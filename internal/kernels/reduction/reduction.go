@@ -105,18 +105,13 @@ var (
 	}()
 )
 
-// mma8x8 multiplies two 8×8 tiles as two chained m8n8k4 MMAs.
-func mma8x8(c, a, b []float64) {
-	var a0, a1 [mmu.M * mmu.K]float64
-	var b0, b1 [mmu.K * mmu.N]float64
-	for i := 0; i < 8; i++ {
-		copy(a0[i*4:], a[i*8:i*8+4])
-		copy(a1[i*4:], a[i*8+4:i*8+8])
-	}
-	copy(b0[:], b[:32])
-	copy(b1[:], b[32:])
-	mmu.DMMATile(c, a0[:], b0[:])
-	mmu.DMMATile(c, a1[:], b1[:])
+// mma8x8 multiplies two 8×8 tiles as one fused two-tile m8n8k4 k-sweep. The
+// row-major 8×8 B operand is already a two-tile B panel; A is repacked into
+// the caller-provided two-tile panel buffer (len ≥ 64). Per-element FMA
+// order matches the old two-DMMATile sequence bit for bit.
+func mma8x8(c, a, b, aPanel []float64) {
+	mmu.PackA(aPanel, a, 8, 2)
+	mmu.DMMAPanel(c, aPanel, b, 2)
 }
 
 // Run implements workload.Workload.
@@ -174,8 +169,8 @@ func (w *Workload) Reference(c workload.Case) ([]float64, error) {
 }
 
 // reduceScratch pools the per-segment staging of computeMMAReduce: the 8×8
-// input block X and the two stage tiles (64 each).
-var reduceScratch = par.NewScratch(3 * 64)
+// input block X, the two stage tiles, and the A operand panel (64 each).
+var reduceScratch = par.NewScratch(4 * 64)
 
 // computeMMAReduce is the TC/CC algorithm: per block, A₁·X folds the eight
 // rows into row 0, then R·B₂ folds row 0 into element (0,0); block totals
@@ -191,6 +186,7 @@ func computeMMAReduce(data []float64, s int) []float64 {
 		x := buf[0:64]
 		r1 := buf[64:128]
 		r2 := buf[128:192]
+		aPanel := buf[192:256]
 		for seg := lo; seg < hi; seg++ {
 			var acc float64
 			for b0 := 0; b0 < s; b0 += 64 {
@@ -205,8 +201,8 @@ func computeMMAReduce(data []float64, s int) []float64 {
 				for i := range r1 {
 					r1[i], r2[i] = 0, 0
 				}
-				mma8x8(r1, onesRow0, x)  // column sums in row 0
-				mma8x8(r2, r1, onesCol0) // block total in (0,0)
+				mma8x8(r1, onesRow0, x, aPanel)  // column sums in row 0
+				mma8x8(r2, r1, onesCol0, aPanel) // block total in (0,0)
 				acc += r2[0]
 			}
 			out[seg] = acc

@@ -118,19 +118,15 @@ func constRow7() []float64 {
 	return m
 }
 
-// mma8x8 multiplies two 8×8 tiles as two chained m8n8k4 MMAs (k = 0..3,
-// then k = 4..7), accumulating into c.
-func mma8x8(c, a, b []float64) {
-	var a0, a1 [mmu.M * mmu.K]float64
-	var b0, b1 [mmu.K * mmu.N]float64
-	for i := 0; i < 8; i++ {
-		copy(a0[i*4:], a[i*8:i*8+4])
-		copy(a1[i*4:], a[i*8+4:i*8+8])
-	}
-	copy(b0[:], b[:32])
-	copy(b1[:], b[32:])
-	mmu.DMMATile(c, a0[:], b0[:])
-	mmu.DMMATile(c, a1[:], b1[:])
+// mma8x8 multiplies two 8×8 tiles as one fused two-tile m8n8k4 k-sweep
+// (k = 0..3, then k = 4..7), accumulating into c. An 8×8 row-major B operand
+// is already a two-tile B panel, so it feeds the sweep as-is; A is repacked
+// into the caller-provided two-tile panel buffer (len ≥ 64). The per-element
+// FMA chain keeps the ascending-k order of the old two-DMMATile sequence, so
+// results are bit-identical (CUBIE_NO_PANEL=1 verifies).
+func mma8x8(c, a, b, aPanel []float64) {
+	mmu.PackA(aPanel, a, 8, 2)
+	mmu.DMMAPanel(c, aPanel, b, 2)
 }
 
 // Run implements workload.Workload.
@@ -189,8 +185,8 @@ func (w *Workload) Reference(c workload.Case) ([]float64, error) {
 }
 
 // scanScratch pools the per-segment staging of computeMMAScan: the 8×8
-// input block X and the three stage tiles (64 each).
-var scanScratch = par.NewScratch(4 * 64)
+// input block X, the three stage tiles, and the A operand panel (64 each).
+var scanScratch = par.NewScratch(5 * 64)
 
 // computeMMAScan is the TC/CC algorithm: per segment, 64-element blocks are
 // scanned with the three constant-matrix MMA stages; the running carry is
@@ -206,6 +202,7 @@ func computeMMAScan(data []float64, s int) []float64 {
 		m1 := buf[64:128]
 		m2 := buf[128:192]
 		result := buf[192:256]
+		aPanel := buf[256:320]
 		for seg := lo; seg < hi; seg++ {
 			base := seg * s
 			var carry float64
@@ -222,10 +219,10 @@ func computeMMAScan(data []float64, s int) []float64 {
 				for i := range m1 {
 					m1[i], m2[i] = 0, 0
 				}
-				mma8x8(m1, x, upperOnes)    // row-wise prefix sums
-				mma8x8(m2, lowerStrict, m1) // previous-row totals (all cols)
+				mma8x8(m1, x, upperOnes, aPanel)    // row-wise prefix sums
+				mma8x8(m2, lowerStrict, m1, aPanel) // previous-row totals (all cols)
 				copy(result, m1)
-				mma8x8(result, m2, broadcast7) // fold totals: m1 + m2·E₇
+				mma8x8(result, m2, broadcast7, aPanel) // fold totals: m1 + m2·E₇
 				copy(out[base+b0:base+b0+n], result[:n])
 				carry = result[63]
 				if n < 64 {

@@ -243,8 +243,14 @@ type pendingProduct struct {
 	jDst int32
 }
 
-// spgemmScratch pools the MMA staging tiles of computeMMA (A, B, C).
-var spgemmScratch = par.NewScratch(mmu.M*mmu.K + mmu.K*mmu.N + mmu.M*mmu.N)
+// spgemmBatch is the number of paired-product MMAs staged per DMMABatch
+// call: enough to amortize the batch's single metrics update without growing
+// the per-worker staging buffer past L1.
+const spgemmBatch = 16
+
+// spgemmScratch pools the batched MMA staging panels of computeMMA
+// (spgemmBatch consecutive A, B, and C tiles).
+var spgemmScratch = par.NewScratch(spgemmBatch * (mmu.M*mmu.K + mmu.K*mmu.N + mmu.M*mmu.N))
 
 // computeMMA executes the paired-block SpGEMM on the MMA semantics: two
 // queued products per m8n8k4 instruction, diagonal quadrants extracted and
@@ -259,9 +265,9 @@ func computeMMA(d *caseData) []float64 {
 	par.ForTiles(b.BlockRows, func(lo, hi int) {
 		buf := spgemmScratch.Get()
 		defer spgemmScratch.Put(buf)
-		aT := buf[0 : mmu.M*mmu.K]
-		bT := buf[mmu.M*mmu.K : mmu.M*mmu.K+mmu.K*mmu.N]
-		cT := buf[mmu.M*mmu.K+mmu.K*mmu.N:]
+		aPanel := buf[0 : spgemmBatch*mmu.M*mmu.K]
+		bPanel := buf[spgemmBatch*mmu.M*mmu.K : spgemmBatch*(mmu.M*mmu.K+mmu.K*mmu.N)]
+		cPanel := buf[spgemmBatch*(mmu.M*mmu.K+mmu.K*mmu.N):]
 		var queue []pendingProduct
 		for bi := lo; bi < hi; bi++ {
 			acc := rowAccumulator{tiles: map[int32]*[16]float64{}}
@@ -274,31 +280,41 @@ func computeMMA(d *caseData) []float64 {
 					queue = append(queue, pendingProduct{a: ab, b: bb, jDst: bb.BlockCol})
 				}
 			}
-			for s := 0; s < len(queue); s += 2 {
-				for i := range aT {
-					aT[i] = 0
-				}
-				for i := range bT {
-					bT[i] = 0
-				}
-				for i := range cT {
-					cT[i] = 0
-				}
-				pair := queue[s:min(s+2, len(queue))]
-				for h, pr := range pair {
-					for r := 0; r < sparse.BlockSize; r++ {
-						copy(aT[(h*4+r)*mmu.K:], pr.a.Vals[r*4:r*4+4])
-						for cc := 0; cc < sparse.BlockSize; cc++ {
-							bT[r*mmu.N+h*4+cc] = pr.b.Vals[r*4+cc]
+			// The pair queue runs in chunks of spgemmBatch independent MMAs:
+			// stage the whole chunk, execute it with one DMMABatch call (one
+			// metrics update, bounds-check-free inner loops), then scatter the
+			// diagonal quadrants in the original queue order so every block
+			// accumulator sees the exact tile-at-a-time addition sequence.
+			for s := 0; s < len(queue); s += 2 * spgemmBatch {
+				n := (min(s+2*spgemmBatch, len(queue)) - s + 1) / 2
+				clear(aPanel[:n*mmu.M*mmu.K])
+				clear(bPanel[:n*mmu.K*mmu.N])
+				clear(cPanel[:n*mmu.M*mmu.N])
+				for i := 0; i < n; i++ {
+					base := s + 2*i
+					pair := queue[base:min(base+2, len(queue))]
+					aT := aPanel[i*mmu.M*mmu.K:]
+					bT := bPanel[i*mmu.K*mmu.N:]
+					for h, pr := range pair {
+						for r := 0; r < sparse.BlockSize; r++ {
+							copy(aT[(h*4+r)*mmu.K:(h*4+r)*mmu.K+4], pr.a.Vals[r*4:r*4+4])
+							for cc := 0; cc < sparse.BlockSize; cc++ {
+								bT[r*mmu.N+h*4+cc] = pr.b.Vals[r*4+cc]
+							}
 						}
 					}
 				}
-				mmu.DMMATile(cT, aT, bT)
-				for h, pr := range pair {
-					t := acc.tile(pr.jDst)
-					for r := 0; r < 4; r++ {
-						for cc := 0; cc < 4; cc++ {
-							t[r*4+cc] += cT[(h*4+r)*mmu.N+h*4+cc]
+				mmu.DMMABatch(cPanel[:n*mmu.M*mmu.N], aPanel, bPanel, n)
+				for i := 0; i < n; i++ {
+					base := s + 2*i
+					pair := queue[base:min(base+2, len(queue))]
+					cT := cPanel[i*mmu.M*mmu.N:]
+					for h, pr := range pair {
+						t := acc.tile(pr.jDst)
+						for r := 0; r < 4; r++ {
+							for cc := 0; cc < 4; cc++ {
+								t[r*4+cc] += cT[(h*4+r)*mmu.N+h*4+cc]
+							}
 						}
 					}
 				}

@@ -136,9 +136,12 @@ func computeDASPMMA(d *caseData) []float64 {
 	return ApplyDASP(d.dasp, d.x)
 }
 
-// daspScratch pools the per-sweep MMA staging tiles of ApplyDASP: the A and
-// B operands (32 each) plus the C accumulator (64), one buffer per worker.
-var daspScratch = par.NewScratch(mmu.M*mmu.K + mmu.K*mmu.N + mmu.M*mmu.N)
+// daspScratch pools the per-block C accumulator of ApplyDASP.
+var daspScratch = par.NewScratch(mmu.M * mmu.N)
+
+// daspPanelScratch pools the packed A/B operand panels, sized to the longest
+// block in each worker's range.
+var daspPanelScratch = par.NewSizedScratch()
 
 // ApplyDASP computes y = A·x with the DASP tensor-core algorithm: per
 // block, the C tile accumulates over all segments (one MMA each, gathering
@@ -154,26 +157,41 @@ var daspScratch = par.NewScratch(mmu.M*mmu.K + mmu.K*mmu.N + mmu.M*mmu.N)
 func ApplyDASP(dasp *sparse.DASP, x []float64) []float64 {
 	y := make([]float64, dasp.Rows)
 	par.ForTiles(len(dasp.Blocks), func(lo, hi int) {
-		buf := daspScratch.Get()
-		defer daspScratch.Put(buf)
-		aT := buf[0 : mmu.M*mmu.K]
-		bT := buf[mmu.M*mmu.K : mmu.M*mmu.K+mmu.K*mmu.N]
-		cT := buf[mmu.M*mmu.K+mmu.K*mmu.N:]
+		cT := daspScratch.Get()
+		defer daspScratch.Put(cT)
+		// Size the operand panels once per worker range: one 8×4 A tile and
+		// one 4×8 B tile per segment of the longest block in the range.
+		maxSegs := 0
+		for bi := lo; bi < hi; bi++ {
+			if s := len(dasp.Blocks[bi].Segments); s > maxSegs {
+				maxSegs = s
+			}
+		}
+		panels := daspPanelScratch.Get(maxSegs * (mmu.M*mmu.K + mmu.K*mmu.N))
+		defer daspPanelScratch.Put(panels)
+		aPanel := panels[0 : maxSegs*mmu.M*mmu.K]
+		bPanel := panels[maxSegs*mmu.M*mmu.K:]
 		for bi := lo; bi < hi; bi++ {
 			blk := &dasp.Blocks[bi]
 			for i := range cT {
 				cT[i] = 0
 			}
+			// Pack the block's whole segment sweep, then run it fused: the
+			// accumulator stays resident across all segments and the sweep
+			// costs one metrics update (the tile-at-a-time version staged and
+			// counted every segment separately).
 			for si := range blk.Segments {
 				seg := &blk.Segments[si]
+				aT := aPanel[si*mmu.M*mmu.K:]
+				bT := bPanel[si*mmu.K*mmu.N:]
 				for l := 0; l < mmu.M; l++ {
 					for k := 0; k < mmu.K; k++ {
 						aT[l*mmu.K+k] = seg.Vals[l][k]
 						bT[k*mmu.N+l] = x[seg.Cols[l][k]]
 					}
 				}
-				mmu.DMMATile(cT, aT, bT)
 			}
+			mmu.DMMAPanel(cT, aPanel, bPanel, len(blk.Segments))
 			if blk.Category == sparse.LongRow {
 				r := blk.RowOf[0]
 				var partial [mmu.M]float64

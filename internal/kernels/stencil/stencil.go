@@ -185,53 +185,44 @@ func bandMatrixA(centerWeight float64) []float64 {
 }
 
 // sweepScratch pools the per-sweep staging of sweepMMA and the Sweep3DMMA
-// band passes: two haloed tiles (96 each), the 8×8 accumulator, and the
-// A/B MMA operand segments (32 each).
-var sweepScratch = par.NewScratch(2*96 + 64 + 2*32)
+// band passes: one haloed line/operand panel (96), the 8×8 accumulator, and
+// a second 3-tile operand panel (96).
+var sweepScratch = par.NewScratch(96 + 64 + 96)
 
 // sweepMMA executes one star2d1r sweep in the LoRaStencil style: per 8×8
 // tile, a horizontal band product X_ext(8×12)·B(12×8) plus a vertical band
-// product A(8×12)·X_ext(12×8) with a zeroed center weight, both as chains
-// of m8n8k4 MMAs against the constant band matrices. Output tiles are
-// disjoint, so the tile-row grid runs on the par worker pool with the
-// per-tile MMA chain order unchanged.
+// product A(8×12)·X_ext(12×8) with a zeroed center weight, each run as one
+// fused 3-tile k-sweep on the panel engine. The constant 12×8 band matrix is
+// already a 3-tile B panel (row-major 4×8 tiles), the constant 8×12 vertical
+// A operand is packed once per sweep, and the haloed grid tiles pack
+// straight from u via PackAPanel/PackBPanel — no per-k-step segment copies.
+// The per-element FMA chains keep the ascending-k order of the old loops, so
+// results are bit-identical (CUBIE_NO_PANEL=1 verifies). Output tiles are
+// disjoint, so the tile-row grid runs on the par worker pool.
 func sweepMMA(u *tensor.Matrix) *tensor.Matrix {
 	out := tensor.NewMatrix(u.Rows, u.Cols)
-	bH := bandMatrixB(wCenter)
-	aV := bandMatrixA(0)
+	bH := bandMatrixB(wCenter) // 12×8 row-major ≡ 3-tile B panel
+	aVPanel := make([]float64, 3*mmu.M*mmu.K)
+	mmu.PackA(aVPanel, bandMatrixA(0), 12, 3)
 	rowTiles := (u.Rows + 7) / 8
 	par.ForTiles(rowTiles, func(lo, hi int) {
 		buf := sweepScratch.Get()
 		defer sweepScratch.Put(buf)
-		xh := buf[0:96]      // tile with one-column halo each side
-		xv := buf[96:192]    // tile with one-row halo each side
-		acc := buf[192:256]  // accumulates both passes
-		aSeg := buf[256:288] // MMA operand staging
-		bSeg := buf[288:320]
+		aPanelH := buf[0:96]    // horizontal pass: haloed tile as 3 A tiles
+		acc := buf[96:160]      // accumulates both passes
+		bPanelV := buf[160:256] // vertical pass: haloed tile as 3 B tiles
 		for ti := lo; ti < hi; ti++ {
 			i0 := ti * 8
 			for j0 := 0; j0 < u.Cols; j0 += 8 {
-				u.Tile(xh, i0, j0-1, 8, 12)
-				u.Tile(xv, i0-1, j0, 12, 8)
+				u.PackAPanel(aPanelH, i0, j0-1, 3)
+				u.PackBPanel(bPanelV, i0-1, j0, 3)
 				for i := range acc {
 					acc[i] = 0
 				}
-				// Horizontal: acc += X_ext · B, k swept in 4-wide steps.
-				for k0 := 0; k0 < 12; k0 += 4 {
-					for r := 0; r < 8; r++ {
-						copy(aSeg[r*4:], xh[r*12+k0:r*12+k0+4])
-					}
-					copy(bSeg, bH[k0*8:(k0+4)*8])
-					mmu.DMMATile(acc, aSeg, bSeg)
-				}
+				// Horizontal: acc += X_ext · B, fused 3-tile k-sweep.
+				mmu.DMMAPanel(acc, aPanelH, bH, 3)
 				// Vertical: acc += A · X_ext, center weight zero.
-				for k0 := 0; k0 < 12; k0 += 4 {
-					for r := 0; r < 8; r++ {
-						copy(aSeg[r*4:], aV[r*12+k0:r*12+k0+4])
-					}
-					copy(bSeg, xv[k0*8:(k0+4)*8])
-					mmu.DMMATile(acc, aSeg, bSeg)
-				}
+				mmu.DMMAPanel(acc, aVPanel, bPanelV, 3)
 				out.SetTile(acc, i0, j0, 8, 8)
 			}
 		}

@@ -61,8 +61,7 @@ func Sweep3DMMA(u *Grid3D) (*Grid3D, error) {
 			defer sweepScratch.Put(buf)
 			lineExt := buf[0:96] // 8 lines × (8 points + halo)
 			acc := buf[96:160]
-			aSeg := buf[160:192]
-			bSeg := buf[192:224]
+			aPanel := buf[160:256] // lineExt repacked as 3 MMA A tiles
 			for lt := tlo; lt < thi; lt++ {
 				l0 := lt * 8
 				for p0 := 0; p0 < points; p0 += 8 {
@@ -78,13 +77,11 @@ func Sweep3DMMA(u *Grid3D) (*Grid3D, error) {
 					for i := range acc {
 						acc[i] = 0
 					}
-					for k0 := 0; k0 < 12; k0 += 4 {
-						for r := 0; r < 8; r++ {
-							copy(aSeg[r*4:], lineExt[r*12+k0:r*12+k0+4])
-						}
-						copy(bSeg, band[k0*8:(k0+4)*8])
-						mmu.DMMATile(acc, aSeg, bSeg)
-					}
+					// The 12×8 band operand is already a 3-tile B panel;
+					// repack the gathered lines as the matching A panel and
+					// run the band product as one fused k-sweep.
+					mmu.PackA(aPanel, lineExt, 12, 3)
+					mmu.DMMAPanel(acc, aPanel, band, 3)
 					for r := 0; r < 8 && l0+r < lines; r++ {
 						for c := 0; c < 8 && p0+c < points; c++ {
 							scatter(l0+r, p0+c, acc[r*8+c])

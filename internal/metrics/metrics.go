@@ -118,6 +118,12 @@ func (s *ShardedCounter) IncAt(hint uintptr) {
 // Add adds n to shard 0 (cold-path bulk updates).
 func (s *ShardedCounter) Add(n uint64) { s.shards[0].v.Add(n) }
 
+// AddAt adds n to the shard selected by hint — the batched form of IncAt,
+// used by panel-level hot paths that account a whole k-sweep with one update.
+func (s *ShardedCounter) AddAt(hint uintptr, n uint64) {
+	s.shards[(hint>>6)%numShards].v.Add(n)
+}
+
 // Value returns the sum over all shards.
 func (s *ShardedCounter) Value() uint64 {
 	var sum uint64

@@ -21,9 +21,22 @@ var (
 		"FP64 m8n8k4 MMAs executed on explicit warp-register fragments.")
 	metBMMAOps = metrics.NewShardedCounter("cubie_mmu_bmma_ops_total",
 		"Single-bit m8n8k128 AND+POPC MMA executions (×2048 for bit ops).")
+	metDMMAPanels = metrics.NewShardedCounter("cubie_mmu_dmma_panels_total",
+		"Fused panel k-sweeps executed (DMMAPanel/DMMAPanelPair/DMMABatch calls).")
 	metFragmentOps = metrics.NewShardedCounter("cubie_mmu_fragment_ops_total",
 		"Warp fragment load/store operations (FragA/FragB/FragC traffic).")
 )
+
+// AddFragmentOps records n fragment load/store operations in one batched
+// metrics update. The panel engine uses it to account a whole k-sweep's
+// operand staging (2 fragments per k-tile plus the resident accumulator's
+// load and store) with a single atomic add; explicit fragment users go
+// through the same entry point via the Frag Load/Store methods.
+func AddFragmentOps(n int) {
+	if n > 0 {
+		metFragmentOps.Add(uint64(n))
+	}
+}
 
 // hintOf derives a shard hint from a pointer without retaining it.
 func hintOf(p unsafe.Pointer) uintptr { return uintptr(p) }

@@ -1,0 +1,307 @@
+// Panel-level MMA execution engine.
+//
+// The tile-at-a-time entry points (DMMATile, BMMAAndPopc) pay three taxes on
+// every 8×8×4 step: the C tile is re-loaded and re-stored through a slice,
+// slice indexing carries bounds checks the compiler cannot always hoist, and
+// a sharded metrics increment lands per 512 FLOPs. Real MMA pipelines — see
+// Sun et al., "Dissecting Tensor Cores via Microbenchmarks", and the BLIS
+// packing literature — win precisely by keeping the accumulator fragment
+// register-resident across the whole k-sweep and staging operands once per
+// panel. The functions in this file give the functional model the same
+// structure on the host CPU:
+//
+//   - DMMAPanel     — c(8×8) += Σ_kt a_kt(8×4)·b_kt(4×8), accumulator held in
+//     a fixed-size local across all k-tiles.
+//   - DMMAPanelPair — the software-pipelined double-buffered variant the
+//     cudaSample GEMM uses: even k-tiles accumulate into cEven, odd into cOdd.
+//   - DMMABatch     — n independent c_i += a_i·b_i products with one metrics
+//     update (the SpGEMM paired-product sweep).
+//   - BMMAPanel     — a word-batched run of broadcast-B b1 MMAs over packed
+//     uint64 words (the BerryBees pull sweep), one counter update per run.
+//
+// Bit-identity is preserved by construction: the accumulation order for each
+// output element is the exact ascending-k FMA chain DMMATile performs, so the
+// paper's TC ≡ CC contract (Table 6) and the parallel==serial determinism
+// contract hold unchanged. TestDMMAPanelMatchesTileLoop and friends pin the
+// equivalence bitwise; CUBIE_NO_PANEL=1 (or SetPanelEnabled(false)) routes
+// every panel call through the tile-at-a-time loop for A/B verification.
+package mmu
+
+import (
+	"math"
+	"math/bits"
+	"os"
+	"sync/atomic"
+	"unsafe"
+)
+
+// PanelDisableEnv is the environment variable that, when set to "1", disables
+// the fused panel fast paths: every panel call then executes as the
+// equivalent loop of tile-at-a-time MMAs. Results are bit-identical either
+// way; the switch exists so the equivalence stays testable end to end.
+const PanelDisableEnv = "CUBIE_NO_PANEL"
+
+// panelDisabled gates the fused fast paths. Atomic so tests can flip it
+// while racing workers read it.
+var panelDisabled atomic.Bool
+
+func init() {
+	panelDisabled.Store(os.Getenv(PanelDisableEnv) == "1")
+}
+
+// SetPanelEnabled enables or disables the fused panel fast paths and reports
+// whether they were previously enabled. Tests use it to pin the panel and
+// tile-loop paths bit-identical without re-execing the process.
+func SetPanelEnabled(on bool) (was bool) {
+	return !panelDisabled.Swap(!on)
+}
+
+// PanelEnabled reports whether the fused panel fast paths are active.
+func PanelEnabled() bool { return !panelDisabled.Load() }
+
+// dmmaTileInto executes one 8×8×4 MMA step on array pointers with the
+// accumulator resident: acc(8×8) += a(8×4)·b(4×8). Each output element's
+// update is the ascending-k FMA chain of DMMATile — same operations, same
+// order, no slice bounds checks.
+func dmmaTileInto(acc *[M * N]float64, a *[M * K]float64, b *[K * N]float64) {
+	for i := 0; i < M; i++ {
+		a0, a1, a2, a3 := a[i*K], a[i*K+1], a[i*K+2], a[i*K+3]
+		for j := 0; j < N; j++ {
+			v := acc[i*N+j]
+			v = math.FMA(a0, b[j], v)
+			v = math.FMA(a1, b[N+j], v)
+			v = math.FMA(a2, b[2*N+j], v)
+			v = math.FMA(a3, b[3*N+j], v)
+			acc[i*N+j] = v
+		}
+	}
+}
+
+// checkPanels panics early (with a clearer message than the raw conversion)
+// when the operand panels cannot cover kTiles tiles.
+func checkPanels(aPanel, bPanel []float64, kTiles int) {
+	if kTiles < 0 {
+		panic("mmu: negative kTiles")
+	}
+	if len(aPanel) < kTiles*M*K || len(bPanel) < kTiles*K*N {
+		panic("mmu: operand panels shorter than kTiles tiles")
+	}
+}
+
+// DMMAPanel executes a full k-sweep of FP64 m8n8k4 MMAs on a packed panel:
+// c(8×8) += Σ_{kt<kTiles} a_kt(8×4)·b_kt(4×8), where aPanel holds kTiles
+// consecutive row-major 8×4 tiles and bPanel kTiles consecutive row-major
+// 4×8 tiles. The accumulator stays resident in a fixed-size local across the
+// whole sweep — the register-file residency real tensor-core pipelines rely
+// on — and the sweep costs one batched metrics update instead of kTiles.
+//
+// The per-element accumulation order is exactly the ascending-k chain of
+// calling DMMATile(c, aPanel[32kt:], bPanel[32kt:]) for kt = 0..kTiles-1, so
+// results are bit-identical to the tile loop (pinned by
+// TestDMMAPanelMatchesTileLoop).
+func DMMAPanel(c, aPanel, bPanel []float64, kTiles int) {
+	checkPanels(aPanel, bPanel, kTiles)
+	if kTiles == 0 {
+		return
+	}
+	if panelDisabled.Load() {
+		for kt := 0; kt < kTiles; kt++ {
+			DMMATile(c, aPanel[kt*M*K:(kt+1)*M*K], bPanel[kt*K*N:(kt+1)*K*N])
+		}
+		return
+	}
+	cc := (*[M * N]float64)(c)
+	if kTiles == 1 {
+		// Single-tile sweep: skip the local copy, run straight on c.
+		dmmaTileInto(cc, (*[M * K]float64)(aPanel), (*[K * N]float64)(bPanel))
+	} else {
+		local := *cc
+		for kt := 0; kt < kTiles; kt++ {
+			dmmaTileInto(&local,
+				(*[M * K]float64)(aPanel[kt*M*K:]),
+				(*[K * N]float64)(bPanel[kt*K*N:]))
+		}
+		*cc = local
+	}
+	h := hintOf(unsafe.Pointer(cc))
+	metDMMATiles.AddAt(h, uint64(kTiles))
+	metDMMAPanels.AddAt(h, 1)
+	// Operand staging traffic: one A and one B fragment per k-tile, plus the
+	// panel-resident C fragment load + store.
+	AddFragmentOps(2*kTiles + 2)
+}
+
+// DMMAPanelPair executes the software-pipelined double-buffered k-sweep of
+// the cudaSample GEMM: even-indexed k-tiles accumulate into cEven, odd ones
+// into cOdd, both accumulators resident across the sweep. Summing
+// cEven+cOdd afterwards reproduces the two-accumulator rounding behaviour
+// Table 6 depends on; each accumulator's chain is the ascending order of the
+// alternating DMMATile loop (pinned by TestDMMAPanelPairMatchesTileLoop).
+func DMMAPanelPair(cEven, cOdd, aPanel, bPanel []float64, kTiles int) {
+	checkPanels(aPanel, bPanel, kTiles)
+	if kTiles == 0 {
+		return
+	}
+	if panelDisabled.Load() {
+		for kt := 0; kt < kTiles; kt++ {
+			dst := cEven
+			if kt%2 == 1 {
+				dst = cOdd
+			}
+			DMMATile(dst, aPanel[kt*M*K:(kt+1)*M*K], bPanel[kt*K*N:(kt+1)*K*N])
+		}
+		return
+	}
+	ce := (*[M * N]float64)(cEven)
+	co := (*[M * N]float64)(cOdd)
+	localE, localO := *ce, *co
+	for kt := 0; kt < kTiles; kt++ {
+		dst := &localE
+		if kt%2 == 1 {
+			dst = &localO
+		}
+		dmmaTileInto(dst,
+			(*[M * K]float64)(aPanel[kt*M*K:]),
+			(*[K * N]float64)(bPanel[kt*K*N:]))
+	}
+	*ce, *co = localE, localO
+	h := hintOf(unsafe.Pointer(ce))
+	metDMMATiles.AddAt(h, uint64(kTiles))
+	metDMMAPanels.AddAt(h, 1)
+	AddFragmentOps(2*kTiles + 4) // A+B per tile, two C fragments in and out
+}
+
+// DMMABatch executes n independent FP64 m8n8k4 MMAs from packed panels:
+// c_i(8×8) += a_i(8×4)·b_i(4×8) for i = 0..n-1, with cPanel holding n
+// consecutive 8×8 tiles. Products are independent (nothing is fused across
+// i), so each result is bit-identical to DMMATile on the same operands; the
+// batch costs one metrics update and runs on bounds-check-free array
+// pointers. SpGEMM uses it for its paired-product queue.
+func DMMABatch(cPanel, aPanel, bPanel []float64, n int) {
+	checkPanels(aPanel, bPanel, n)
+	if n == 0 {
+		return
+	}
+	if len(cPanel) < n*M*N {
+		panic("mmu: DMMABatch accumulator panel shorter than n tiles")
+	}
+	if panelDisabled.Load() {
+		for i := 0; i < n; i++ {
+			DMMATile(cPanel[i*M*N:(i+1)*M*N], aPanel[i*M*K:(i+1)*M*K], bPanel[i*K*N:(i+1)*K*N])
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		dmmaTileInto(
+			(*[M * N]float64)(cPanel[i*M*N:]),
+			(*[M * K]float64)(aPanel[i*M*K:]),
+			(*[K * N]float64)(bPanel[i*K*N:]))
+	}
+	h := hintOf(unsafe.Pointer(&cPanel[0]))
+	metDMMATiles.AddAt(h, uint64(n))
+	metDMMAPanels.AddAt(h, 1)
+	AddFragmentOps(4 * n) // A, B, C-in, C-out per product
+}
+
+// PackA packs the leading 8 rows of a row-major operand into kTiles
+// consecutive 8×4 MMA A tiles: tile t covers source columns 4t..4t+3. src
+// must have at least M rows of the given stride and 4·kTiles columns. This is
+// the panel-layout shim for operands that are not tensor.Matrix values
+// (stencil line gathers, the 8×8 scan/reduction stages).
+func PackA(dst, src []float64, stride, kTiles int) {
+	if stride < kTiles*K {
+		panic("mmu: PackA stride shorter than packed columns")
+	}
+	if len(dst) < kTiles*M*K {
+		panic("mmu: PackA destination too small")
+	}
+	if len(src) < (M-1)*stride+kTiles*K {
+		panic("mmu: PackA source too small")
+	}
+	for t := 0; t < kTiles; t++ {
+		tile := dst[t*M*K:]
+		for r := 0; r < M; r++ {
+			copy(tile[r*K:r*K+K], src[r*stride+t*K:r*stride+t*K+K])
+		}
+	}
+}
+
+// BMMAPanel executes a run of single-bit broadcast-B m8n8k128 AND+POPC MMAs
+// — the BerryBees pull-sweep inner loop — directly on packed uint64 words.
+// For each stored block i, the 128-bit frontier segment selected by
+// colSegs[i] (words frontier[2·seg], frontier[2·seg+1], zero beyond the end)
+// forms every column of the B operand; blocks whose segment is all zero are
+// skipped, exactly like the tile-at-a-time callers did. For executed blocks
+// the consumed column-0 popcounts accumulate into rowHits:
+//
+//	rowHits[r] += Σ_w popcount(frags[i][r][w] AND seg[w])
+//
+// which is bit-for-bit what BMMAAndPopc produces in column 0 of its 8×8
+// output under a broadcast B (pinned by TestBMMAPanelMatchesAndPopc). The
+// whole run costs one metrics update; the return value is the number of MMAs
+// executed (the skip count is len(frags) minus the return).
+func BMMAPanel(rowHits *[BitM]int32, frags []BitFragA, colSegs []int32, frontier []uint64) int {
+	if len(colSegs) < len(frags) {
+		panic("mmu: BMMAPanel colSegs shorter than frags")
+	}
+	if panelDisabled.Load() {
+		return bmmaPanelTileLoop(rowHits, frags, colSegs, frontier)
+	}
+	executed := 0
+	for i := range frags {
+		base := int(colSegs[i]) * BitWordsPerRow
+		var seg0, seg1 uint64
+		if base < len(frontier) {
+			seg0 = frontier[base]
+		}
+		if base+1 < len(frontier) {
+			seg1 = frontier[base+1]
+		}
+		if seg0 == 0 && seg1 == 0 {
+			continue
+		}
+		executed++
+		a := &frags[i]
+		for r := 0; r < BitM; r++ {
+			rowHits[r] += int32(bits.OnesCount64(a[r][0]&seg0) +
+				bits.OnesCount64(a[r][1]&seg1))
+		}
+	}
+	if executed > 0 {
+		metBMMAOps.AddAt(hintOf(unsafe.Pointer(rowHits)), uint64(executed))
+	}
+	return executed
+}
+
+// bmmaPanelTileLoop is the CUBIE_NO_PANEL reference path: the literal
+// broadcast-B BMMAAndPopc loop the kernels executed before the panel engine.
+func bmmaPanelTileLoop(rowHits *[BitM]int32, frags []BitFragA, colSegs []int32, frontier []uint64) int {
+	var b BitFragB
+	var c BitFragC
+	executed := 0
+	for i := range frags {
+		base := int(colSegs[i]) * BitWordsPerRow
+		var seg0, seg1 uint64
+		if base < len(frontier) {
+			seg0 = frontier[base]
+		}
+		if base+1 < len(frontier) {
+			seg1 = frontier[base+1]
+		}
+		if seg0 == 0 && seg1 == 0 {
+			continue
+		}
+		executed++
+		for col := 0; col < BitN; col++ {
+			b[col][0], b[col][1] = seg0, seg1
+		}
+		for j := range c {
+			c[j] = 0
+		}
+		BMMAAndPopc(&c, &frags[i], &b)
+		for r := 0; r < BitM; r++ {
+			rowHits[r] += c[r*BitN]
+		}
+	}
+	return executed
+}

@@ -245,6 +245,39 @@ func TestScratch(t *testing.T) {
 	}
 }
 
+func TestSizedScratch(t *testing.T) {
+	s := NewSizedScratch()
+	b := s.Get(100)
+	if len(b) != 100 {
+		t.Fatalf("Get(100) len = %d", len(b))
+	}
+	if cap(b) != 128 {
+		t.Fatalf("Get(100) cap = %d, want power-of-two 128", cap(b))
+	}
+	s.Put(b)
+	// A smaller request must reuse the pooled capacity.
+	c := s.Get(70)
+	if len(c) != 70 || cap(c) != 128 {
+		t.Fatalf("Get(70) after Put: len=%d cap=%d, want reuse of cap 128", len(c), cap(c))
+	}
+	s.Put(c)
+	// A larger request allocates fresh rather than returning a short buffer.
+	d := s.Get(300)
+	if len(d) != 300 || cap(d) < 300 {
+		t.Fatalf("Get(300) len=%d cap=%d", len(d), cap(d))
+	}
+	s.Put(d)
+	// Tiny requests round capacity up to the 64-element floor.
+	e := s.Get(1)
+	if len(e) != 1 || cap(e) < 64 {
+		t.Fatalf("Get(1) len=%d cap=%d", len(e), cap(e))
+	}
+	s.Put(nil) // must not poison the pool
+	if f := s.Get(10); len(f) != 10 {
+		t.Fatalf("Get(10) after Put(nil) len = %d", len(f))
+	}
+}
+
 func BenchmarkForTilesOverhead(b *testing.B) {
 	prev := SetWorkers(4)
 	defer SetWorkers(prev)

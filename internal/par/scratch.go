@@ -66,3 +66,45 @@ func (s *Scratch) Put(b []float64) {
 	}
 	s.pool.Put(&b)
 }
+
+// SizedScratch is a sync.Pool-backed pool of variable-capacity float64
+// buffers. The panel-engine kernels use it for the packed A/B operand panels
+// whose length depends on the case's k extent (kTiles × tile size), which a
+// fixed-size Scratch cannot serve. Capacities are rounded up to a power of
+// two so recycled buffers are reusable across nearby sizes.
+//
+// Buffers returned by Get have unspecified contents — callers must fully
+// initialize every region they read.
+type SizedScratch struct {
+	pool sync.Pool
+}
+
+// NewSizedScratch creates an empty variable-capacity pool.
+func NewSizedScratch() *SizedScratch { return &SizedScratch{} }
+
+// Get returns a length-n buffer with unspecified contents, reusing a pooled
+// allocation when its capacity suffices.
+func (s *SizedScratch) Get(n int) []float64 {
+	metScratchGets.Inc()
+	if p, ok := s.pool.Get().(*[]float64); ok && p != nil {
+		if cap(*p) >= n {
+			return (*p)[:n]
+		}
+		// Too small for this request: let it go and allocate fresh.
+	}
+	metScratchMisses.Inc()
+	c := 64
+	for c < n {
+		c *= 2
+	}
+	return make([]float64, n, c)
+}
+
+// Put returns a buffer obtained from Get to the pool.
+func (s *SizedScratch) Put(b []float64) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:cap(b)]
+	s.pool.Put(&b)
+}

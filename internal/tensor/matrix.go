@@ -120,6 +120,75 @@ func (m *Matrix) SetTile(src []float64, r0, c0, h, w int) {
 	}
 }
 
+// SetTileSum overwrites the h×w submatrix at (r0, c0) with the element-wise
+// sum a[i]+b[i] of two row-major tiles, skipping out-of-range elements. It
+// is the fused epilogue of double-accumulator MMA sweeps: the caller keeps
+// the two-accumulator rounding behaviour (one add per element, even chain
+// plus odd chain) without a separate summing pass and staging buffer.
+func (m *Matrix) SetTileSum(a, b []float64, r0, c0, h, w int) {
+	for i := 0; i < h; i++ {
+		for j := 0; j < w; j++ {
+			r, c := r0+i, c0+j
+			if r >= 0 && r < m.Rows && c >= 0 && c < m.Cols {
+				m.Data[r*m.Cols+c] = a[i*w+j] + b[i*w+j]
+			}
+		}
+	}
+}
+
+// MMA panel tile shapes (mirrors mmu.M/K/N without importing mmu: tensor is
+// below mmu in the layer map).
+const (
+	panelM = 8 // rows of an A panel tile and a C tile
+	panelK = 4 // cols of an A tile, rows of a B tile
+	panelN = 8 // cols of a B tile and a C tile
+)
+
+// PackAPanel packs the 8×(4·kTiles) row-panel whose top-left corner is
+// (r0, c0) into dst as kTiles consecutive row-major 8×4 MMA A tiles: tile t
+// covers columns c0+4t … c0+4t+3. Out-of-range elements are zero-filled,
+// matching Tile's padding of partial tiles. Packing once per row-tile and
+// sweeping the panel with mmu.DMMAPanel replaces the per-k-step Tile
+// re-gathers of the tile-at-a-time kernels (BLIS-style operand packing).
+func (m *Matrix) PackAPanel(dst []float64, r0, c0, kTiles int) {
+	if len(dst) < kTiles*panelM*panelK {
+		panic("tensor: PackAPanel destination too small")
+	}
+	if r0 >= 0 && r0+panelM <= m.Rows && c0 >= 0 && c0+kTiles*panelK <= m.Cols {
+		// Fast path: fully interior panel, straight row copies.
+		for t := 0; t < kTiles; t++ {
+			tile := dst[t*panelM*panelK:]
+			src := m.Data[r0*m.Cols+c0+t*panelK:]
+			for r := 0; r < panelM; r++ {
+				copy(tile[r*panelK:r*panelK+panelK], src[r*m.Cols:r*m.Cols+panelK])
+			}
+		}
+		return
+	}
+	for t := 0; t < kTiles; t++ {
+		m.Tile(dst[t*panelM*panelK:(t+1)*panelM*panelK], r0, c0+t*panelK, panelM, panelK)
+	}
+}
+
+// PackBPanel packs the (4·kTiles)×8 column-panel whose top-left corner is
+// (r0, c0) into dst as kTiles consecutive row-major 4×8 MMA B tiles: tile t
+// covers rows r0+4t … r0+4t+3. Out-of-range elements are zero-filled.
+func (m *Matrix) PackBPanel(dst []float64, r0, c0, kTiles int) {
+	if len(dst) < kTiles*panelK*panelN {
+		panic("tensor: PackBPanel destination too small")
+	}
+	if r0 >= 0 && r0+kTiles*panelK <= m.Rows && c0 >= 0 && c0+panelN <= m.Cols {
+		src := m.Data[r0*m.Cols+c0:]
+		for r := 0; r < kTiles*panelK; r++ {
+			copy(dst[r*panelN:r*panelN+panelN], src[r*m.Cols:r*m.Cols+panelN])
+		}
+		return
+	}
+	for t := 0; t < kTiles; t++ {
+		m.Tile(dst[t*panelK*panelN:(t+1)*panelK*panelN], r0+t*panelK, c0, panelK, panelN)
+	}
+}
+
 // Vector is a dense FP64 vector.
 type Vector struct {
 	Data []float64

@@ -215,3 +215,86 @@ func TestTileNegativeOrigin(t *testing.T) {
 		t.Fatal("SetTile negative origin wrong")
 	}
 }
+
+// TestPackAPanelMatchesTile pins PackAPanel (interior fast path and the edge
+// slow path) to a per-tile Tile loop, including negative and overhanging
+// origins that exercise the zero-fill.
+func TestPackAPanelMatchesTile(t *testing.T) {
+	m := NewMatrix(11, 17)
+	for i := range m.Data {
+		m.Data[i] = float64(i%13) - 6
+	}
+	const kTiles = 3
+	got := make([]float64, kTiles*panelM*panelK)
+	want := make([]float64, kTiles*panelM*panelK)
+	for _, origin := range [][2]int{{0, 0}, {2, 3}, {3, 17 - 2*panelK}, {-1, -2}, {8, 12}} {
+		r0, c0 := origin[0], origin[1]
+		m.PackAPanel(got, r0, c0, kTiles)
+		for tt := 0; tt < kTiles; tt++ {
+			m.Tile(want[tt*panelM*panelK:(tt+1)*panelM*panelK], r0, c0+tt*panelK, panelM, panelK)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("origin (%d,%d): element %d: %v != %v", r0, c0, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPackBPanelMatchesTile pins PackBPanel to a per-tile Tile loop the same
+// way, covering the interior straight-copy path and the padded edges.
+func TestPackBPanelMatchesTile(t *testing.T) {
+	m := NewMatrix(19, 10)
+	for i := range m.Data {
+		m.Data[i] = float64(i%11) - 5
+	}
+	const kTiles = 3
+	got := make([]float64, kTiles*panelK*panelN)
+	want := make([]float64, kTiles*panelK*panelN)
+	for _, origin := range [][2]int{{0, 0}, {4, 2}, {19 - 2*panelK, 1}, {-2, -1}, {14, 6}} {
+		r0, c0 := origin[0], origin[1]
+		m.PackBPanel(got, r0, c0, kTiles)
+		for tt := 0; tt < kTiles; tt++ {
+			m.Tile(want[tt*panelK*panelN:(tt+1)*panelK*panelN], r0+tt*panelK, c0, panelK, panelN)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("origin (%d,%d): element %d: %v != %v", r0, c0, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPackPanelShortDstPanics pins the destination-length guards.
+func TestPackPanelShortDstPanics(t *testing.T) {
+	m := NewMatrix(8, 8)
+	short := make([]float64, panelM*panelK) // one tile, two requested
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for short PackAPanel destination")
+		}
+	}()
+	m.PackAPanel(short, 0, 0, 2)
+}
+
+// TestSetTileSum pins the fused epilogue: in-range elements get a[i]+b[i] in
+// one add, out-of-range writes are dropped.
+func TestSetTileSum(t *testing.T) {
+	m := NewMatrix(3, 3)
+	a := []float64{1, 2, 3, 4}
+	b := []float64{10, 20, 30, 40}
+	m.SetTileSum(a, b, 2, 2, 2, 2) // only (2,2) in range
+	if m.At(2, 2) != 11 {
+		t.Fatalf("SetTileSum corner = %v, want 11", m.At(2, 2))
+	}
+	if m.At(0, 0) != 0 || m.At(2, 1) != 0 {
+		t.Fatal("SetTileSum wrote outside the tile")
+	}
+	m.SetTileSum(a, b, 0, 0, 2, 2)
+	want := [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	for k, ij := range want {
+		if got := m.At(ij[0], ij[1]); got != a[k]+b[k] {
+			t.Fatalf("SetTileSum (%d,%d) = %v, want %v", ij[0], ij[1], got, a[k]+b[k])
+		}
+	}
+}

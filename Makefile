@@ -10,6 +10,11 @@
 #                        ns/op regressions:
 #                        make bench-compare OLD=benchdata/BENCH_pre_panel.json \
 #                                           NEW=benchdata/BENCH_post_panel.json
+#   make bench-all     - time cold and warm `cubie all` end to end against a
+#                        fresh run cache and archive the wall-clocks as
+#                        benchdata/BENCHALL_<date>.json; gate with
+#                        make bench-compare OLD=benchdata/BENCHALL_pre_sched.json \
+#                                           NEW=benchdata/BENCHALL_<date>.json
 #   make build         - compile everything
 #   make vet           - static analysis only
 #   make docs-check    - verify docs/README references (flags, make targets,
@@ -28,7 +33,7 @@ OLD ?= benchdata/BENCH_pre_panel.json
 NEW ?= benchdata/BENCH_post_panel.json
 TOLERANCE ?= 0.10
 
-.PHONY: all build vet test race bench bench-compare docs-check clean
+.PHONY: all build vet test race bench bench-all bench-compare docs-check clean
 
 all: test
 
@@ -54,6 +59,19 @@ bench:
 
 bench-compare:
 	$(GO) run ./cmd/benchjson -compare -tolerance $(TOLERANCE) $(OLD) $(NEW)
+
+# End-to-end campaign wall-clock: the first `cubie all` populates a fresh
+# run cache (cold), the second replays it (warm — zero workload
+# executions). Both land in one BENCHALL_<date>.json snapshot for the
+# bench-compare gate.
+bench-all:
+	@set -e; tmp=$$(mktemp -d); trap "rm -rf $$tmp" EXIT; \
+	$(GO) build -o $$tmp/cubie ./cmd/cubie; \
+	{ $(GO) run ./cmd/benchjson -exec BenchmarkCubieAllCold -- \
+	    env CUBIE_CACHE=$$tmp/cache $$tmp/cubie all; \
+	  $(GO) run ./cmd/benchjson -exec BenchmarkCubieAllWarm -- \
+	    env CUBIE_CACHE=$$tmp/cache $$tmp/cubie all; } \
+	| $(GO) run ./cmd/benchjson -o benchdata -prefix BENCHALL_
 
 clean:
 	$(GO) clean ./...

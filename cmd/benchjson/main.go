@@ -1,21 +1,30 @@
 // Command benchjson converts `go test -bench` text output into a JSON
-// snapshot for the performance log described in docs/PERFORMANCE.md, and
-// diffs two snapshots for regressions.
+// snapshot for the performance log described in docs/PERFORMANCE.md,
+// diffs two snapshots for regressions, and times whole commands as
+// synthetic benchmarks.
 //
 // Usage:
 //
 //	go test -bench=. -benchmem ./... | go run ./cmd/benchjson [-o DIR]
 //	go run ./cmd/benchjson -compare old.json new.json [-tolerance 0.10]
+//	go run ./cmd/benchjson -exec BenchmarkCubieAllCold -- cubie all
 //
 // In capture mode it parses the standard benchmark result lines (name,
 // iterations, ns/op, optional B/op, allocs/op, and any custom metrics) plus
-// the goos/goarch/pkg/cpu headers, and writes BENCH_<date>.json into DIR
-// (default "benchdata"). Pass -o - to print the JSON to stdout instead.
+// the goos/goarch/pkg/cpu headers, and writes <prefix><date>.json into DIR
+// (default "benchdata" with prefix "BENCH_"). Pass -o - to print the JSON
+// to stdout instead.
 //
 // In compare mode it matches the benchmarks of the two snapshots by package
 // and name, prints an aligned diff table (worst regression first), and exits
 // non-zero if any benchmark slowed down by more than the tolerance (default
 // 10% ns/op) — the gate make bench-compare runs.
+//
+// In exec mode it runs the command after "--" (repeated -count times,
+// stdout discarded, stderr passed through) and prints one standard
+// benchmark result line per run with the command's wall-clock as ns/op.
+// The output feeds straight back into capture mode — make bench-all uses
+// this to snapshot cold and warm `cubie all` wall-clock.
 package main
 
 import (
@@ -23,8 +32,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/benchjson"
@@ -32,12 +45,18 @@ import (
 
 func main() {
 	out := flag.String("o", "benchdata", "output directory, or - for stdout")
+	prefix := flag.String("prefix", "BENCH_", "snapshot file name prefix in capture mode")
 	compare := flag.Bool("compare", false, "compare two snapshot files: benchjson -compare old.json new.json")
 	tolerance := flag.Float64("tolerance", 0.10, "ns/op slowdown fraction that fails -compare (0.10 = 10%)")
+	execName := flag.String("exec", "", "time the command after -- and print a benchmark line under this name")
+	execCount := flag.Int("count", 1, "repetitions of the -exec command, one result line each")
 	flag.Parse()
 
 	if *compare {
 		os.Exit(runCompare(flag.Args(), *tolerance))
+	}
+	if *execName != "" {
+		os.Exit(runExec(*execName, *execCount, flag.Args()))
 	}
 
 	snap, err := benchjson.Parse(bufio.NewReader(os.Stdin))
@@ -62,12 +81,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	path := filepath.Join(*out, "BENCH_"+snap.Date+".json")
+	path := filepath.Join(*out, *prefix+snap.Date+".json")
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+}
+
+// runExec times a command as a synthetic benchmark: each repetition prints
+// one `Benchmark<name> 1 <wall-ns> ns/op` line, preceded by the goos/goarch
+// headers capture mode expects, so the output pipes straight into it.
+func runExec(name string, count int, args []string) int {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: -exec needs a command after --")
+		return 2
+	}
+	if !strings.HasPrefix(name, "Benchmark") {
+		name = "Benchmark" + name
+	}
+	fmt.Printf("goos: %s\ngoarch: %s\n", runtime.GOOS, runtime.GOARCH)
+	for i := 0; i < count; i++ {
+		cmd := exec.Command(args[0], args[1:]...)
+		cmd.Stdout = io.Discard
+		cmd.Stderr = os.Stderr
+		t0 := time.Now()
+		err := cmd.Run()
+		ns := time.Since(t0).Nanoseconds()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", strings.Join(args, " "), err)
+			return 1
+		}
+		fmt.Printf("%s 1 %d ns/op\n", name, ns)
+	}
+	return 0
 }
 
 func runCompare(args []string, tolerance float64) int {

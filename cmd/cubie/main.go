@@ -34,6 +34,11 @@
 // Every command additionally accepts the observability flags --metrics,
 // --trace-host, and --pprof (see docs/OBSERVABILITY.md). Flags come before
 // positional arguments: cubie run --metrics - SpMV.
+//
+// Completed workload runs persist in the CUBIE_CACHE-controlled run cache
+// (see docs/PERFORMANCE.md, "Incremental runs & the scheduler"): a warm
+// `cubie all` re-renders every figure without executing a single workload.
+// CUBIE_CACHE=off disables it; any other value selects the cache directory.
 package main
 
 import (
@@ -47,6 +52,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/harness"
 	"repro/internal/measure"
+	"repro/internal/runcache"
 	"repro/internal/sparse"
 	"repro/internal/trace"
 )
@@ -79,7 +85,11 @@ func main() {
 		fatal(err)
 	}
 
-	h := cubie.NewHarness()
+	// Workload results are deterministic, so completed runs persist across
+	// invocations (CUBIE_CACHE selects the directory, "off" disables): a
+	// warm `cubie all` re-renders every figure without executing a single
+	// workload run.
+	h := cubie.NewHarness().AttachCache(runcache.FromEnv())
 	switch cmd {
 	case "suite":
 		cmdSuite()
@@ -352,12 +362,12 @@ func cmdSpeedup(h *cubie.Harness, of string) {
 }
 
 func cmdCoverage(h *cubie.Harness, corpus int, spec cubie.Device) {
-	gr, err := cubie.Figure10Graphs(corpus, 1)
+	gr, err := h.Figure10Graphs(corpus, 1)
 	if err != nil {
 		fatal(err)
 	}
 	cubie.RenderCoverage(os.Stdout, "Figure 10a — graph coverage (PCA)", gr)
-	mr, err := cubie.Figure10Matrices(corpus, 2)
+	mr, err := h.Figure10Matrices(corpus, 2)
 	if err != nil {
 		fatal(err)
 	}
@@ -413,6 +423,11 @@ func cmdAdvise(spec cubie.Device) {
 }
 
 func cmdAll(h *cubie.Harness) {
+	// Plan ahead: enumerate every run the whole campaign needs, deduplicate,
+	// and start executing in the background (longest-estimated-first on the
+	// worker pool). Figures then render in paper order, each joining the
+	// in-flight runs it depends on instead of serially pulling them.
+	h.Prefetch(h.PlanAll())
 	cmdSuite()
 	fmt.Println()
 	cmdSpecs()
@@ -488,7 +503,13 @@ observability flags (any command; flags precede positional args):
   --metrics <file|->     metrics snapshot after the command (Prometheus
                          text; *.json path writes JSON)
   --trace-host <file|->  Chrome-trace JSON of real host execution spans
-  --pprof <file>         CPU profile labeled by workload/variant/phase`)
+  --pprof <file>         CPU profile labeled by workload/variant/phase
+
+environment:
+  CUBIE_CACHE=<dir|off>  persistent run cache (default: the user cache
+                         dir); deterministic results are reused across
+                         invocations — a warm "cubie all" executes zero
+                         workload runs`)
 }
 
 func fatal(err error) {

@@ -55,21 +55,37 @@ type Row struct {
 	TCEqualsCC bool    // bit-identity check between TC and CC outputs
 }
 
+// Runner executes one (case, variant) pair — either Workload.Run itself or
+// a caching layer wrapped around it (the harness passes its run cache).
+type Runner func(workload.Case, workload.Variant) (*workload.Result, error)
+
+// Referencer computes the CPU-serial ground truth of a case — either
+// Workload.Reference or a caching layer around it.
+type Referencer func(workload.Case) ([]float64, error)
+
 // MeasureWorkload runs the representative case of w for every variant and
 // assembles its Table 6 row. BFS is rejected: it performs no floating-point
 // computation.
 func MeasureWorkload(w workload.Workload) (Row, error) {
+	return MeasureWorkloadWith(w, w.Run, w.Reference)
+}
+
+// MeasureWorkloadWith is MeasureWorkload with the executions routed
+// through the given runner and referencer, so callers with a run cache
+// (internal/harness) measure the table without re-running anything
+// already computed.
+func MeasureWorkloadWith(w workload.Workload, run Runner, reference Referencer) (Row, error) {
 	if w.Name() == "BFS" {
 		return Row{}, fmt.Errorf("accuracy: BFS performs no floating-point computation")
 	}
 	c := w.Representative()
-	ref, err := w.Reference(c)
+	ref, err := reference(c)
 	if err != nil {
 		return Row{}, err
 	}
 	row := Row{Workload: w.Name()}
 
-	tc, err := w.Run(c, workload.TC)
+	tc, err := run(c, workload.TC)
 	if err != nil {
 		return Row{}, err
 	}
@@ -78,7 +94,7 @@ func MeasureWorkload(w workload.Workload) (Row, error) {
 		return Row{}, err
 	}
 
-	cc, err := w.Run(c, workload.CC)
+	cc, err := run(c, workload.CC)
 	if err != nil {
 		return Row{}, err
 	}
@@ -91,7 +107,7 @@ func MeasureWorkload(w workload.Workload) (Row, error) {
 	}
 
 	if workload.HasVariant(w, workload.Baseline) {
-		bl, err := w.Run(c, workload.Baseline)
+		bl, err := run(c, workload.Baseline)
 		if err != nil {
 			return Row{}, err
 		}
@@ -102,7 +118,7 @@ func MeasureWorkload(w workload.Workload) (Row, error) {
 		row.Baseline = &e
 	}
 	if workload.HasVariant(w, workload.CCE) {
-		ce, err := w.Run(c, workload.CCE)
+		ce, err := run(c, workload.CCE)
 		if err != nil {
 			return Row{}, err
 		}

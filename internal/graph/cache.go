@@ -7,7 +7,8 @@ import (
 )
 
 // Shared-cache metrics: hits are requests served from the process-wide
-// cache; misses ran the (expensive) synthesis.
+// cache (including callers that joined an in-flight synthesis); misses ran
+// the (expensive) synthesis.
 var (
 	metCacheHits = metrics.NewCounter("cubie_graph_synthesize_hits_total",
 		"Table 3 graph requests served from the shared cache.")
@@ -15,31 +16,52 @@ var (
 		"Table 3 graph requests that synthesized a new instance.")
 )
 
+// graphFlight is one per-name synthesis: the first requester owns it,
+// later requesters block on done and share the outcome.
+type graphFlight struct {
+	done chan struct{}
+	g    *Graph
+	err  error
+}
+
 // shared caches synthesized Table 3 graphs process-wide. Synthesis is
-// deterministic, so every consumer sees the identical graph.
+// deterministic, so every consumer sees the identical graph. Entries are
+// per-name singleflights rather than a lock held across synthesis, so
+// distinct graphs synthesize concurrently — the harness planner pre-warms
+// them in parallel while the kernel that needs one joins its flight.
 var shared = struct {
 	mu sync.Mutex
-	m  map[string]*Graph
-}{m: map[string]*Graph{}}
+	m  map[string]*graphFlight
+}{m: map[string]*graphFlight{}}
 
 // SynthesizeShared returns the process-wide shared instance of the named
 // Table 3 graph, synthesizing it on first use. The returned Graph must be
 // treated as read-only: BFS and the harness coverage/ablation studies all
 // hold the same pointer (BFS's Relabel copies into a fresh graph, so the
-// cached instance stays pristine). The lock is held across synthesis so
-// concurrent first callers do the work exactly once.
+// cached instance stays pristine). Concurrent first callers for one name
+// do the work exactly once; a failed synthesis is evicted so a later
+// caller can retry.
 func SynthesizeShared(name string) (*Graph, error) {
 	shared.mu.Lock()
-	defer shared.mu.Unlock()
-	if g, ok := shared.m[name]; ok {
-		metCacheHits.Inc()
-		return g, nil
+	if f, ok := shared.m[name]; ok {
+		shared.mu.Unlock()
+		<-f.done
+		if f.err == nil {
+			metCacheHits.Inc()
+		}
+		return f.g, f.err
 	}
+	f := &graphFlight{done: make(chan struct{})}
+	shared.m[name] = f
+	shared.mu.Unlock()
+
 	metCacheMisses.Inc()
-	g, err := Synthesize(name)
-	if err != nil {
-		return nil, err
+	f.g, f.err = Synthesize(name)
+	if f.err != nil {
+		shared.mu.Lock()
+		delete(shared.m, name)
+		shared.mu.Unlock()
 	}
-	shared.m[name] = g
-	return g, nil
+	close(f.done)
+	return f.g, f.err
 }

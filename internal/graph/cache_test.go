@@ -1,0 +1,49 @@
+package graph
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSynthesizeSharedEvictsFailures: a failed synthesis must not poison
+// the cache — each later request retries (misses again) instead of joining
+// a dead flight.
+func TestSynthesizeSharedEvictsFailures(t *testing.T) {
+	misses := metCacheMisses.Value()
+	if _, err := SynthesizeShared("no-such-graph"); err == nil {
+		t.Fatal("unknown graph must error")
+	}
+	if _, err := SynthesizeShared("no-such-graph"); err == nil {
+		t.Fatal("unknown graph must error on retry too")
+	}
+	if got := metCacheMisses.Value() - misses; got != 2 {
+		t.Fatalf("failed synthesis must be evicted and retried: %d misses, want 2", got)
+	}
+}
+
+// TestSynthesizeSharedConcurrent: concurrent requesters of one name share
+// a single synthesis and the identical instance.
+func TestSynthesizeSharedConcurrent(t *testing.T) {
+	name := Table3()[0].Name
+	const callers = 8
+	out := make([]*Graph, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g, err := SynthesizeShared(name)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			out[i] = g
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if out[i] != out[0] {
+			t.Fatalf("caller %d got a different instance", i)
+		}
+	}
+}

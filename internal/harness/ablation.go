@@ -36,6 +36,13 @@ func (r AblationRow) Ratio() float64 {
 // memory-bound CC variants collapse onto their TC counterparts and the
 // paper's Figure 5 gaps (Section 6.2) disappear.
 func (h *Harness) AblateOverlap(spec device.Spec) ([]AblationRow, error) {
+	var keys []RunKey
+	for _, w := range h.Suite.Workloads() {
+		keys = append(keys, RunKey{w.Name(), w.Representative().Name, workload.CC})
+	}
+	if err := h.Execute(keys); err != nil {
+		return nil, err
+	}
 	var rows []AblationRow
 	for _, w := range h.Suite.Workloads() {
 		res, err := h.run(w, w.Representative(), workload.CC)
@@ -153,6 +160,13 @@ func AblateBFSRelabel() ([]AblationRow, error) {
 func AblateSpGEMMPairing(h *Harness) ([]AblationRow, error) {
 	spg, err := h.Suite.ByName("SpGEMM")
 	if err != nil {
+		return nil, err
+	}
+	var keys []RunKey
+	for _, c := range spg.Cases() {
+		keys = append(keys, RunKey{spg.Name(), c.Name, workload.TC})
+	}
+	if err := h.Execute(keys); err != nil {
 		return nil, err
 	}
 	var rows []AblationRow

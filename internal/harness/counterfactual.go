@@ -41,8 +41,13 @@ type CounterfactualRow struct {
 	Bottleneck string  // on the shipped part
 }
 
-// Counterfactual runs the comparison over the suite's largest cases.
+// Counterfactual runs the comparison over the suite's largest cases. The
+// TC runs execute as one parallel plan; the device comparison is serial
+// arithmetic on the cached profiles.
 func (h *Harness) Counterfactual() ([]CounterfactualRow, error) {
+	if err := h.Execute(h.keysTC()); err != nil {
+		return nil, err
+	}
 	shipped := device.B200()
 	restored := HypotheticalB200()
 	var rows []CounterfactualRow

@@ -1,12 +1,14 @@
 package harness
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/device"
 	"repro/internal/graph"
 	"repro/internal/pca"
+	"repro/internal/runcache"
 	"repro/internal/sim"
 	"repro/internal/sparse"
 )
@@ -37,20 +39,45 @@ type CoverageReport struct {
 // corpus of synthetic graphs standing in for the 499-graph SuiteSparse
 // sweep, with the five Table 3 instances highlighted.
 func Figure10Graphs(corpusSize int, seed int64) (*CoverageReport, error) {
-	corpus := graph.Corpus(corpusSize, seed)
-	var feats [][]float64
-	for _, g := range corpus {
-		feats = append(feats, graph.ExtractFeatures(g).Vector())
+	return figure10Graphs(corpusSize, seed, nil)
+}
+
+// Figure10Graphs is the cached form: with a run cache attached, the
+// corpus and representative feature matrices persist across processes —
+// a warm process skips synthesizing the corpus entirely.
+func (h *Harness) Figure10Graphs(corpusSize int, seed int64) (*CoverageReport, error) {
+	return figure10Graphs(corpusSize, seed, h.rc)
+}
+
+func figure10Graphs(corpusSize int, seed int64, rc *runcache.Cache) (*CoverageReport, error) {
+	feats, err := cachedFeatures(rc, fmt.Sprintf("graph-corpus|%d|%d", corpusSize, seed),
+		func() ([][]float64, error) {
+			var feats [][]float64
+			for _, g := range graph.Corpus(corpusSize, seed) {
+				feats = append(feats, graph.ExtractFeatures(g).Vector())
+			}
+			return feats, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	var repFeats [][]float64
 	var repNames []string
 	for _, d := range graph.Table3() {
-		g, err := graph.SynthesizeShared(d.Name)
-		if err != nil {
-			return nil, err
-		}
-		repFeats = append(repFeats, graph.ExtractFeatures(g).Vector())
 		repNames = append(repNames, d.Name)
+	}
+	repFeats, err := cachedFeatures(rc, "graph-reps", func() ([][]float64, error) {
+		var feats [][]float64
+		for _, d := range graph.Table3() {
+			g, err := graph.SynthesizeShared(d.Name)
+			if err != nil {
+				return nil, err
+			}
+			feats = append(feats, graph.ExtractFeatures(g).Vector())
+		}
+		return feats, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return coverageReport(feats, repFeats, repNames)
 }
@@ -59,22 +86,63 @@ func Figure10Graphs(corpusSize int, seed int64) (*CoverageReport, error) {
 // matrices: a synthetic corpus standing in for the 2893-matrix SuiteSparse
 // sweep, with the five Table 4 instances highlighted.
 func Figure10Matrices(corpusSize int, seed int64) (*CoverageReport, error) {
-	corpus := sparse.Corpus(corpusSize, seed)
-	var feats [][]float64
-	for _, m := range corpus {
-		feats = append(feats, sparse.ExtractFeatures(m).Vector())
+	return figure10Matrices(corpusSize, seed, nil)
+}
+
+// Figure10Matrices is the cached form of the package-level function (see
+// Harness.Figure10Graphs).
+func (h *Harness) Figure10Matrices(corpusSize int, seed int64) (*CoverageReport, error) {
+	return figure10Matrices(corpusSize, seed, h.rc)
+}
+
+func figure10Matrices(corpusSize int, seed int64, rc *runcache.Cache) (*CoverageReport, error) {
+	feats, err := cachedFeatures(rc, fmt.Sprintf("matrix-corpus|%d|%d", corpusSize, seed),
+		func() ([][]float64, error) {
+			var feats [][]float64
+			for _, m := range sparse.Corpus(corpusSize, seed) {
+				feats = append(feats, sparse.ExtractFeatures(m).Vector())
+			}
+			return feats, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	var repFeats [][]float64
 	var repNames []string
 	for _, d := range sparse.Table4() {
-		m, err := sparse.SynthesizeShared(d.Name)
-		if err != nil {
-			return nil, err
-		}
-		repFeats = append(repFeats, sparse.ExtractFeatures(m).Vector())
 		repNames = append(repNames, d.Name)
 	}
+	repFeats, err := cachedFeatures(rc, "matrix-reps", func() ([][]float64, error) {
+		var feats [][]float64
+		for _, d := range sparse.Table4() {
+			m, err := sparse.SynthesizeShared(d.Name)
+			if err != nil {
+				return nil, err
+			}
+			feats = append(feats, sparse.ExtractFeatures(m).Vector())
+		}
+		return feats, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	return coverageReport(feats, repFeats, repNames)
+}
+
+// cachedFeatures memoizes a feature matrix in the run cache. Feature
+// extraction is deterministic (synthesis is seeded), so a cached matrix is
+// bit-identical to a recomputed one; with no cache attached the compute
+// function just runs.
+func cachedFeatures(rc *runcache.Cache, key string, compute func() ([][]float64, error)) ([][]float64, error) {
+	var feats [][]float64
+	if rc.Get(runcache.KindFeatures, key, &feats) {
+		return feats, nil
+	}
+	feats, err := compute()
+	if err != nil {
+		return nil, err
+	}
+	rc.Put(runcache.KindFeatures, key, feats)
+	return feats, nil
 }
 
 func coverageReport(feats, repFeats [][]float64, repNames []string) (*CoverageReport, error) {
@@ -143,6 +211,9 @@ type SuiteMetric struct {
 // SHOC's from archived characteristic values representative of those
 // suites' published (vector-only) behavior — see DESIGN.md, substitutions.
 func (h *Harness) Figure11Metrics(spec device.Spec) ([]SuiteMetric, error) {
+	if err := h.Execute(h.keysRepresentative()); err != nil {
+		return nil, err
+	}
 	// Archived Rodinia/SHOC profiles: (memEff, compute, fma, tensor, l1).
 	rodinia := map[string][5]float64{
 		"backprop":      {0.55, 0.30, 0.45, 0, 0.35},

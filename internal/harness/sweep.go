@@ -39,10 +39,15 @@ type SweepResult struct {
 const kneeThreshold = 0.95
 
 // sweep runs the TC variant of every workload across specs produced by
-// mutate(baseSpec, factor) for each factor.
+// mutate(baseSpec, factor) for each factor. The per-workload runs execute
+// as one parallel plan up front (Execute); the factor grid itself is pure
+// arithmetic on the cached profiles and stays serial.
 func (h *Harness) sweep(base device.Spec, factors []float64,
 	mutate func(device.Spec, float64) device.Spec) ([]SweepResult, error) {
 
+	if err := h.Execute(h.keysTC()); err != nil {
+		return nil, err
+	}
 	var out []SweepResult
 	for _, w := range h.Suite.Workloads() {
 		res, err := h.run(w, powerCase(w), workload.TC)

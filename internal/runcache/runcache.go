@@ -1,0 +1,428 @@
+// Package runcache is the persistent, content-addressed on-disk cache of
+// experiment artifacts. Every workload execution in this reproduction is
+// deterministic and bit-pinned (see determinism_test.go at the repo root),
+// so a (workload, case, variant) result computed by one process is valid
+// for every later process running the same code under the same
+// behavior-changing configuration. The harness stores workload.Result
+// values here keyed by that triple plus a process fingerprint; a warm
+// `cubie all` then re-renders every figure without starting a single
+// workload execution.
+//
+// # Fingerprint
+//
+// An entry is only served back to a process whose fingerprint matches the
+// writer's. The fingerprint hashes (1) the executable image — Go builds
+// are reproducible, so the binary's bytes are a content address for the
+// code — and (2) the behavior-changing CUBIE_* knobs (currently
+// CUBIE_NO_PANEL; CUBIE_WORKERS is excluded because results are
+// bit-identical for every worker count). Recompiling changed code or
+// toggling a knob therefore misses cleanly and re-runs. When the
+// executable cannot be read, runtime/debug build info stands in.
+//
+// # Robustness
+//
+// Entries are written atomically (tmp file + rename into place), so a
+// crashed or concurrent writer never leaves a half-written entry behind. A
+// missing, truncated, corrupt, or fingerprint-mismatched entry is a silent
+// miss — the caller just recomputes; the cache never surfaces an error.
+//
+// # Configuration
+//
+// The CUBIE_CACHE environment variable controls the cache (FromEnv):
+// unset or empty uses the per-user default directory, "off" (also "0",
+// "false", "no") disables caching entirely, and any other value is used as
+// the cache directory. All Cache methods are nil-receiver safe: a nil
+// *Cache reads nothing and writes nothing, so call sites need no guards.
+//
+// Hits, misses, corrupt entries, writes, and byte volumes are counted in
+// internal/metrics, and every disk access is wrapped in an
+// internal/trace host span (docs/OBSERVABILITY.md).
+package runcache
+
+import (
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Env is the environment variable that selects the cache directory or
+// disables the cache ("off").
+const Env = "CUBIE_CACHE"
+
+// KindResult is the entry kind under which the harness stores
+// workload.Result values.
+const KindResult = "result"
+
+// KindReference is the entry kind for CPU-serial reference outputs (the
+// Table 6 ground truth), stored as []float64.
+const KindReference = "reference"
+
+// KindFeatures is the entry kind for corpus feature matrices (the Figure 10
+// PCA inputs), stored as [][]float64.
+const KindFeatures = "features"
+
+// Cache metrics (see docs/OBSERVABILITY.md).
+var (
+	metHits = metrics.NewCounter("cubie_runcache_hits_total",
+		"Run-cache lookups served from a valid on-disk entry.")
+	metMisses = metrics.NewCounter("cubie_runcache_misses_total",
+		"Run-cache lookups that found no usable entry (absent, corrupt, or fingerprint mismatch).")
+	metCorrupt = metrics.NewCounter("cubie_runcache_corrupt_total",
+		"Run-cache entries dropped because they failed to decode or their fingerprint/key did not match (counted as misses too).")
+	metWrites = metrics.NewCounter("cubie_runcache_writes_total",
+		"Run-cache entries written (atomic tmp+rename).")
+	metWriteErrors = metrics.NewCounter("cubie_runcache_write_errors_total",
+		"Run-cache writes abandoned on a marshal or filesystem error (the run still succeeds, uncached).")
+	metReadBytes = metrics.NewCounter("cubie_runcache_read_bytes_total",
+		"Bytes read from run-cache entry files.")
+	metWrittenBytes = metrics.NewCounter("cubie_runcache_written_bytes_total",
+		"Bytes written to run-cache entry files.")
+)
+
+// Cache is one cache directory bound to one fingerprint. The zero value is
+// not usable; nil is (as a disabled cache).
+type Cache struct {
+	dir string
+	fp  string
+}
+
+// envelope is the on-disk entry format. Fingerprint, kind, and key are
+// stored redundantly with the (hashed) file name so Get can verify an
+// entry really answers the question being asked.
+type envelope struct {
+	Fingerprint string          `json:"fingerprint"`
+	Kind        string          `json:"kind"`
+	Key         string          `json:"key"`
+	Payload     json.RawMessage `json:"payload"`
+}
+
+// FromEnv opens the cache selected by CUBIE_CACHE. It returns nil — a
+// disabled cache — when the variable is "off" (or "0", "false", "no"), or
+// when the directory cannot be created.
+func FromEnv() *Cache {
+	dir := os.Getenv(Env)
+	switch strings.ToLower(dir) {
+	case "off", "0", "false", "no":
+		return nil
+	case "":
+		dir = DefaultDir()
+	}
+	c, err := Open(dir)
+	if err != nil {
+		return nil
+	}
+	return c
+}
+
+// DefaultDir returns the per-user default cache directory.
+func DefaultDir() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		base = os.TempDir()
+	}
+	return filepath.Join(base, "cubie", "runcache")
+}
+
+// Open creates (if needed) and returns the cache rooted at dir, bound to
+// the process fingerprint.
+func Open(dir string) (*Cache, error) {
+	return OpenWithFingerprint(dir, Fingerprint())
+}
+
+// OpenWithFingerprint is Open with an explicit fingerprint — tests use it
+// to simulate a code change without rebuilding.
+func OpenWithFingerprint(dir, fp string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runcache: %w", err)
+	}
+	return &Cache{dir: dir, fp: fp}, nil
+}
+
+// Dir returns the cache directory ("" for a nil cache).
+func (c *Cache) Dir() string {
+	if c == nil {
+		return ""
+	}
+	return c.dir
+}
+
+// knobs are the behavior-changing environment variables folded into the
+// fingerprint. CUBIE_WORKERS and CUBIE_CACHE itself are deliberately
+// absent: neither changes any computed result.
+var knobs = []string{"CUBIE_NO_PANEL"}
+
+var (
+	fpOnce sync.Once
+	fpVal  string
+)
+
+// Fingerprint returns the process fingerprint: a hex SHA-256 over the
+// executable image and the behavior-changing CUBIE_* knobs, computed once.
+func Fingerprint() string {
+	fpOnce.Do(func() { fpVal = computeFingerprint() })
+	return fpVal
+}
+
+func computeFingerprint() string {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, cpErr := io.Copy(h, f)
+			f.Close()
+			if cpErr != nil {
+				h = sha256.New() // partial hash would be nondeterministic
+				writeBuildInfo(h)
+			}
+		} else {
+			writeBuildInfo(h)
+		}
+	} else {
+		writeBuildInfo(h)
+	}
+	names := append([]string(nil), knobs...)
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(h, "|%s=%s", k, os.Getenv(k))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeBuildInfo hashes the module build metadata (module version, VCS
+// revision and dirtiness) — the fallback identity when the executable
+// image is unreadable.
+func writeBuildInfo(w io.Writer) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		fmt.Fprint(w, "no-build-info")
+		return
+	}
+	fmt.Fprintf(w, "%s@%s", bi.Main.Path, bi.Main.Version)
+	for _, s := range bi.Settings {
+		if strings.HasPrefix(s.Key, "vcs.") || s.Key == "-tags" {
+			fmt.Fprintf(w, "|%s=%s", s.Key, s.Value)
+		}
+	}
+}
+
+// path returns the entry file for (kind, key): the file name is the
+// content address hash(fingerprint | kind | key), so distinct code
+// versions never collide and a fingerprint change is an automatic miss.
+func (c *Cache) path(kind, key string) string {
+	sum := sha256.Sum256([]byte(c.fp + "\x00" + kind + "\x00" + key))
+	return filepath.Join(c.dir, kind+"-"+hex.EncodeToString(sum[:12])+".json")
+}
+
+// Has reports whether an entry file exists for (kind, key) without reading
+// it. It is a cheap scheduling heuristic — the entry may still turn out
+// corrupt on Get — used by the harness planner to decide which datasets
+// are worth pre-warming.
+func (c *Cache) Has(kind, key string) bool {
+	if c == nil {
+		return false
+	}
+	_, err := os.Stat(c.path(kind, key))
+	return err == nil
+}
+
+// Get looks up (kind, key) and decodes the payload into v (a pointer).
+// Every failure mode — absent file, truncated or corrupt JSON, fingerprint
+// or key mismatch — is a silent miss.
+func (c *Cache) Get(kind, key string, v any) bool {
+	if c == nil {
+		return false
+	}
+	end := trace.HostSpan("runcache-get", kind+":"+key)
+	defer end()
+	data, err := os.ReadFile(c.path(kind, key))
+	if err != nil {
+		metMisses.Inc()
+		return false
+	}
+	metReadBytes.Add(uint64(len(data)))
+	var e envelope
+	if err := json.Unmarshal(data, &e); err != nil ||
+		e.Fingerprint != c.fp || e.Kind != kind || e.Key != key {
+		metCorrupt.Inc()
+		metMisses.Inc()
+		return false
+	}
+	if err := json.Unmarshal(e.Payload, v); err != nil {
+		metCorrupt.Inc()
+		metMisses.Inc()
+		return false
+	}
+	metHits.Inc()
+	return true
+}
+
+// Put stores v under (kind, key), atomically: the entry is marshaled to a
+// temp file in the cache directory and renamed into place, so readers only
+// ever see complete entries. Errors are absorbed (counted, not returned) —
+// a cache that cannot write degrades to a cache that misses.
+func (c *Cache) Put(kind, key string, v any) {
+	if c == nil {
+		return
+	}
+	end := trace.HostSpan("runcache-put", kind+":"+key)
+	defer end()
+	payload, err := json.Marshal(v)
+	if err != nil {
+		metWriteErrors.Inc()
+		return
+	}
+	data, err := json.Marshal(envelope{
+		Fingerprint: c.fp,
+		Kind:        kind,
+		Key:         key,
+		Payload:     payload,
+	})
+	if err != nil {
+		metWriteErrors.Inc()
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+	if err != nil {
+		metWriteErrors.Inc()
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		metWriteErrors.Inc()
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.path(kind, key)); err != nil {
+		os.Remove(tmp.Name())
+		metWriteErrors.Inc()
+		return
+	}
+	metWrites.Inc()
+	metWrittenBytes.Add(uint64(len(data)))
+}
+
+// ResultKey renders the canonical key of one workload execution.
+func ResultKey(workloadName, caseName, variant string) string {
+	return workloadName + "|" + caseName + "|" + variant
+}
+
+// floats carries a []float64 payload as base64 of the raw little-endian
+// IEEE-754 bits. Compared to a JSON number array this is bit-exact by
+// construction (including NaN and ±Inf, which encoding/json rejects) and
+// roughly an order of magnitude cheaper to encode and decode — workload
+// outputs run to millions of elements, and their strconv formatting cost
+// would otherwise dominate a cold run's cache writes and a warm run's
+// reads.
+type floats []float64
+
+func (f floats) MarshalJSON() ([]byte, error) {
+	if f == nil {
+		return []byte("null"), nil
+	}
+	raw := make([]byte, 8*len(f))
+	for i, v := range f {
+		binary.LittleEndian.PutUint64(raw[8*i:], math.Float64bits(v))
+	}
+	out := make([]byte, 2+base64.StdEncoding.EncodedLen(len(raw)))
+	out[0] = '"'
+	base64.StdEncoding.Encode(out[1:len(out)-1], raw)
+	out[len(out)-1] = '"'
+	return out, nil
+}
+
+func (f *floats) UnmarshalJSON(data []byte) error {
+	if string(data) == "null" {
+		*f = nil
+		return nil
+	}
+	if len(data) < 2 || data[0] != '"' || data[len(data)-1] != '"' {
+		return fmt.Errorf("runcache: float payload is not a base64 string")
+	}
+	raw := make([]byte, base64.StdEncoding.DecodedLen(len(data)-2))
+	n, err := base64.StdEncoding.Decode(raw, data[1:len(data)-1])
+	if err != nil {
+		return err
+	}
+	if n%8 != 0 {
+		return fmt.Errorf("runcache: float payload is %d bytes, not a multiple of 8", n)
+	}
+	vs := make([]float64, n/8)
+	for i := range vs {
+		vs[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	*f = vs
+	return nil
+}
+
+// storedResult is workload.Result's on-disk shape: identical fields, with
+// the (potentially huge) output array in the binary floats encoding.
+type storedResult struct {
+	Profile    sim.Profile
+	Work       float64
+	MetricName string
+	Output     floats
+	InputUtil  float64
+	OutputUtil float64
+}
+
+// GetResult looks up a cached workload execution.
+func (c *Cache) GetResult(workloadName, caseName, variant string) (*workload.Result, bool) {
+	var s storedResult
+	if !c.Get(KindResult, ResultKey(workloadName, caseName, variant), &s) {
+		return nil, false
+	}
+	return &workload.Result{
+		Profile:    s.Profile,
+		Work:       s.Work,
+		MetricName: s.MetricName,
+		Output:     s.Output,
+		InputUtil:  s.InputUtil,
+		OutputUtil: s.OutputUtil,
+	}, true
+}
+
+// PutResult stores one workload execution.
+func (c *Cache) PutResult(workloadName, caseName, variant string, res *workload.Result) {
+	if res == nil {
+		return
+	}
+	c.Put(KindResult, ResultKey(workloadName, caseName, variant), storedResult{
+		Profile:    res.Profile,
+		Work:       res.Work,
+		MetricName: res.MetricName,
+		Output:     res.Output,
+		InputUtil:  res.InputUtil,
+		OutputUtil: res.OutputUtil,
+	})
+}
+
+// GetFloats looks up a []float64 entry (the reference outputs) stored in
+// the binary floats encoding.
+func (c *Cache) GetFloats(kind, key string) ([]float64, bool) {
+	var f floats
+	if !c.Get(kind, key, &f) {
+		return nil, false
+	}
+	return f, true
+}
+
+// PutFloats stores a []float64 entry in the binary floats encoding.
+func (c *Cache) PutFloats(kind, key string, vs []float64) {
+	c.Put(kind, key, floats(vs))
+}

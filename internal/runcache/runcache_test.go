@@ -1,0 +1,273 @@
+package runcache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func openTest(t *testing.T, dir, fp string) *Cache {
+	t.Helper()
+	c, err := OpenWithFingerprint(dir, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func sampleResult() *workload.Result {
+	return &workload.Result{
+		Work:       12.5,
+		MetricName: "flops",
+		Output:     []float64{1, 0.1, -3.25, 1e-308},
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	c := openTest(t, t.TempDir(), "fp-a")
+
+	if _, ok := c.GetResult("GEMM", "rep", "TC"); ok {
+		t.Fatal("empty cache must miss")
+	}
+	if c.Has(KindResult, ResultKey("GEMM", "rep", "TC")) {
+		t.Fatal("Has must be false before Put")
+	}
+
+	want := sampleResult()
+	c.PutResult("GEMM", "rep", "TC", want)
+
+	if !c.Has(KindResult, ResultKey("GEMM", "rep", "TC")) {
+		t.Fatal("Has must be true after Put")
+	}
+	got, ok := c.GetResult("GEMM", "rep", "TC")
+	if !ok {
+		t.Fatal("want hit after Put")
+	}
+	if got.Work != want.Work || got.MetricName != want.MetricName {
+		t.Fatalf("scalar fields differ: got %+v want %+v", got, want)
+	}
+	if len(got.Output) != len(want.Output) {
+		t.Fatalf("output length %d, want %d", len(got.Output), len(want.Output))
+	}
+	for i := range want.Output {
+		if got.Output[i] != want.Output[i] {
+			t.Fatalf("output[%d] = %v, want bit-identical %v", i, got.Output[i], want.Output[i])
+		}
+	}
+
+	// A different key must still miss.
+	if _, ok := c.GetResult("GEMM", "rep", "CC"); ok {
+		t.Fatal("distinct variant must miss")
+	}
+}
+
+func TestKindsAreDisjoint(t *testing.T) {
+	c := openTest(t, t.TempDir(), "fp-a")
+	c.Put(KindReference, "GEMM|rep|__reference", []float64{42})
+
+	var ref []float64
+	if !c.Get(KindReference, "GEMM|rep|__reference", &ref) || len(ref) != 1 || ref[0] != 42 {
+		t.Fatalf("reference roundtrip failed: %v", ref)
+	}
+	// Same key under a different kind is a different entry.
+	if c.Get(KindResult, "GEMM|rep|__reference", &ref) {
+		t.Fatal("kind must partition the key space")
+	}
+
+	c.Put(KindFeatures, "graph-corpus|4|1", [][]float64{{1, 2}, {3, 4}})
+	var feats [][]float64
+	if !c.Get(KindFeatures, "graph-corpus|4|1", &feats) || len(feats) != 2 || feats[1][0] != 3 {
+		t.Fatalf("features roundtrip failed: %v", feats)
+	}
+}
+
+// TestFingerprintChangeMisses is the code-change scenario: an entry written
+// by one fingerprint must not be served to another, and each fingerprint
+// re-runs into its own entry.
+func TestFingerprintChangeMisses(t *testing.T) {
+	dir := t.TempDir()
+	a := openTest(t, dir, "fp-a")
+	b := openTest(t, dir, "fp-b")
+
+	resA := sampleResult()
+	a.PutResult("GEMM", "rep", "TC", resA)
+
+	if _, ok := b.GetResult("GEMM", "rep", "TC"); ok {
+		t.Fatal("entry from fingerprint a must miss under fingerprint b")
+	}
+	// The "re-run" stores under b; both fingerprints now coexist.
+	resB := sampleResult()
+	resB.Work = 99
+	b.PutResult("GEMM", "rep", "TC", resB)
+
+	gotA, okA := a.GetResult("GEMM", "rep", "TC")
+	gotB, okB := b.GetResult("GEMM", "rep", "TC")
+	if !okA || !okB || gotA.Work != 12.5 || gotB.Work != 99 {
+		t.Fatalf("fingerprints must not share entries: a=(%v,%+v) b=(%v,%+v)", okA, gotA, okB, gotB)
+	}
+}
+
+// entryFiles returns the cache's entry files (excluding temp files).
+func entryFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+// TestCorruptEntryIsMiss covers the robustness contract: truncated or
+// garbage entry files are silent misses, never errors, and a re-Put heals
+// the entry.
+func TestCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	c := openTest(t, dir, "fp-a")
+	c.PutResult("SpMV", "raefsky3", "TC", sampleResult())
+
+	files := entryFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("want exactly 1 entry file, have %v", files)
+	}
+
+	// Truncate mid-JSON.
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[0], data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.GetResult("SpMV", "raefsky3", "TC"); ok {
+		t.Fatal("truncated entry must be a miss")
+	}
+
+	// Outright garbage.
+	if err := os.WriteFile(files[0], []byte("not json at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.GetResult("SpMV", "raefsky3", "TC"); ok {
+		t.Fatal("garbage entry must be a miss")
+	}
+
+	// Valid JSON, wrong payload shape for the target type.
+	if err := os.WriteFile(files[0], []byte(`{"fingerprint":"fp-a","kind":"result","key":"SpMV|raefsky3|TC","payload":"zap"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.GetResult("SpMV", "raefsky3", "TC"); ok {
+		t.Fatal("payload type mismatch must be a miss")
+	}
+
+	// Re-Put heals it.
+	c.PutResult("SpMV", "raefsky3", "TC", sampleResult())
+	if _, ok := c.GetResult("SpMV", "raefsky3", "TC"); !ok {
+		t.Fatal("re-Put after corruption must hit")
+	}
+}
+
+// TestEnvelopeKeyVerified plants one key's entry file at another key's path
+// (a hash collision stand-in): the envelope's embedded key must reject it.
+func TestEnvelopeKeyVerified(t *testing.T) {
+	dir := t.TempDir()
+	c := openTest(t, dir, "fp-a")
+	c.PutResult("GEMM", "rep", "TC", sampleResult())
+
+	src := c.path(KindResult, ResultKey("GEMM", "rep", "TC"))
+	dst := c.path(KindResult, ResultKey("GEMM", "rep", "CC"))
+	if err := os.Rename(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.GetResult("GEMM", "rep", "CC"); ok {
+		t.Fatal("entry answering a different key must be rejected")
+	}
+}
+
+func TestPutLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	c := openTest(t, dir, "fp-a")
+	for i := 0; i < 4; i++ {
+		c.PutResult("GEMM", "rep", "TC", sampleResult())
+	}
+	tmps, err := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmps) != 0 {
+		t.Fatalf("temp files left behind: %v", tmps)
+	}
+	if files := entryFiles(t, dir); len(files) != 1 {
+		t.Fatalf("repeated Put of one key must keep one entry, have %v", files)
+	}
+}
+
+// TestUnmarshalableValueAbsorbed: NaN/Inf cannot be marshaled to JSON; Put
+// must absorb the error (the run still succeeds, just uncached).
+func TestUnmarshalableValueAbsorbed(t *testing.T) {
+	dir := t.TempDir()
+	c := openTest(t, dir, "fp-a")
+	bad := sampleResult()
+	bad.Work = inf()
+	c.PutResult("GEMM", "rep", "TC", bad) // must not panic
+	if _, ok := c.GetResult("GEMM", "rep", "TC"); ok {
+		t.Fatal("unmarshalable value must not produce an entry")
+	}
+}
+
+func inf() float64 { x := 1.0; return x / (x - 1) }
+
+func TestNilCacheIsDisabled(t *testing.T) {
+	var c *Cache
+	c.Put(KindResult, "k", 1) // no panic
+	c.PutResult("GEMM", "rep", "TC", sampleResult())
+	if c.Has(KindResult, "k") {
+		t.Fatal("nil cache must not report entries")
+	}
+	var v int
+	if c.Get(KindResult, "k", &v) {
+		t.Fatal("nil cache must miss")
+	}
+	if _, ok := c.GetResult("GEMM", "rep", "TC"); ok {
+		t.Fatal("nil cache must miss results")
+	}
+	if c.Dir() != "" {
+		t.Fatal("nil cache has no directory")
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	for _, off := range []string{"off", "OFF", "0", "false", "no"} {
+		t.Setenv(Env, off)
+		if c := FromEnv(); c != nil {
+			t.Fatalf("CUBIE_CACHE=%q must disable the cache, got dir %q", off, c.Dir())
+		}
+	}
+
+	dir := filepath.Join(t.TempDir(), "explicit")
+	t.Setenv(Env, dir)
+	c := FromEnv()
+	if c == nil || c.Dir() != dir {
+		t.Fatalf("CUBIE_CACHE=%q: got %v", dir, c)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("FromEnv must create the directory: %v", err)
+	}
+
+	// An uncreatable directory degrades to a disabled cache.
+	blocker := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(blocker, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv(Env, filepath.Join(blocker, "sub"))
+	if c := FromEnv(); c != nil {
+		t.Fatal("uncreatable cache dir must disable the cache")
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a, b := Fingerprint(), Fingerprint()
+	if a == "" || a != b {
+		t.Fatalf("fingerprint must be non-empty and stable: %q vs %q", a, b)
+	}
+}

@@ -7,7 +7,8 @@ import (
 )
 
 // Shared-cache metrics: hits are requests served from the process-wide
-// cache; misses ran the (expensive) synthesis.
+// cache (including callers that joined an in-flight synthesis); misses ran
+// the (expensive) synthesis.
 var (
 	metCacheHits = metrics.NewCounter("cubie_sparse_synthesize_hits_total",
 		"Table 4 matrix requests served from the shared cache.")
@@ -15,32 +16,53 @@ var (
 		"Table 4 matrix requests that synthesized a new instance.")
 )
 
+// csrFlight is one per-name synthesis: the first requester owns it, later
+// requesters block on done and share the outcome.
+type csrFlight struct {
+	done chan struct{}
+	m    *CSR
+	err  error
+}
+
 // shared caches synthesized Table 4 matrices process-wide. Synthesis is
 // deterministic, so every consumer sees identical structure and values.
+// Entries are per-name singleflights rather than a lock held across
+// synthesis, so distinct matrices synthesize concurrently — the harness
+// planner pre-warms them in parallel while the kernel that needs one joins
+// its flight.
 var shared = struct {
 	mu sync.Mutex
-	m  map[string]*CSR
-}{m: map[string]*CSR{}}
+	m  map[string]*csrFlight
+}{m: map[string]*csrFlight{}}
 
 // SynthesizeShared returns the process-wide shared instance of the named
 // Table 4 matrix, synthesizing it on first use. The returned CSR must be
 // treated as read-only: SpMV, SpGEMM, and the harness coverage/ablation
 // studies all hold the same pointer (previously each synthesized its own
-// copy — raefsky3 alone is ~1.5 M nonzeros built three times over). The
-// lock is held across synthesis so concurrent first callers do the work
-// exactly once.
+// copy — raefsky3 alone is ~1.5 M nonzeros built three times over).
+// Concurrent first callers for one name do the work exactly once; a failed
+// synthesis is evicted so a later caller can retry.
 func SynthesizeShared(name string) (*CSR, error) {
 	shared.mu.Lock()
-	defer shared.mu.Unlock()
-	if m, ok := shared.m[name]; ok {
-		metCacheHits.Inc()
-		return m, nil
+	if f, ok := shared.m[name]; ok {
+		shared.mu.Unlock()
+		<-f.done
+		if f.err == nil {
+			metCacheHits.Inc()
+		}
+		return f.m, f.err
 	}
+	f := &csrFlight{done: make(chan struct{})}
+	shared.m[name] = f
+	shared.mu.Unlock()
+
 	metCacheMisses.Inc()
-	m, err := Synthesize(name)
-	if err != nil {
-		return nil, err
+	f.m, f.err = Synthesize(name)
+	if f.err != nil {
+		shared.mu.Lock()
+		delete(shared.m, name)
+		shared.mu.Unlock()
 	}
-	shared.m[name] = m
-	return m, nil
+	close(f.done)
+	return f.m, f.err
 }

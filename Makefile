@@ -7,9 +7,17 @@
 #                        docs/PERFORMANCE.md); set BENCHTIME=100ms for a
 #                        quick smoke pass
 #   make bench-compare - diff two benchmark snapshots and fail on >10%
-#                        ns/op regressions:
+#                        ns/op or allocs/op regressions (0 → >0 allocs
+#                        always fails):
 #                        make bench-compare OLD=benchdata/BENCH_pre_panel.json \
 #                                           NEW=benchdata/BENCH_post_panel.json
+#                        Rolling-baseline mode diffs NEW against the best-of
+#                        envelope of the last K committed snapshots instead:
+#                        make bench-compare ROLLING=3 NEW=benchdata/BENCH_new.json
+#   make bench-trend   - render every committed benchdata/BENCH_*.json into
+#                        the static dashboard benchdata/trend.html
+#   make bench-trend-check - fail if trend.html is missing or stale against
+#                        the committed snapshots (runs inside make test)
 #   make bench-all     - time cold and warm `cubie all` end to end against a
 #                        fresh run cache and archive the wall-clocks as
 #                        benchdata/BENCHALL_<date>.json; gate with
@@ -27,13 +35,18 @@ GO ?= go
 # runs a fixed iteration count for noisy boxes.
 BENCHTIME ?= 1s
 
-# Snapshots diffed by make bench-compare, and the slowdown fraction that
-# fails the gate (0.10 = 10% ns/op).
+# Snapshots diffed by make bench-compare, and the regression fractions that
+# fail the gate (0.10 = 10%) on each axis. Setting ROLLING=K switches the
+# baseline from the OLD file to the best-of envelope of the last K committed
+# benchdata/BENCH_*.json snapshots.
 OLD ?= benchdata/BENCH_pre_panel.json
 NEW ?= benchdata/BENCH_post_panel.json
 TOLERANCE ?= 0.10
+ALLOC_TOLERANCE ?= 0.10
+ROLLING ?=
 
-.PHONY: all build vet test race bench bench-all bench-compare docs-check clean
+.PHONY: all build vet test race bench bench-all bench-compare bench-trend \
+	bench-trend-check docs-check clean
 
 all: test
 
@@ -46,7 +59,7 @@ vet:
 docs-check:
 	$(GO) run ./cmd/docscheck
 
-test: vet docs-check
+test: vet docs-check bench-trend-check
 	$(GO) test ./...
 
 race:
@@ -58,7 +71,21 @@ bench:
 	$(GO) test -p 1 -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson
 
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare -tolerance $(TOLERANCE) $(OLD) $(NEW)
+ifneq ($(ROLLING),)
+	$(GO) run ./cmd/benchjson -compare -rolling $(ROLLING) \
+		-tolerance $(TOLERANCE) -alloc-tolerance $(ALLOC_TOLERANCE) $(NEW)
+else
+	$(GO) run ./cmd/benchjson -compare \
+		-tolerance $(TOLERANCE) -alloc-tolerance $(ALLOC_TOLERANCE) $(OLD) $(NEW)
+endif
+
+# The dashboard is committed alongside the snapshots it plots;
+# bench-trend-check keeps the two in lockstep (make test runs it).
+bench-trend:
+	$(GO) run ./cmd/benchjson -trend
+
+bench-trend-check:
+	$(GO) run ./cmd/benchjson -trend -check
 
 # End-to-end campaign wall-clock: the first `cubie all` populates a fresh
 # run cache (cold), the second replays it (warm — zero workload

@@ -1,12 +1,15 @@
 // Command benchjson converts `go test -bench` text output into a JSON
 // snapshot for the performance log described in docs/PERFORMANCE.md,
-// diffs two snapshots for regressions, and times whole commands as
+// diffs two snapshots for regressions, renders the committed snapshot
+// series into a static trend dashboard, and times whole commands as
 // synthetic benchmarks.
 //
 // Usage:
 //
 //	go test -bench=. -benchmem ./... | go run ./cmd/benchjson [-o DIR]
-//	go run ./cmd/benchjson -compare old.json new.json [-tolerance 0.10]
+//	go run ./cmd/benchjson -compare old.json new.json [-tolerance 0.10] [-alloc-tolerance 0.10]
+//	go run ./cmd/benchjson -compare -rolling 3 new.json [-baseline-dir benchdata]
+//	go run ./cmd/benchjson -trend [-baseline-dir benchdata] [-check]
 //	go run ./cmd/benchjson -exec BenchmarkCubieAllCold -- cubie all
 //
 // In capture mode it parses the standard benchmark result lines (name,
@@ -17,8 +20,22 @@
 //
 // In compare mode it matches the benchmarks of the two snapshots by package
 // and name, prints an aligned diff table (worst regression first), and exits
-// non-zero if any benchmark slowed down by more than the tolerance (default
-// 10% ns/op) — the gate make bench-compare runs.
+// non-zero if any benchmark slowed down by more than -tolerance ns/op
+// (default 10%) or failed the allocation gate: allocs/op up by more than
+// -alloc-tolerance, or any allocation appearing in a benchmark that was
+// allocation-free before (0 → >0 always fails — those zeros are contracts).
+// With -rolling K the old side is not a file but the best-of envelope of
+// the last K committed BENCH_*.json snapshots in -baseline-dir, so one
+// noisy historical capture can neither hide nor fake a regression — the
+// gate make bench-compare ROLLING=K runs.
+//
+// In trend mode it renders every committed BENCH_*.json in -baseline-dir
+// (oldest first: by snapshot date, pre_ before post_ on ties) into a
+// self-contained HTML dashboard at <baseline-dir>/trend.html — one card
+// per benchmark with ns/op and allocs/op sparklines (make bench-trend).
+// With -check it renders to memory instead and exits non-zero if the
+// committed trend.html is missing or stale; make test runs this so the
+// dashboard cannot drift behind the snapshots it plots.
 //
 // In exec mode it runs the command after "--" (repeated -count times,
 // stdout discarded, stderr passed through) and prints one standard
@@ -29,6 +46,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -37,6 +55,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -48,12 +67,20 @@ func main() {
 	prefix := flag.String("prefix", "BENCH_", "snapshot file name prefix in capture mode")
 	compare := flag.Bool("compare", false, "compare two snapshot files: benchjson -compare old.json new.json")
 	tolerance := flag.Float64("tolerance", 0.10, "ns/op slowdown fraction that fails -compare (0.10 = 10%)")
+	allocTolerance := flag.Float64("alloc-tolerance", 0.10, "allocs/op growth fraction that fails -compare; 0→>0 always fails")
+	rolling := flag.Int("rolling", 0, "with -compare: baseline is the best-of envelope of the last K snapshots in -baseline-dir")
+	baselineDir := flag.String("baseline-dir", "benchdata", "directory of committed BENCH_*.json snapshots for -rolling and -trend")
+	trend := flag.Bool("trend", false, "render the snapshot series in -baseline-dir into trend.html")
+	check := flag.Bool("check", false, "with -trend: verify the committed trend.html is current instead of writing it")
 	execName := flag.String("exec", "", "time the command after -- and print a benchmark line under this name")
 	execCount := flag.Int("count", 1, "repetitions of the -exec command, one result line each")
 	flag.Parse()
 
+	if *trend {
+		os.Exit(runTrend(*baselineDir, *check))
+	}
 	if *compare {
-		os.Exit(runCompare(flag.Args(), *tolerance))
+		os.Exit(runCompare(flag.Args(), *tolerance, *allocTolerance, *rolling, *baselineDir))
 	}
 	if *execName != "" {
 		os.Exit(runExec(*execName, *execCount, flag.Args()))
@@ -117,31 +144,201 @@ func runExec(name string, count int, args []string) int {
 	return 0
 }
 
-func runCompare(args []string, tolerance float64) int {
-	if len(args) != 2 {
-		fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two snapshot files: old.json new.json")
-		return 2
-	}
-	old, err := loadSnapshot(args[0])
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		return 2
-	}
-	new, err := loadSnapshot(args[1])
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
+func runCompare(args []string, tolerance, allocTolerance float64, rolling int, baselineDir string) int {
+	var old, new *benchjson.Snapshot
+	var err error
+	switch {
+	case rolling > 0:
+		if len(args) != 1 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare -rolling K needs exactly one snapshot file: new.json")
+			return 2
+		}
+		if new, err = loadSnapshot(args[0]); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			return 2
+		}
+		if old, err = rollingBaseline(baselineDir, rolling, args[0]); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			return 2
+		}
+	case len(args) == 2:
+		if old, err = loadSnapshot(args[0]); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			return 2
+		}
+		if new, err = loadSnapshot(args[1]); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			return 2
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two snapshot files: old.json new.json (or -rolling K new.json)")
 		return 2
 	}
 	cmp := benchjson.Compare(old, new)
-	cmp.Render(os.Stdout, tolerance)
+	cmp.Render(os.Stdout, tolerance, allocTolerance)
+	code := 0
 	if regs := cmp.Regressions(tolerance); len(regs) > 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%% ns/op\n",
 			len(regs), tolerance*100)
+		code = 1
+	}
+	if regs := cmp.AllocRegressions(allocTolerance); len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) failed the allocs/op gate (>%.0f%% growth or 0 → >0)\n",
+			len(regs), allocTolerance*100)
+		code = 1
+	}
+	if code == 0 {
+		fmt.Printf("no ns/op or allocs/op regressions beyond %.0f%%/%.0f%% across %d matched benchmarks\n",
+			tolerance*100, allocTolerance*100, len(cmp.Deltas))
+	}
+	return code
+}
+
+// rollingBaseline loads the last k committed snapshots (excluding the one
+// under test, if it lives in the same directory) and folds them into their
+// best-of envelope.
+func rollingBaseline(dir string, k int, exclude string) (*benchjson.Snapshot, error) {
+	files, err := snapshotFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	absEx, _ := filepath.Abs(exclude)
+	kept := files[:0]
+	for _, f := range files {
+		if abs, _ := filepath.Abs(f); abs == absEx {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	if len(kept) == 0 {
+		return nil, fmt.Errorf("no baseline snapshots in %s", dir)
+	}
+	if len(kept) > k {
+		kept = kept[len(kept)-k:]
+	}
+	var snaps []*benchjson.Snapshot
+	for _, f := range kept {
+		s, err := loadSnapshot(f)
+		if err != nil {
+			return nil, err
+		}
+		snaps = append(snaps, s)
+	}
+	fmt.Printf("rolling baseline: envelope of %s\n", strings.Join(kept, ", "))
+	return benchjson.Envelope(snaps...), nil
+}
+
+// snapshotFiles lists dir's BENCH_*.json oldest first: primary key the
+// snapshot's embedded date; within a date, files that form a pre_/post_
+// A/B pair (the same-session capture convention of docs/PERFORMANCE.md)
+// sort by their shared stem with pre before post, so each session's pair
+// stays adjacent and in causal order. The order is a pure function of the
+// committed files, so trend renders are reproducible across machines.
+func snapshotFiles(dir string) ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no BENCH_*.json snapshots in %s", dir)
+	}
+	type entry struct {
+		path, date, stem string
+		rank             int
+	}
+	entries := make([]entry, 0, len(paths))
+	for _, p := range paths {
+		s, err := loadSnapshot(p)
+		if err != nil {
+			return nil, err
+		}
+		rank := 1
+		base := filepath.Base(p)
+		stem := base
+		if strings.Contains(base, "_pre") {
+			rank = 0
+			stem = strings.Replace(base, "_pre", "_", 1)
+		} else if strings.Contains(base, "_post") {
+			rank = 2
+			stem = strings.Replace(base, "_post", "_", 1)
+		}
+		entries = append(entries, entry{path: p, date: s.Date, stem: stem, rank: rank})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].date != entries[j].date {
+			return entries[i].date < entries[j].date
+		}
+		if entries[i].stem != entries[j].stem {
+			return entries[i].stem < entries[j].stem
+		}
+		if entries[i].rank != entries[j].rank {
+			return entries[i].rank < entries[j].rank
+		}
+		return entries[i].path < entries[j].path
+	})
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.path
+	}
+	return out, nil
+}
+
+// runTrend renders the committed snapshot series into dir/trend.html, or
+// with check=true regenerates it in memory and fails if the committed page
+// is missing or differs (the dashboard-freshness gate in make test).
+func runTrend(dir string, check bool) int {
+	files, err := snapshotFiles(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	var snaps []*benchjson.Snapshot
+	var labels []string
+	for _, f := range files {
+		s, err := loadSnapshot(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			return 2
+		}
+		snaps = append(snaps, s)
+		labels = append(labels, strings.TrimSuffix(filepath.Base(f), ".json"))
+	}
+	var buf bytes.Buffer
+	if err := benchjson.RenderTrend(&buf, snaps, labels); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	page := filepath.Join(dir, "trend.html")
+	if check {
+		committed, err := os.ReadFile(page)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s missing or unreadable (%v); run make bench-trend and commit it\n", page, err)
+			return 1
+		}
+		if !bytes.Equal(committed, buf.Bytes()) {
+			fmt.Fprintf(os.Stderr, "benchjson: %s is stale against the committed snapshots; run make bench-trend and commit it\n", page)
+			return 1
+		}
+		fmt.Printf("%s is current (%d snapshots, %d benchmarks)\n", page, len(snaps), countSeries(snaps))
+		return 0
+	}
+	if err := os.WriteFile(page, buf.Bytes(), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		return 1
 	}
-	fmt.Printf("no regressions beyond %.0f%% across %d matched benchmarks\n",
-		tolerance*100, len(cmp.Deltas))
+	fmt.Printf("wrote %s (%d snapshots, %d benchmarks)\n", page, len(snaps), countSeries(snaps))
 	return 0
+}
+
+// countSeries counts the distinct benchmarks across a snapshot sequence.
+func countSeries(snaps []*benchjson.Snapshot) int {
+	seen := map[string]bool{}
+	for _, s := range snaps {
+		for _, b := range s.Benchmarks {
+			seen[b.Package+"."+b.Name] = true
+		}
+	}
+	return len(seen)
 }
 
 func loadSnapshot(path string) (*benchjson.Snapshot, error) {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/kernels/spgemm"
 	"repro/internal/mmu"
 	"repro/internal/par"
 	"repro/internal/workload"
@@ -118,6 +119,54 @@ func TestSuitePanelDeterminism(t *testing.T) {
 		for i := range f {
 			if math.Float64bits(f[i]) != math.Float64bits(r[i]) {
 				t.Errorf("%s: output[%d] differs bitwise: %v vs %v", key, i, f[i], r[i])
+				break
+			}
+		}
+	}
+}
+
+// TestSpGEMMAccumDeterminism is the SpGEMM accumulator-arena counterpart of
+// the panel contract: with the dense stamped directory forced on
+// (CUBIE_SPGEMM_DENSE=1 / spgemm.SetAccumMode(spgemm.AccumDense)) and forced
+// off (=0 / AccumHash), every SpGEMM variant must produce the bit-identical
+// Output — the directory regime only routes tiles to arena slots, never
+// changes the addition order.
+func TestSpGEMMAccumDeterminism(t *testing.T) {
+	runSpGEMM := func(mode spgemm.AccumMode) map[string][]float64 {
+		prev := spgemm.SetAccumMode(mode)
+		defer spgemm.SetAccumMode(prev)
+		out := map[string][]float64{}
+		for _, w := range core.NewSuite().Workloads() {
+			if w.Name() != "SpGEMM" {
+				continue
+			}
+			c := w.Representative()
+			for _, v := range w.Variants() {
+				res, err := w.Run(c, v)
+				if err != nil {
+					t.Fatalf("%s/%s (mode=%d): %v", w.Name(), v, mode, err)
+				}
+				out[w.Name()+"/"+string(v)] = res.Output
+			}
+		}
+		return out
+	}
+
+	dense := runSpGEMM(spgemm.AccumDense)
+	hash := runSpGEMM(spgemm.AccumHash)
+
+	if len(dense) == 0 || len(dense) != len(hash) {
+		t.Fatalf("run counts differ or empty: %d vs %d", len(dense), len(hash))
+	}
+	for key, d := range dense {
+		h := hash[key]
+		if len(d) != len(h) {
+			t.Errorf("%s: output lengths differ: %d vs %d", key, len(d), len(h))
+			continue
+		}
+		for i := range d {
+			if math.Float64bits(d[i]) != math.Float64bits(h[i]) {
+				t.Errorf("%s: output[%d] differs bitwise: %v vs %v", key, i, d[i], h[i])
 				break
 			}
 		}

@@ -6,18 +6,36 @@ import (
 	"sort"
 )
 
-// Delta is the ns/op movement of one benchmark between two snapshots.
+// Delta is the movement of one benchmark between two snapshots, on both
+// gated axes: ns/op (speed) and allocs/op (steady-state allocation count).
 type Delta struct {
 	Name    string  `json:"name"`
 	Package string  `json:"package,omitempty"`
 	OldNs   float64 `json:"old_ns_per_op"`
 	NewNs   float64 `json:"new_ns_per_op"`
 	// Ratio is NewNs/OldNs: < 1 is a speedup, > 1 a slowdown.
-	Ratio float64 `json:"ratio"`
+	Ratio     float64 `json:"ratio"`
+	OldAllocs float64 `json:"old_allocs_per_op"`
+	NewAllocs float64 `json:"new_allocs_per_op"`
+	// AllocRatio is NewAllocs/OldAllocs, 0 when the old side was 0 — the
+	// zero-to-nonzero case is gated separately (see AllocRegressions):
+	// a kernel that was allocation-free must not silently start allocating,
+	// no matter how few objects.
+	AllocRatio float64 `json:"alloc_ratio"`
 }
 
-// Pct returns the signed percentage change (+ is slower, − is faster).
+// Pct returns the signed ns/op percentage change (+ is slower, − is faster).
 func (d Delta) Pct() float64 { return (d.Ratio - 1) * 100 }
+
+// AllocRegressed reports whether the delta fails the allocation gate at the
+// given tolerance: allocs/op grew by more than tolerance, or an
+// allocation-free benchmark (old 0 allocs/op) started allocating at all.
+func (d Delta) AllocRegressed(tolerance float64) bool {
+	if d.OldAllocs == 0 {
+		return d.NewAllocs > 0
+	}
+	return d.AllocRatio > 1+tolerance
+}
 
 // Comparison is the matched diff of two snapshots.
 type Comparison struct {
@@ -31,32 +49,54 @@ type Comparison struct {
 // parallelism would be meaningless anyway).
 func key(b Benchmark) string { return b.Package + "." + b.Name }
 
-// Compare matches the benchmarks of two snapshots by package and name and
-// reports the ns/op ratio of each pair, sorted worst regression first.
-// Snapshots captured with `go test -count=N` carry N samples per
-// benchmark; Compare takes the minimum ns/op of each side (benchstat's
-// best-of rule: the fastest sample is the least-disturbed measurement of
-// the code, everything above it is scheduler/GC noise). Benchmarks
-// present in only one snapshot are listed but not treated as failures —
-// suites grow and shrink between commits.
-func Compare(old, new *Snapshot) *Comparison {
-	oldBy := map[string]Benchmark{}
-	for _, b := range old.Benchmarks {
-		if prev, ok := oldBy[key(b)]; !ok || b.NsPerOp < prev.NsPerOp {
-			oldBy[key(b)] = b
-		}
+// best collapses repeated samples of one benchmark (a -count=N run) into a
+// per-metric best-of: minimum ns/op, minimum allocs/op, and minimum B/op,
+// each taken independently (benchstat's best-of rule — the lowest sample is
+// the least-disturbed measurement of each metric; everything above it is
+// scheduler/GC noise, and the metrics need not bottom out on the same
+// sample).
+func best(acc Benchmark, b Benchmark, first bool) Benchmark {
+	if first {
+		return b
 	}
-	newBy := map[string]Benchmark{}
+	if b.NsPerOp < acc.NsPerOp {
+		acc.NsPerOp = b.NsPerOp
+		acc.Iterations = b.Iterations
+	}
+	if b.AllocsPerOp < acc.AllocsPerOp {
+		acc.AllocsPerOp = b.AllocsPerOp
+	}
+	if b.BytesPerOp < acc.BytesPerOp {
+		acc.BytesPerOp = b.BytesPerOp
+	}
+	return acc
+}
+
+// collapse folds a snapshot's benchmarks into per-key best-of entries,
+// preserving first-seen order in the returned key slice.
+func collapse(s *Snapshot) (map[string]Benchmark, []string) {
+	by := map[string]Benchmark{}
 	var order []string
-	for _, b := range new.Benchmarks {
+	for _, b := range s.Benchmarks {
 		k := key(b)
-		if prev, ok := newBy[k]; !ok || b.NsPerOp < prev.NsPerOp {
-			if _, ok := newBy[k]; !ok {
-				order = append(order, k)
-			}
-			newBy[k] = b
+		prev, ok := by[k]
+		if !ok {
+			order = append(order, k)
 		}
+		by[k] = best(prev, b, !ok)
 	}
+	return by, order
+}
+
+// Compare matches the benchmarks of two snapshots by package and name and
+// reports the ns/op and allocs/op movement of each pair, sorted worst ns/op
+// regression first. Snapshots captured with `go test -count=N` carry N
+// samples per benchmark; Compare collapses each side per-metric best-of
+// (see best). Benchmarks present in only one snapshot are listed but not
+// treated as failures — suites grow and shrink between commits.
+func Compare(old, new *Snapshot) *Comparison {
+	oldBy, _ := collapse(old)
+	newBy, order := collapse(new)
 	cmp := &Comparison{}
 	seen := map[string]bool{}
 	for _, k := range order {
@@ -68,13 +108,18 @@ func Compare(old, new *Snapshot) *Comparison {
 			continue
 		}
 		d := Delta{
-			Name:    nb.Name,
-			Package: nb.Package,
-			OldNs:   ob.NsPerOp,
-			NewNs:   nb.NsPerOp,
+			Name:      nb.Name,
+			Package:   nb.Package,
+			OldNs:     ob.NsPerOp,
+			NewNs:     nb.NsPerOp,
+			OldAllocs: ob.AllocsPerOp,
+			NewAllocs: nb.AllocsPerOp,
 		}
 		if ob.NsPerOp > 0 {
 			d.Ratio = nb.NsPerOp / ob.NsPerOp
+		}
+		if ob.AllocsPerOp > 0 {
+			d.AllocRatio = nb.AllocsPerOp / ob.AllocsPerOp
 		}
 		cmp.Deltas = append(cmp.Deltas, d)
 	}
@@ -94,8 +139,8 @@ func Compare(old, new *Snapshot) *Comparison {
 	return cmp
 }
 
-// Regressions returns the deltas whose slowdown exceeds tolerance (e.g. 0.10
-// flags benchmarks that got more than 10% slower).
+// Regressions returns the deltas whose ns/op slowdown exceeds tolerance
+// (e.g. 0.10 flags benchmarks that got more than 10% slower).
 func (c *Comparison) Regressions(tolerance float64) []Delta {
 	var out []Delta
 	for _, d := range c.Deltas {
@@ -106,10 +151,58 @@ func (c *Comparison) Regressions(tolerance float64) []Delta {
 	return out
 }
 
-// Render writes the comparison as an aligned table, worst regression first,
-// marking every delta beyond tolerance.
-func (c *Comparison) Render(w io.Writer, tolerance float64) {
-	fmt.Fprintf(w, "%-52s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+// AllocRegressions returns the deltas that fail the allocation gate: more
+// than tolerance growth in allocs/op, or any allocation appearing in a
+// benchmark that was allocation-free in the old snapshot (0 → >0 is always
+// a failure — those zeros are contracts, not accidents).
+func (c *Comparison) AllocRegressions(tolerance float64) []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.AllocRegressed(tolerance) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Envelope merges snapshots into one per-metric best-of snapshot: for every
+// benchmark, the minimum ns/op, allocs/op, and B/op seen across all inputs.
+// make bench-compare ROLLING=K uses the envelope of the last K committed
+// snapshots as its baseline, so a single historically-noisy capture can
+// neither hide a real regression (the envelope keeps the best samples ever
+// seen) nor flag a phantom one (a slow baseline run is subsumed by faster
+// ones). Benchmark order is first-seen across the inputs in the given
+// order; Date and machine headers come from the last (newest) snapshot.
+func Envelope(snaps ...*Snapshot) *Snapshot {
+	out := &Snapshot{}
+	by := map[string]Benchmark{}
+	var order []string
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		out.Date, out.GOOS, out.GOARCH, out.CPU = s.Date, s.GOOS, s.GOARCH, s.CPU
+		for _, b := range s.Benchmarks {
+			k := key(b)
+			prev, ok := by[k]
+			if !ok {
+				order = append(order, k)
+			}
+			by[k] = best(prev, b, !ok)
+		}
+	}
+	for _, k := range order {
+		out.Benchmarks = append(out.Benchmarks, by[k])
+	}
+	return out
+}
+
+// Render writes the comparison as an aligned table, worst ns/op regression
+// first, marking every delta beyond the two tolerances (ns/op and
+// allocs/op).
+func (c *Comparison) Render(w io.Writer, tolerance, allocTolerance float64) {
+	fmt.Fprintf(w, "%-52s %14s %14s %9s %12s %12s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs")
 	for _, d := range c.Deltas {
 		mark := ""
 		switch {
@@ -118,8 +211,11 @@ func (c *Comparison) Render(w io.Writer, tolerance float64) {
 		case d.Ratio < 1-tolerance:
 			mark = "  (faster)"
 		}
-		fmt.Fprintf(w, "%-52s %14.0f %14.0f %+8.1f%%%s\n",
-			d.Name, d.OldNs, d.NewNs, d.Pct(), mark)
+		if d.AllocRegressed(allocTolerance) {
+			mark += "  << ALLOC REGRESSION"
+		}
+		fmt.Fprintf(w, "%-52s %14.0f %14.0f %+8.1f%% %12.0f %12.0f%s\n",
+			d.Name, d.OldNs, d.NewNs, d.Pct(), d.OldAllocs, d.NewAllocs, mark)
 	}
 	for _, k := range c.OldOnly {
 		fmt.Fprintf(w, "%-52s   removed in new run\n", k)

@@ -82,12 +82,94 @@ func TestRenderTable(t *testing.T) {
 	old := snap(bench("p", "BenchmarkA-8", 1000), bench("p", "BenchmarkDrop-8", 10))
 	new := snap(bench("p", "BenchmarkA-8", 2000), bench("p", "BenchmarkAdd-8", 10))
 	var buf bytes.Buffer
-	Compare(old, new).Render(&buf, 0.10)
+	Compare(old, new).Render(&buf, 0.10, 0.10)
 	out := buf.String()
 	for _, want := range []string{"REGRESSION", "+100.0%", "removed in new run", "new benchmark"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("render missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func benchAlloc(pkg, name string, ns, allocs float64) Benchmark {
+	return Benchmark{Name: name, Package: pkg, Iterations: 1, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func TestAllocRegressions(t *testing.T) {
+	old := snap(
+		benchAlloc("p", "BenchmarkGrew-8", 1000, 100),
+		benchAlloc("p", "BenchmarkHeld-8", 1000, 100),
+		benchAlloc("p", "BenchmarkWasZero-8", 1000, 0),
+		benchAlloc("p", "BenchmarkStaysZero-8", 1000, 0),
+		benchAlloc("p", "BenchmarkShrank-8", 1000, 45000),
+	)
+	new := snap(
+		benchAlloc("p", "BenchmarkGrew-8", 1000, 120),     // +20% allocs: fails
+		benchAlloc("p", "BenchmarkHeld-8", 1000, 105),     // +5%: within tolerance
+		benchAlloc("p", "BenchmarkWasZero-8", 1000, 1),    // 0 → 1: always fails
+		benchAlloc("p", "BenchmarkStaysZero-8", 1000, 0),  // stays clean
+		benchAlloc("p", "BenchmarkShrank-8", 1000, 7),     // the arena win
+	)
+	regs := Compare(old, new).AllocRegressions(0.10)
+	if len(regs) != 2 {
+		t.Fatalf("alloc regressions: %+v", regs)
+	}
+	got := map[string]bool{}
+	for _, d := range regs {
+		got[d.Name] = true
+	}
+	if !got["BenchmarkGrew-8"] || !got["BenchmarkWasZero-8"] {
+		t.Fatalf("wrong benchmarks flagged: %+v", regs)
+	}
+	// The render marks alloc failures distinctly from ns/op failures.
+	var buf bytes.Buffer
+	Compare(old, new).Render(&buf, 0.10, 0.10)
+	if !strings.Contains(buf.String(), "ALLOC REGRESSION") {
+		t.Fatalf("render missing alloc marker:\n%s", buf.String())
+	}
+}
+
+func TestBestOfCollapsesMetricsIndependently(t *testing.T) {
+	// The fastest sample need not be the lowest-allocating one; each metric
+	// takes its own minimum.
+	old := snap(
+		benchAlloc("p", "BenchmarkA-8", 1500, 10),
+		benchAlloc("p", "BenchmarkA-8", 1000, 30),
+	)
+	new := snap(benchAlloc("p", "BenchmarkA-8", 1100, 9))
+	c := Compare(old, new)
+	if len(c.Deltas) != 1 {
+		t.Fatalf("%d deltas, want 1", len(c.Deltas))
+	}
+	d := c.Deltas[0]
+	if d.OldNs != 1000 || d.OldAllocs != 10 {
+		t.Fatalf("old best-of = %v ns / %v allocs, want 1000 / 10", d.OldNs, d.OldAllocs)
+	}
+	if len(c.AllocRegressions(0.10)) != 0 {
+		t.Fatal("9 vs best-of 10 allocs must pass the gate")
+	}
+}
+
+func TestEnvelope(t *testing.T) {
+	s1 := &Snapshot{Date: "2026-08-01", Benchmarks: []Benchmark{
+		benchAlloc("p", "BenchmarkA-8", 1200, 50),
+		benchAlloc("p", "BenchmarkOldOnly-8", 10, 1),
+	}}
+	s2 := &Snapshot{Date: "2026-08-02", GOOS: "linux", Benchmarks: []Benchmark{
+		benchAlloc("p", "BenchmarkA-8", 1000, 70),
+		benchAlloc("p", "BenchmarkNewOnly-8", 20, 2),
+	}}
+	env := Envelope(s1, s2)
+	if env.Date != "2026-08-02" || env.GOOS != "linux" {
+		t.Fatalf("envelope headers: %+v", env)
+	}
+	if len(env.Benchmarks) != 3 {
+		t.Fatalf("%d benchmarks, want 3", len(env.Benchmarks))
+	}
+	// First-seen order, per-metric minima.
+	a := env.Benchmarks[0]
+	if a.Name != "BenchmarkA-8" || a.NsPerOp != 1000 || a.AllocsPerOp != 50 {
+		t.Fatalf("envelope best-of: %+v", a)
 	}
 }
 

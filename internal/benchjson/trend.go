@@ -1,0 +1,352 @@
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Trend rendering: every committed benchmark snapshot becomes one x-axis
+// position of a static HTML dashboard (benchdata/trend.html, built by make
+// bench-trend). The page is fully self-contained — the snapshot series is
+// embedded as JSON and a small inline script draws one card per benchmark
+// with two single-axis sparkline charts (ns/op and allocs/op; two measures
+// of different scale never share an axis). Rendering is deterministic for a
+// given snapshot sequence: no timestamps, map iteration sorted — so `make
+// test` can regenerate the page and byte-compare it against the committed
+// one to catch stale dashboards (see TrendUpToDate in cmd/benchjson).
+
+// trendPoint is one benchmark's best-of sample in one snapshot. Ns < 0
+// marks "absent from this snapshot" (JSON has no NaN) — the chart breaks
+// the line there instead of interpolating through a gap.
+type trendPoint struct {
+	Ns     float64 `json:"ns"`
+	Allocs float64 `json:"allocs"`
+	Bytes  float64 `json:"bytes"`
+}
+
+// trendSeries is one benchmark across every snapshot, aligned with the
+// top-level label slice.
+type trendSeries struct {
+	Name    string       `json:"name"`
+	Package string       `json:"package,omitempty"`
+	Points  []trendPoint `json:"points"`
+}
+
+// trendData is the embedded payload of the dashboard.
+type trendData struct {
+	Labels []string      `json:"labels"`
+	Series []trendSeries `json:"series"`
+}
+
+// RenderTrend writes the self-contained trend dashboard for the given
+// snapshot sequence. labels[i] names snaps[i] on the x-axis (usually the
+// snapshot file's base name); both slices must have equal length and be in
+// oldest-first order. Each snapshot is collapsed per-metric best-of first
+// (repeated -count samples fold to their minimum, the same rule Compare
+// uses), so the trend line tracks the least-disturbed measurement per
+// commit rather than scheduler noise.
+func RenderTrend(w io.Writer, snaps []*Snapshot, labels []string) error {
+	if len(snaps) == 0 {
+		return fmt.Errorf("benchjson: no snapshots to render")
+	}
+	if len(snaps) != len(labels) {
+		return fmt.Errorf("benchjson: %d snapshots but %d labels", len(snaps), len(labels))
+	}
+
+	collapsed := make([]map[string]Benchmark, len(snaps))
+	keys := map[string]Benchmark{}
+	for i, s := range snaps {
+		by, _ := collapse(s)
+		collapsed[i] = by
+		for k, b := range by {
+			if _, ok := keys[k]; !ok {
+				keys[k] = b
+			}
+		}
+	}
+	ordered := make([]string, 0, len(keys))
+	for k := range keys {
+		ordered = append(ordered, k)
+	}
+	sort.Strings(ordered)
+
+	data := trendData{Labels: labels}
+	for _, k := range ordered {
+		b := keys[k]
+		s := trendSeries{Name: b.Name, Package: b.Package}
+		for i := range snaps {
+			if bb, ok := collapsed[i][k]; ok {
+				s.Points = append(s.Points, trendPoint{
+					Ns: bb.NsPerOp, Allocs: bb.AllocsPerOp, Bytes: bb.BytesPerOp,
+				})
+			} else {
+				s.Points = append(s.Points, trendPoint{Ns: -1, Allocs: -1, Bytes: -1})
+			}
+		}
+		data.Series = append(data.Series, s)
+	}
+
+	payload, err := json.Marshal(data)
+	if err != nil {
+		return err
+	}
+	// "</" cannot appear inside an inline <script> block; benchmark names
+	// are Go identifiers so this never fires in practice, but stay safe.
+	safe := strings.ReplaceAll(string(payload), "</", `<\/`)
+	_, err = io.WriteString(w, strings.Replace(trendHTML, "__TREND_DATA__", safe, 1))
+	return err
+}
+
+// trendHTML is the dashboard shell. Design notes (kept in sync with
+// docs/PERFORMANCE.md):
+//   - one card per benchmark, two single-series mini charts (ns/op, allocs/op)
+//     — separate axes, never a dual-axis chart;
+//   - series colors are fixed by metric (blue = ns/op, orange = allocs/op),
+//     validated for CVD separation and surface contrast in both light and
+//     dark mode; chart titles carry the identity in text so color is never
+//     the only channel;
+//   - 2px lines, 8px hover targets, tooltip + crosshair per chart, last
+//     point direct-labeled; grid recessive;
+//   - a table view lists every embedded value (also the screen-reader and
+//     print path);
+//   - dark mode: selected steps for the dark surface behind a
+//     prefers-color-scheme block plus a manual toggle.
+const trendHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>Benchmark trends</title>
+<style>
+  :root {
+    color-scheme: light;
+    --surface: #fcfcfb; --card: #ffffff; --border: #e4e2dd;
+    --text-primary: #0b0b0b; --text-secondary: #52514e; --text-muted: #878580;
+    --grid: #eceae5; --ns: #2a78d6; --allocs: #eb6834;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root:not([data-theme="light"]) {
+      color-scheme: dark;
+      --surface: #1a1a19; --card: #232322; --border: #3a3936;
+      --text-primary: #ffffff; --text-secondary: #c3c2b7; --text-muted: #8b8a82;
+      --grid: #2e2d2b; --ns: #3987e5; --allocs: #d95926;
+    }
+  }
+  :root[data-theme="dark"] {
+    color-scheme: dark;
+    --surface: #1a1a19; --card: #232322; --border: #3a3936;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7; --text-muted: #8b8a82;
+    --grid: #2e2d2b; --ns: #3987e5; --allocs: #d95926;
+  }
+  body { margin: 0; padding: 24px; background: var(--surface); color: var(--text-primary);
+         font: 14px/1.45 system-ui, -apple-system, sans-serif; }
+  h1 { font-size: 18px; margin: 0 0 4px; }
+  .sub { color: var(--text-secondary); margin: 0 0 16px; }
+  .controls { display: flex; gap: 8px; margin-bottom: 20px; }
+  button { font: inherit; color: var(--text-primary); background: var(--card);
+           border: 1px solid var(--border); border-radius: 6px; padding: 4px 12px; cursor: pointer; }
+  button[aria-pressed="true"] { border-color: var(--text-secondary); }
+  .grid { display: grid; grid-template-columns: repeat(auto-fill, minmax(420px, 1fr)); gap: 16px; }
+  .card { background: var(--card); border: 1px solid var(--border); border-radius: 8px; padding: 12px 16px; }
+  .card h2 { font-size: 13px; margin: 0 0 2px; word-break: break-all; }
+  .card .pkg { color: var(--text-muted); font-size: 11px; margin: 0 0 8px; }
+  .charts { display: flex; gap: 16px; flex-wrap: wrap; }
+  .chart { flex: 1 1 180px; min-width: 180px; }
+  .chart .label { font-size: 11px; color: var(--text-secondary); margin-bottom: 2px; }
+  .chart .label .swatch { display: inline-block; width: 8px; height: 8px; border-radius: 2px;
+                          margin-right: 4px; vertical-align: baseline; }
+  svg { display: block; width: 100%; height: 72px; overflow: visible; }
+  .gridline { stroke: var(--grid); stroke-width: 1; }
+  .trend-line { fill: none; stroke-width: 2; stroke-linejoin: round; stroke-linecap: round; }
+  .endlabel { font-size: 10px; fill: var(--text-secondary); }
+  .hover-dot { stroke: var(--card); stroke-width: 2; }
+  #tooltip { position: fixed; pointer-events: none; background: var(--card); color: var(--text-primary);
+             border: 1px solid var(--border); border-radius: 6px; padding: 6px 10px; font-size: 12px;
+             box-shadow: 0 2px 8px rgba(0,0,0,.15); display: none; z-index: 10; max-width: 320px; }
+  #tooltip .tl { color: var(--text-muted); }
+  table { border-collapse: collapse; width: 100%; font-size: 12px; }
+  th, td { text-align: right; padding: 3px 10px; border-bottom: 1px solid var(--border); }
+  th:first-child, td:first-child { text-align: left; }
+  th { color: var(--text-secondary); font-weight: 600; position: sticky; top: 0; background: var(--surface); }
+  #table-view { display: none; overflow-x: auto; }
+  body.show-table #table-view { display: block; }
+  body.show-table .grid { display: none; }
+</style>
+</head>
+<body>
+<h1>Benchmark trends</h1>
+<p class="sub">Best-of ns/op and allocs/op per committed snapshot, oldest → newest.
+Rebuild with <code>make bench-trend</code>.</p>
+<div class="controls">
+  <button id="toggle-table" aria-pressed="false">Table view</button>
+  <button id="toggle-theme" aria-pressed="false">Dark mode</button>
+</div>
+<div class="grid" id="cards"></div>
+<div id="table-view"></div>
+<div id="tooltip" role="status"></div>
+<script type="application/json" id="trend-data">__TREND_DATA__</script>
+<script>
+(function () {
+  "use strict";
+  var data = JSON.parse(document.getElementById("trend-data").textContent);
+  var tooltip = document.getElementById("tooltip");
+  var SVGNS = "http://www.w3.org/2000/svg";
+  var W = 400, H = 72, PADX = 4, PADY = 8;
+
+  function fmt(v) {
+    if (v >= 1e9) return (v / 1e9).toFixed(2) + "G";
+    if (v >= 1e6) return (v / 1e6).toFixed(2) + "M";
+    if (v >= 1e3) return (v / 1e3).toFixed(1) + "k";
+    return (Math.round(v * 100) / 100).toString();
+  }
+  function el(tag, attrs, parent) {
+    var n = document.createElementNS(SVGNS, tag);
+    for (var k in attrs) n.setAttribute(k, attrs[k]);
+    if (parent) parent.appendChild(n);
+    return n;
+  }
+
+  // One single-series sparkline: metric is "ns" or "allocs"; cssVar names
+  // the series color custom property.
+  function sparkline(series, metric, cssVar, unit) {
+    var pts = series.points.map(function (p) { return p[metric]; });
+    var present = pts.filter(function (v) { return v >= 0; });
+    var max = Math.max.apply(null, present.concat([1e-9]));
+    var min = Math.min.apply(null, present.concat([max]));
+    if (max === min) { max = min + 1; }
+    var n = pts.length;
+    var x = function (i) { return n === 1 ? W / 2 : PADX + (W - 2 * PADX) * i / (n - 1); };
+    var y = function (v) { return H - PADY - (H - 2 * PADY) * (v - min) / (max - min); };
+
+    var svg = el("svg", { viewBox: "0 0 " + W + " " + H, role: "img",
+      "aria-label": series.name + " " + unit + " trend" });
+    [min, max].forEach(function (v) {
+      el("line", { x1: 0, x2: W, y1: y(v), y2: y(v), "class": "gridline" }, svg);
+    });
+    var color = "var(--" + cssVar + ")";
+    // Break the polyline at gaps (absent snapshots) instead of bridging.
+    var run = [];
+    function flush() {
+      if (run.length > 1) {
+        el("polyline", { points: run.join(" "), "class": "trend-line", stroke: color }, svg);
+      } else if (run.length === 1) {
+        var xy = run[0].split(",");
+        el("circle", { cx: xy[0], cy: xy[1], r: 3, fill: color }, svg);
+      }
+      run = [];
+    }
+    pts.forEach(function (v, i) {
+      if (v < 0) { flush(); return; }
+      run.push(x(i) + "," + y(v));
+    });
+    flush();
+    var crosshair = el("line", { y1: PADY, y2: H - PADY, "class": "gridline",
+      visibility: "hidden" }, svg);
+    var hoverDot = el("circle", { r: 4, fill: color, "class": "hover-dot",
+      visibility: "hidden" }, svg);
+    // Last present point gets the direct label.
+    for (var last = n - 1; last >= 0 && pts[last] < 0; last--) {}
+    if (last >= 0) {
+      el("text", { x: Math.min(x(last) + 6, W - 2), y: y(pts[last]) - 6,
+        "text-anchor": "end", "class": "endlabel" }, svg).textContent = fmt(pts[last]);
+    }
+    // Hover targets: one ≥8px-wide column band per point.
+    pts.forEach(function (v, i) {
+      if (v < 0) return;
+      var band = el("rect", { x: x(i) - Math.max(8, (W - 2 * PADX) / (2 * n)),
+        y: 0, width: 2 * Math.max(8, (W - 2 * PADX) / (2 * n)), height: H,
+        fill: "transparent" }, svg);
+      band.addEventListener("mousemove", function (ev) {
+        crosshair.setAttribute("x1", x(i)); crosshair.setAttribute("x2", x(i));
+        crosshair.setAttribute("visibility", "visible");
+        hoverDot.setAttribute("cx", x(i)); hoverDot.setAttribute("cy", y(v));
+        hoverDot.setAttribute("visibility", "visible");
+        tooltip.innerHTML = "<span class=\"tl\">" + data.labels[i] + "</span><br>" +
+          series.name + "<br>" + fmt(v) + " " + unit;
+        tooltip.style.display = "block";
+        tooltip.style.left = Math.min(ev.clientX + 12, window.innerWidth - 200) + "px";
+        tooltip.style.top = (ev.clientY + 12) + "px";
+      });
+      band.addEventListener("mouseleave", function () {
+        crosshair.setAttribute("visibility", "hidden");
+        hoverDot.setAttribute("visibility", "hidden");
+        tooltip.style.display = "none";
+      });
+    });
+    return svg;
+  }
+
+  var cards = document.getElementById("cards");
+  data.series.forEach(function (s) {
+    var card = document.createElement("div");
+    card.className = "card";
+    var h = document.createElement("h2");
+    h.textContent = s.name;
+    card.appendChild(h);
+    if (s.package) {
+      var pkg = document.createElement("div");
+      pkg.className = "pkg";
+      pkg.textContent = s.package;
+      card.appendChild(pkg);
+    }
+    var charts = document.createElement("div");
+    charts.className = "charts";
+    [["ns", "ns", "ns/op"], ["allocs", "allocs", "allocs/op"]].forEach(function (m) {
+      var wrap = document.createElement("div");
+      wrap.className = "chart";
+      var label = document.createElement("div");
+      label.className = "label";
+      var sw = document.createElement("span");
+      sw.className = "swatch";
+      sw.style.background = "var(--" + m[1] + ")";
+      label.appendChild(sw);
+      label.appendChild(document.createTextNode(m[2]));
+      wrap.appendChild(label);
+      wrap.appendChild(sparkline(s, m[0], m[1], m[2]));
+      charts.appendChild(wrap);
+    });
+    card.appendChild(charts);
+    cards.appendChild(card);
+  });
+
+  // Table view: the full embedded dataset, one row per benchmark × snapshot.
+  var tv = document.getElementById("table-view");
+  var table = document.createElement("table");
+  var thead = document.createElement("thead");
+  thead.innerHTML = "<tr><th>benchmark</th><th>snapshot</th><th>ns/op</th>" +
+    "<th>allocs/op</th><th>B/op</th></tr>";
+  table.appendChild(thead);
+  var tbody = document.createElement("tbody");
+  data.series.forEach(function (s) {
+    s.points.forEach(function (p, i) {
+      if (p.ns < 0) return;
+      var tr = document.createElement("tr");
+      [s.name, data.labels[i], p.ns, p.allocs, p.bytes].forEach(function (c, j) {
+        var td = document.createElement("td");
+        td.textContent = j < 2 ? c : fmt(c);
+        tr.appendChild(td);
+      });
+      tbody.appendChild(tr);
+    });
+  });
+  table.appendChild(tbody);
+  tv.appendChild(table);
+
+  document.getElementById("toggle-table").addEventListener("click", function () {
+    var on = document.body.classList.toggle("show-table");
+    this.setAttribute("aria-pressed", on ? "true" : "false");
+  });
+  document.getElementById("toggle-theme").addEventListener("click", function () {
+    var root = document.documentElement;
+    var dark = root.getAttribute("data-theme") !== "dark";
+    root.setAttribute("data-theme", dark ? "dark" : "light");
+    this.setAttribute("aria-pressed", dark ? "true" : "false");
+  });
+})();
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,91 @@
+package benchjson
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func trendSnaps() ([]*Snapshot, []string) {
+	s1 := &Snapshot{Date: "2026-08-01", Benchmarks: []Benchmark{
+		{Name: "BenchmarkSpGEMM", Package: "repro", Iterations: 100, NsPerOp: 16558124, AllocsPerOp: 45001, BytesPerOp: 5226471},
+		{Name: "BenchmarkSpMV", Package: "repro", Iterations: 100, NsPerOp: 300000, AllocsPerOp: 2},
+	}}
+	s2 := &Snapshot{Date: "2026-08-02", Benchmarks: []Benchmark{
+		{Name: "BenchmarkSpGEMM", Package: "repro", Iterations: 100, NsPerOp: 12516602, AllocsPerOp: 7, BytesPerOp: 246883},
+		{Name: "BenchmarkNew", Package: "repro", Iterations: 100, NsPerOp: 42},
+	}}
+	return []*Snapshot{s1, s2}, []string{"BENCH_pre", "BENCH_post"}
+}
+
+func TestRenderTrendIsDeterministicAndComplete(t *testing.T) {
+	snaps, labels := trendSnaps()
+	var a, b bytes.Buffer
+	if err := RenderTrend(&a, snaps, labels); err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderTrend(&b, snaps, labels); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("trend render is not deterministic — the freshness gate would flap")
+	}
+	out := a.String()
+	// Every benchmark and label is embedded; benchmarks absent from a
+	// snapshot are marked with the -1 gap sentinel, not interpolated.
+	for _, want := range []string{
+		"BenchmarkSpGEMM", "BenchmarkSpMV", "BenchmarkNew",
+		"BENCH_pre", "BENCH_post",
+		`"ns":-1`, // gap sentinel for SpMV in snapshot 2 / New in snapshot 1
+		"<!DOCTYPE html>",
+		"prefers-color-scheme: dark", // dark mode is selected, not flipped
+		"Table view",                 // accessibility: full data table exists
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trend output missing %q", want)
+		}
+	}
+	// Self-contained: no external scripts or stylesheets.
+	for _, banned := range []string{"<script src=", "<link "} {
+		if strings.Contains(out, banned) {
+			t.Fatalf("trend output references external resource %q", banned)
+		}
+	}
+}
+
+func TestRenderTrendCollapsesRepeatedSamples(t *testing.T) {
+	// A -count=3 snapshot carries three lines per benchmark; the trend
+	// point is the per-metric best-of, matching Compare.
+	s := &Snapshot{Date: "2026-08-01", Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", Package: "p", Iterations: 1, NsPerOp: 1500, AllocsPerOp: 10},
+		{Name: "BenchmarkA", Package: "p", Iterations: 1, NsPerOp: 1000, AllocsPerOp: 30},
+	}}
+	var buf bytes.Buffer
+	if err := RenderTrend(&buf, []*Snapshot{s}, []string{"only"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"ns":1000`) || !strings.Contains(out, `"allocs":10`) {
+		t.Fatalf("trend did not take per-metric best-of:\n%s", out[:min(len(out), 400)])
+	}
+	if strings.Contains(out, `"ns":1500`) {
+		t.Fatal("trend kept a non-minimal sample")
+	}
+}
+
+func TestRenderTrendErrors(t *testing.T) {
+	if err := RenderTrend(&bytes.Buffer{}, nil, nil); err == nil {
+		t.Fatal("empty snapshot list must error")
+	}
+	s, _ := trendSnaps()
+	if err := RenderTrend(&bytes.Buffer{}, s, []string{"one"}); err == nil {
+		t.Fatal("label/snapshot length mismatch must error")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

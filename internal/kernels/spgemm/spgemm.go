@@ -110,7 +110,8 @@ func symbolic(d *caseData) symbolicStats {
 		func(dst, src *symbolicStats) { dst.flopsNNZ += src.flopsNNZ })
 	blk := par.ReduceTiles(b.BlockRows, symbolicGrain,
 		func(lo, hi int, acc *symbolicStats) {
-			stamp := make([]int32, b.BlockCols)
+			stamp := symStampScratch.Get(b.BlockCols)
+			defer symStampScratch.Put(stamp)
 			for i := range stamp {
 				stamp[i] = -1
 			}
@@ -195,10 +196,15 @@ func (w *Workload) Reference(c workload.Case) ([]float64, error) {
 	m := d.mat
 	out := make([]float64, m.Rows)
 	par.ForTiles(m.Rows, func(lo, hi int) {
-		acc := make([]float64, m.Cols)
-		touched := make([]int32, 0, 256)
+		acc := scalarAccScratch.Get(m.Cols)
+		clear(acc) // pooled contents are unspecified; rows restore zeros
+		touched := scalarTouchedScratch.Get(0)
+		defer func() {
+			scalarAccScratch.Put(acc)
+			scalarTouchedScratch.Put(touched)
+		}()
 		for i := lo; i < hi; i++ {
-			touched = touched[:0]
+			touched = growTouched(touched, scalarRowUpperBound(m, i))
 			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
 				a := m.Vals[k]
 				kr := int(m.ColIdx[k])
@@ -210,7 +216,7 @@ func (w *Workload) Reference(c workload.Case) ([]float64, error) {
 					acc[j] += a * m.Vals[q]
 				}
 			}
-			insertionSortInt32(touched)
+			sortInt32(touched)
 			var sum float64
 			for _, j := range touched {
 				sum += acc[j]
@@ -222,18 +228,39 @@ func (w *Workload) Reference(c workload.Case) ([]float64, error) {
 	return out, nil
 }
 
-// rowAccumulator collects C blocks for one 8-row block-row pair.
-type rowAccumulator struct {
-	tiles map[int32]*[sparse.BlockSize * sparse.BlockSize]float64
+// Pools of the scalar (element-wise CSR) sweeps: the dense element
+// accumulator and the touched-column list that Reference and computeBaseline
+// previously allocated per tile range, plus the symbolic pass's stamp
+// directory (one per ReduceTiles chunk before pooling).
+var (
+	scalarAccScratch     = par.NewSizedScratch()
+	scalarTouchedScratch = par.NewTypedScratch[int32]()
+	symStampScratch      = par.NewTypedScratch[int32]()
+)
+
+// growTouched returns the touched list emptied, with capacity grown once to
+// the row's upper bound so no append inside the row can reallocate (the old
+// fixed cap-256 guess reallocated mid-row on wide rows). The undersized
+// buffer goes back to the pool for smaller consumers.
+func growTouched(touched []int32, ub int) []int32 {
+	if cap(touched) < ub {
+		scalarTouchedScratch.Put(touched)
+		touched = scalarTouchedScratch.Get(ub)
+	}
+	return touched[:0]
 }
 
-func (r *rowAccumulator) tile(j int32) *[16]float64 {
-	t, ok := r.tiles[j]
-	if !ok {
-		t = new([16]float64)
-		r.tiles[j] = t
+// scalarRowUpperBound bounds the distinct output columns of element row i:
+// the row's scalar product count, capped at the column dimension.
+func scalarRowUpperBound(m *sparse.CSR, i int) int {
+	ub := 0
+	for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+		ub += m.RowNNZ(int(m.ColIdx[k]))
 	}
-	return t
+	if ub > m.Cols {
+		ub = m.Cols
+	}
+	return ub
 }
 
 // pendingProduct is one queued 4×4×4 block product.
@@ -248,30 +275,49 @@ type pendingProduct struct {
 // the per-worker staging buffer past L1.
 const spgemmBatch = 16
 
-// spgemmScratch pools the batched MMA staging panels of computeMMA
-// (spgemmBatch consecutive A, B, and C tiles).
-var spgemmScratch = par.NewScratch(spgemmBatch * (mmu.M*mmu.K + mmu.K*mmu.N + mmu.M*mmu.N))
+// rowProducts counts the 4×4×4 block products of block-row bi — the
+// grow-once upper bound on the row's queue length and distinct C blocks.
+func rowProducts(b *sparse.MBSR, bi int) int {
+	n := 0
+	for p := b.RowPtr[bi]; p < b.RowPtr[bi+1]; p++ {
+		k := int(b.Blocks[p].BlockCol)
+		n += b.RowPtr[k+1] - b.RowPtr[k]
+	}
+	return n
+}
 
 // computeMMA executes the paired-block SpGEMM on the MMA semantics: two
 // queued products per m8n8k4 instruction, diagonal quadrants extracted and
 // added into the block accumulators. Returns C row sums (ascending order).
 //
-// Block rows own disjoint output rows (flushRowSums writes rows
+// Block rows own disjoint output rows (blockAccum.flush writes rows
 // [4·bi, 4·bi+4) only), so the block-row sweep runs on the par worker pool
-// with the per-row accumulation order unchanged.
+// with the per-row accumulation order unchanged. All per-row state — the
+// product queue, the tile arena, the MMA staging panels — lives in one
+// pooled numericScratch per tile range, so the steady-state sweep performs
+// no heap allocation (see arena.go and the AllocsPerRun contracts).
 func computeMMA(d *caseData) []float64 {
 	b := d.bsr
+	mode := CurrentAccumMode()
 	out := make([]float64, d.mat.Rows)
 	par.ForTiles(b.BlockRows, func(lo, hi int) {
-		buf := spgemmScratch.Get()
-		defer spgemmScratch.Put(buf)
-		aPanel := buf[0 : spgemmBatch*mmu.M*mmu.K]
-		bPanel := buf[spgemmBatch*mmu.M*mmu.K : spgemmBatch*(mmu.M*mmu.K+mmu.K*mmu.N)]
-		cPanel := buf[spgemmBatch*(mmu.M*mmu.K+mmu.K*mmu.N):]
-		var queue []pendingProduct
+		ns := getNumericScratch()
+		defer putNumericScratch(ns)
+		aPanel := ns.panels[0 : spgemmBatch*mmu.M*mmu.K]
+		bPanel := ns.panels[spgemmBatch*mmu.M*mmu.K : spgemmBatch*(mmu.M*mmu.K+mmu.K*mmu.N)]
+		cPanel := ns.panels[spgemmBatch*(mmu.M*mmu.K+mmu.K*mmu.N):]
+		denseRows, hashRows := uint64(0), uint64(0)
 		for bi := lo; bi < hi; bi++ {
-			acc := rowAccumulator{tiles: map[int32]*[16]float64{}}
-			queue = queue[:0]
+			products := rowProducts(b, bi)
+			ns.growQueue(products)
+			ns.acc.beginRow(products, b.BlockCols, mode)
+			if ns.acc.dense {
+				denseRows++
+			} else {
+				hashRows++
+			}
+			queue := ns.queue
+			acc := &ns.acc
 			for p := b.RowPtr[bi]; p < b.RowPtr[bi+1]; p++ {
 				ab := &b.Blocks[p]
 				k := int(ab.BlockCol)
@@ -298,9 +344,7 @@ func computeMMA(d *caseData) []float64 {
 					for h, pr := range pair {
 						for r := 0; r < sparse.BlockSize; r++ {
 							copy(aT[(h*4+r)*mmu.K:(h*4+r)*mmu.K+4], pr.a.Vals[r*4:r*4+4])
-							for cc := 0; cc < sparse.BlockSize; cc++ {
-								bT[r*mmu.N+h*4+cc] = pr.b.Vals[r*4+cc]
-							}
+							copy(bT[r*mmu.N+h*4:r*mmu.N+h*4+4], pr.b.Vals[r*4:r*4+4])
 						}
 					}
 				}
@@ -319,8 +363,11 @@ func computeMMA(d *caseData) []float64 {
 					}
 				}
 			}
-			flushRowSums(d, bi, &acc, out)
+			ns.queue = queue
+			acc.flush(d, bi, out)
 		}
+		metDenseRows.Add(denseRows)
+		metHashRows.Add(hashRows)
 	})
 	return out
 }
@@ -331,10 +378,20 @@ func computeMMA(d *caseData) []float64 {
 // compute-then-add (Table 6).
 func computeEssential(d *caseData) []float64 {
 	b := d.bsr
+	mode := CurrentAccumMode()
 	out := make([]float64, d.mat.Rows)
 	par.ForTiles(b.BlockRows, func(lo, hi int) {
+		ns := getNumericScratch()
+		defer putNumericScratch(ns)
+		denseRows, hashRows := uint64(0), uint64(0)
 		for bi := lo; bi < hi; bi++ {
-			acc := rowAccumulator{tiles: map[int32]*[16]float64{}}
+			acc := &ns.acc
+			acc.beginRow(rowProducts(b, bi), b.BlockCols, mode)
+			if acc.dense {
+				denseRows++
+			} else {
+				hashRows++
+			}
 			for p := b.RowPtr[bi]; p < b.RowPtr[bi+1]; p++ {
 				ab := &b.Blocks[p]
 				k := int(ab.BlockCol)
@@ -352,8 +409,10 @@ func computeEssential(d *caseData) []float64 {
 					}
 				}
 			}
-			flushRowSums(d, bi, &acc, out)
+			acc.flush(d, bi, out)
 		}
+		metDenseRows.Add(denseRows)
+		metHashRows.Add(hashRows)
 	})
 	return out
 }
@@ -365,10 +424,15 @@ func computeBaseline(d *caseData) []float64 {
 	m := d.mat
 	out := make([]float64, m.Rows)
 	par.ForTiles(m.Rows, func(lo, hi int) {
-		acc := make([]float64, m.Cols)
-		touched := make([]int32, 0, 256)
+		acc := scalarAccScratch.Get(m.Cols)
+		clear(acc) // pooled contents are unspecified; rows restore zeros
+		touched := scalarTouchedScratch.Get(0)
+		defer func() {
+			scalarAccScratch.Put(acc)
+			scalarTouchedScratch.Put(touched)
+		}()
 		for i := lo; i < hi; i++ {
-			touched = touched[:0]
+			touched = growTouched(touched, scalarRowUpperBound(m, i))
 			for k := m.RowPtr[i+1] - 1; k >= m.RowPtr[i]; k-- {
 				a := m.Vals[k]
 				kr := int(m.ColIdx[k])
@@ -380,7 +444,7 @@ func computeBaseline(d *caseData) []float64 {
 					acc[j] = mmu.FMA(a, m.Vals[q], acc[j])
 				}
 			}
-			insertionSortInt32(touched)
+			sortInt32(touched)
 			var sum float64
 			for _, j := range touched {
 				sum += acc[j]
@@ -390,38 +454,6 @@ func computeBaseline(d *caseData) []float64 {
 		}
 	})
 	return out
-}
-
-// flushRowSums adds the block-row accumulator into per-row canonical sums
-// (ascending block column, ascending column within the block).
-func flushRowSums(d *caseData, bi int, acc *rowAccumulator, out []float64) {
-	cols := make([]int32, 0, len(acc.tiles))
-	for j := range acc.tiles {
-		cols = append(cols, j)
-	}
-	insertionSortInt32(cols)
-	for _, j := range cols {
-		t := acc.tiles[j]
-		for r := 0; r < 4; r++ {
-			row := bi*sparse.BlockSize + r
-			if row >= d.mat.Rows {
-				break
-			}
-			var sum float64
-			for cc := 0; cc < 4; cc++ {
-				sum += t[r*4+cc]
-			}
-			out[row] += sum
-		}
-	}
-}
-
-func insertionSortInt32(a []int32) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
-	}
 }
 
 func min(a, b int) int {

@@ -67,26 +67,26 @@ func (s *Scratch) Put(b []float64) {
 	s.pool.Put(&b)
 }
 
-// SizedScratch is a sync.Pool-backed pool of variable-capacity float64
-// buffers. The panel-engine kernels use it for the packed A/B operand panels
-// whose length depends on the case's k extent (kTiles × tile size), which a
-// fixed-size Scratch cannot serve. Capacities are rounded up to a power of
-// two so recycled buffers are reusable across nearby sizes.
+// TypedScratch is a sync.Pool-backed pool of variable-capacity buffers of
+// any element type. Kernels use it for scratch whose length depends on the
+// case (packed operand panels sized by the k extent, SpGEMM accumulator
+// directories sized by the block-column count). Capacities are rounded up
+// to a power of two so recycled buffers are reusable across nearby sizes.
 //
 // Buffers returned by Get have unspecified contents — callers must fully
-// initialize every region they read.
-type SizedScratch struct {
+// initialize (or stamp-validate) every region they read.
+type TypedScratch[T any] struct {
 	pool sync.Pool
 }
 
-// NewSizedScratch creates an empty variable-capacity pool.
-func NewSizedScratch() *SizedScratch { return &SizedScratch{} }
+// NewTypedScratch creates an empty variable-capacity pool of []T buffers.
+func NewTypedScratch[T any]() *TypedScratch[T] { return &TypedScratch[T]{} }
 
 // Get returns a length-n buffer with unspecified contents, reusing a pooled
 // allocation when its capacity suffices.
-func (s *SizedScratch) Get(n int) []float64 {
+func (s *TypedScratch[T]) Get(n int) []T {
 	metScratchGets.Inc()
-	if p, ok := s.pool.Get().(*[]float64); ok && p != nil {
+	if p, ok := s.pool.Get().(*[]T); ok && p != nil {
 		if cap(*p) >= n {
 			return (*p)[:n]
 		}
@@ -97,14 +97,21 @@ func (s *SizedScratch) Get(n int) []float64 {
 	for c < n {
 		c *= 2
 	}
-	return make([]float64, n, c)
+	return make([]T, n, c)
 }
 
 // Put returns a buffer obtained from Get to the pool.
-func (s *SizedScratch) Put(b []float64) {
+func (s *TypedScratch[T]) Put(b []T) {
 	if cap(b) == 0 {
 		return
 	}
 	b = b[:cap(b)]
 	s.pool.Put(&b)
 }
+
+// SizedScratch is the float64 instantiation of TypedScratch, kept as the
+// named type the panel-engine kernels stage packed A/B operand panels in.
+type SizedScratch = TypedScratch[float64]
+
+// NewSizedScratch creates an empty variable-capacity float64 pool.
+func NewSizedScratch() *SizedScratch { return &SizedScratch{} }

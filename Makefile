@@ -26,7 +26,12 @@
 #   make build         - compile everything
 #   make vet           - static analysis only
 #   make docs-check    - verify docs/README references (flags, make targets,
-#                        CUBIE_* env vars) against the code
+#                        CUBIE_* env vars, serve API routes and config keys)
+#                        against the code, both directions for the serve API
+#   make serve-smoke   - boot `cubie serve` on a random port, probe
+#                        /healthz, fetch a figure, scrape /metrics, then
+#                        SIGTERM and verify a clean drain (runs inside
+#                        make test)
 
 GO ?= go
 
@@ -46,7 +51,7 @@ ALLOC_TOLERANCE ?= 0.10
 ROLLING ?=
 
 .PHONY: all build vet test race bench bench-all bench-compare bench-trend \
-	bench-trend-check docs-check clean
+	bench-trend-check docs-check serve-smoke clean
 
 all: test
 
@@ -59,8 +64,24 @@ vet:
 docs-check:
 	$(GO) run ./cmd/docscheck
 
-test: vet docs-check bench-trend-check
+test: vet docs-check bench-trend-check serve-smoke
 	$(GO) test ./...
+
+# End-to-end daemon smoke: boot on a random port (the --addr-file
+# handshake), probe liveness, fetch one run-free figure, check the server's
+# own metrics are exposed, then SIGTERM and require a clean graceful exit.
+serve-smoke:
+	@set -e; tmp=$$(mktemp -d); trap "rm -rf $$tmp" EXIT; \
+	$(GO) build -o $$tmp/cubie ./cmd/cubie; \
+	CUBIE_CACHE=off $$tmp/cubie serve --addr 127.0.0.1:0 --addr-file $$tmp/addr & pid=$$!; \
+	for i in $$(seq 1 100); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \
+	[ -s $$tmp/addr ] || { echo "serve-smoke: daemon never wrote addr file" >&2; kill $$pid; exit 1; }; \
+	addr=$$(cat $$tmp/addr); \
+	curl -sf http://$$addr/healthz | grep -q '"ok"'; \
+	curl -sf http://$$addr/api/v1/figures/specs | grep -q H200; \
+	curl -sf http://$$addr/metrics | grep -q cubie_http_requests_total; \
+	kill -TERM $$pid; wait $$pid; \
+	echo "serve-smoke: ok ($$addr booted, served, drained)"
 
 race:
 	$(GO) test -race ./...

@@ -29,6 +29,8 @@
 //	selfbench  time this repo's own compute paths (§6 methodology)
 //	explain    resource-level breakdown of one workload/case/variant
 //	run        execute workloads through the instrumented harness path
+//	serve      long-lived characterization daemon with an HTTP/JSON API
+//	fetch      fetch a figure from a running daemon (serve's thin client)
 //	all        run everything above in paper order
 //
 // Every command additionally accepts the observability flags --metrics,
@@ -48,12 +50,10 @@ import (
 
 	"repro/cubie"
 	"repro/internal/advisor"
-	"repro/internal/core"
-	"repro/internal/graph"
 	"repro/internal/harness"
 	"repro/internal/measure"
 	"repro/internal/runcache"
-	"repro/internal/sparse"
+	"repro/internal/server"
 	"repro/internal/trace"
 )
 
@@ -71,6 +71,10 @@ func main() {
 	metricsOut := fs.String("metrics", "", "write a metrics snapshot after the command: Prometheus text, or JSON for *.json paths (\"-\" = stdout)")
 	traceHost := fs.String("trace-host", "", "record real host execution spans and write Chrome-trace JSON (\"-\" = stdout)")
 	pprofOut := fs.String("pprof", "", "write a CPU profile of the command (inspect with go tool pprof)")
+	addr := fs.String("addr", server.Defaults().Addr, "serve: listen address (host:port, port 0 picks a free one); fetch: daemon address")
+	addrFile := fs.String("addr-file", "", "serve: write the bound listen address to this file once ready")
+	configPath := fs.String("config", "", "serve: JSON config file (overridden by CUBIE_* env vars and flags; see docs/SERVE.md)")
+	maxInflight := fs.Int("max-inflight", server.Defaults().MaxInflightRuns, "serve: bound on concurrently admitted run-executing requests")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -92,17 +96,17 @@ func main() {
 	h := cubie.NewHarness().AttachCache(runcache.FromEnv())
 	switch cmd {
 	case "suite":
-		cmdSuite()
+		mustRender(h, "suite")
 	case "specs":
-		cmdSpecs()
+		mustRender(h, "specs")
 	case "quadrants":
-		cmdQuadrants()
+		mustRender(h, "quadrants")
 	case "dwarfs":
-		cmdDwarfs()
+		mustRender(h, "dwarfs")
 	case "observe":
-		cmdObserve()
+		mustRender(h, "observe")
 	case "datasets":
-		cmdDatasets()
+		mustRender(h, "datasets")
 	case "peaks":
 		cubie.RenderFigure12(os.Stdout)
 	case "perf":
@@ -197,27 +201,11 @@ func main() {
 			fmt.Printf("%-10s %s\n", w.Name(), stats)
 		}
 	case "sweep":
-		bw, err := h.SweepBandwidth(spec)
-		if err != nil {
+		if err := h.RenderSweepSection(os.Stdout, spec); err != nil {
 			fatal(err)
 		}
-		harness.RenderSweep(os.Stdout,
-			"DRAM bandwidth sweep on "+spec.Name+" (TC variants, largest cases)",
-			"bandwidth", bw)
-		fmt.Println()
-		tc, err := h.SweepTensorPeak(spec)
-		if err != nil {
-			fatal(err)
-		}
-		harness.RenderSweep(os.Stdout,
-			"FP64 tensor-peak sweep on "+spec.Name,
-			"tensor peak", tc)
 	case "whatif":
-		rows, err := h.Counterfactual()
-		if err != nil {
-			fatal(err)
-		}
-		harness.RenderCounterfactual(os.Stdout, rows)
+		mustRender(h, "whatif")
 	case "explain":
 		args := fs.Args()
 		if len(args) < 1 {
@@ -236,8 +224,20 @@ func main() {
 		}
 	case "run":
 		cmdRun(h, fs.Args(), spec)
+	case "serve":
+		cmdServe(h, serveFlags{
+			addr:        *addr,
+			addrFile:    *addrFile,
+			configPath:  *configPath,
+			maxInflight: *maxInflight,
+			set:         flagsSet(fs),
+		})
+	case "fetch":
+		cmdFetch(*addr, fs.Args())
 	case "all":
-		cmdAll(h)
+		if err := h.RenderAll(os.Stdout); err != nil {
+			fatal(err)
+		}
 	default:
 		usage()
 		os.Exit(2)
@@ -247,164 +247,31 @@ func main() {
 	}
 }
 
-func cmdSuite() {
-	s := cubie.NewSuite()
-	fmt.Println("The Cubie benchmark suite (Table 2)")
-	for _, w := range s.Workloads() {
-		fmt.Printf("\n%-10s quadrant %d, dwarf: %s\n", w.Name(), w.Quadrant(), w.Dwarf())
-		fmt.Print("  cases:   ")
-		for i, c := range w.Cases() {
-			if i > 0 {
-				fmt.Print(", ")
-			}
-			fmt.Print(c.Name)
-		}
-		fmt.Print("\n  variants:")
-		for _, v := range w.Variants() {
-			fmt.Printf(" %s", v)
-		}
-		fmt.Printf("\n  figure-7 repeats: %d\n", w.Repeats())
-	}
-}
-
-func cmdSpecs() {
-	fmt.Println("Simulated GPUs (Table 5)")
-	fmt.Printf("%-6s %-10s %12s %12s %10s %8s %8s\n",
-		"GPU", "arch", "TC FP64(TF)", "CC FP64(TF)", "BW(TB/s)", "mem(GB)", "TDP(W)")
-	for _, d := range cubie.Devices() {
-		fmt.Printf("%-6s %-10s %12.1f %12.1f %10.2f %8.0f %8.0f\n",
-			d.Name, d.Arch, d.TensorFP64, d.CUDAFP64, d.DRAMBWTBs, d.MemoryGB, d.TDPWatts)
-	}
-}
-
-func cmdQuadrants() {
-	s := cubie.NewSuite()
-	fmt.Println("MMU utilization quadrants (Section 4, Figure 2)")
-	mark := func(full bool) string {
-		if full {
-			return "full"
-		}
-		return "partial"
-	}
-	for _, q := range s.Quadrants() {
-		fmt.Printf("\nQuadrant %d — input %s, output %s\n",
-			q.Quadrant, mark(q.InputFull), mark(q.OutputFull))
-		fmt.Printf("  %s\n  workloads: %v\n", q.Description, q.Workloads)
-	}
-}
-
-func cmdDwarfs() {
-	s := cubie.NewSuite()
-	fmt.Println("Berkeley-dwarf coverage (Table 7)")
-	fmt.Printf("%-24s %8s %6s %6s\n", "dwarf", "Rodinia", "SHOC", "Cubie")
-	for _, r := range s.DwarfCoverage() {
-		fmt.Printf("%-24s %8d %6d %6d\n", r.Dwarf, r.Rodinia, r.SHOC, r.Cubie)
-	}
-	fmt.Printf("\nCubie covers %d dwarfs (Rodinia and SHOC cover 5 each).\n",
-		s.DwarfsCovered())
-}
-
-func cmdObserve() {
-	fmt.Println("The nine key observations")
-	for _, o := range cubie.Observations() {
-		fmt.Printf("\nO%d (%s): %s\n", o.ID, o.Sections, o.Statement)
-	}
-	fmt.Println("\nConcern-to-observation mapping (Table 1):")
-	for _, r := range core.Table1() {
-		aud := ""
-		if r.Architecture {
-			aud += " Arch"
-		}
-		if r.Algorithm {
-			aud += " Alg"
-		}
-		if r.Application {
-			aud += " App"
-		}
-		fmt.Printf("  %-26s%-14s O%v\n", r.Concern, aud, r.Observations)
-	}
-}
-
-func cmdDatasets() {
-	fmt.Println("BFS graphs (Table 3; synthesized at reduced scale, see DESIGN.md)")
-	fmt.Printf("%-20s %10s %12s %-10s %s\n", "graph", "#vertices", "#edges", "group", "synthesis")
-	for _, d := range graph.Table3() {
-		fmt.Printf("%-20s %10d %12d %-10s %s\n", d.Name, d.Vertices, d.Edges, d.Group, d.ScaleNote)
-	}
-	fmt.Println("\nSpMV/SpGEMM matrices (Table 4; synthesized to structural class)")
-	fmt.Printf("%-16s %8s %10s %-10s %s\n", "matrix", "#rows", "#nonzeros", "group", "class")
-	for _, d := range sparse.Table4() {
-		fmt.Printf("%-16s %8d %10d %-10s %s\n", d.Name, d.Rows, d.Nonzeros, d.Group, d.Class)
+// mustRender renders one figure-catalog entry to stdout (see
+// internal/harness/catalog.go — the same renderers back the `cubie serve`
+// HTTP API, so CLI and daemon output are identical by construction).
+func mustRender(h *cubie.Harness, name string) {
+	if err := h.RenderFigure(os.Stdout, name); err != nil {
+		fatal(err)
 	}
 }
 
 func cmdSpeedup(h *cubie.Harness, of string) {
-	var rows []cubie.SpeedupRow
-	var err error
-	var title string
-	switch of {
-	case "tc-vs-baseline":
-		title = "Figure 4 — speedups of TC over baselines (avg of five cases)"
-		rows, err = h.Figure4(cubie.Devices())
-	case "cc-vs-tc":
-		title = "Figure 5 — speedups of CC over TC"
-		rows, err = h.Figure5(cubie.Devices())
-	case "cce-vs-tc":
-		title = "Figure 6 — speedups of CC-E over TC (Quadrants II–IV)"
-		rows, err = h.Figure6(cubie.Devices())
-	default:
-		fatal(fmt.Errorf("unknown speedup pair %q", of))
-	}
-	if err != nil {
+	if err := h.RenderSpeedupPair(os.Stdout, of); err != nil {
 		fatal(err)
 	}
-	cubie.RenderSpeedups(os.Stdout, title, rows)
 }
 
 func cmdCoverage(h *cubie.Harness, corpus int, spec cubie.Device) {
-	gr, err := h.Figure10Graphs(corpus, 1)
-	if err != nil {
+	if err := h.RenderCoverageSection(os.Stdout, corpus, spec); err != nil {
 		fatal(err)
 	}
-	cubie.RenderCoverage(os.Stdout, "Figure 10a — graph coverage (PCA)", gr)
-	mr, err := h.Figure10Matrices(corpus, 2)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Println()
-	cubie.RenderCoverage(os.Stdout, "Figure 10b — matrix coverage (PCA)", mr)
-	pts, disp, err := h.Figure11(spec)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Println()
-	cubie.RenderFigure11(os.Stdout, pts, disp)
 }
 
 func cmdAblate(h *cubie.Harness, spec cubie.Device) {
-	var all []harness.AblationRow
-	rows, err := h.AblateOverlap(spec)
-	if err != nil {
+	if err := h.RenderAblationSection(os.Stdout, spec); err != nil {
 		fatal(err)
 	}
-	all = append(all, rows...)
-	if rows, err = h.AblateConstCache(spec); err != nil {
-		fatal(err)
-	}
-	all = append(all, rows...)
-	if rows, err = harness.AblateDASPPadding(); err != nil {
-		fatal(err)
-	}
-	all = append(all, rows...)
-	if rows, err = harness.AblateBFSRelabel(); err != nil {
-		fatal(err)
-	}
-	all = append(all, rows...)
-	if rows, err = harness.AblateSpGEMMPairing(h); err != nil {
-		fatal(err)
-	}
-	all = append(all, rows...)
-	harness.RenderAblations(os.Stdout, all)
 }
 
 func cmdAdvise(spec cubie.Device) {
@@ -422,71 +289,6 @@ func cmdAdvise(spec cubie.Device) {
 	}
 }
 
-func cmdAll(h *cubie.Harness) {
-	// Plan ahead: enumerate every run the whole campaign needs, deduplicate,
-	// and start executing in the background (longest-estimated-first on the
-	// worker pool). Figures then render in paper order, each joining the
-	// in-flight runs it depends on instead of serially pulling them.
-	h.Prefetch(h.PlanAll())
-	cmdSuite()
-	fmt.Println()
-	cmdSpecs()
-	fmt.Println()
-	cmdQuadrants()
-	fmt.Println()
-	cells, err := h.Figure3(cubie.Devices())
-	if err != nil {
-		fatal(err)
-	}
-	cubie.RenderFigure3(os.Stdout, cells)
-	fmt.Println()
-	cmdSpeedup(h, "tc-vs-baseline")
-	fmt.Println()
-	cmdSpeedup(h, "cc-vs-tc")
-	fmt.Println()
-	cmdSpeedup(h, "cce-vs-tc")
-	fmt.Println()
-	rows, geo, err := h.Figure7(cubie.H200())
-	if err != nil {
-		fatal(err)
-	}
-	cubie.RenderFigure7(os.Stdout, rows, geo)
-	fmt.Println()
-	traces, err := h.Figure8(cubie.H200())
-	if err != nil {
-		fatal(err)
-	}
-	cubie.RenderFigure8(os.Stdout, traces)
-	fmt.Println()
-	erows, err := h.Table6()
-	if err != nil {
-		fatal(err)
-	}
-	cubie.RenderTable6(os.Stdout, erows)
-	fmt.Println()
-	m, pts, err := h.Figure9(cubie.H200())
-	if err != nil {
-		fatal(err)
-	}
-	cubie.RenderFigure9(os.Stdout, m, pts)
-	fmt.Println()
-	cmdCoverage(h, 199, cubie.H200())
-	fmt.Println()
-	cfRows, err := h.Counterfactual()
-	if err != nil {
-		fatal(err)
-	}
-	harness.RenderCounterfactual(os.Stdout, cfRows)
-	fmt.Println()
-	cmdAblate(h, cubie.H200())
-	fmt.Println()
-	cmdDwarfs()
-	fmt.Println()
-	cubie.RenderFigure12(os.Stdout)
-	fmt.Println()
-	cmdObserve()
-}
-
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: cubie <command> [flags]
 
@@ -497,6 +299,8 @@ commands:
   coverage [--corpus N] | ablate | advise | whatif | sweep | trace | selfbench
   explain <workload> [case] [variant]
   run [<workload> [case] [variant]]
+  serve [--addr host:port] [--config file] [--addr-file file] [--max-inflight N]
+  fetch [figure] [--addr host:port]
   all
 
 observability flags (any command; flags precede positional args):

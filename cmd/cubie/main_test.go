@@ -32,7 +32,7 @@ func capture(t *testing.T, f func()) string {
 }
 
 func TestCmdSpecs(t *testing.T) {
-	out := capture(t, cmdSpecs)
+	out := capture(t, func() { mustRender(cubie.NewHarness(), "specs") })
 	for _, want := range []string{"A100", "H200", "B200", "66.9", "40.0", "8.00"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("specs output missing %q", want)
@@ -41,7 +41,7 @@ func TestCmdSpecs(t *testing.T) {
 }
 
 func TestCmdQuadrants(t *testing.T) {
-	out := capture(t, cmdQuadrants)
+	out := capture(t, func() { mustRender(cubie.NewHarness(), "quadrants") })
 	for _, want := range []string{"Quadrant 1", "Quadrant 4", "Scan", "SpGEMM", "partial"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("quadrants output missing %q", want)
@@ -50,21 +50,21 @@ func TestCmdQuadrants(t *testing.T) {
 }
 
 func TestCmdDwarfs(t *testing.T) {
-	out := capture(t, cmdDwarfs)
+	out := capture(t, func() { mustRender(cubie.NewHarness(), "dwarfs") })
 	if !strings.Contains(out, "Sparse linear algebra") || !strings.Contains(out, "7 dwarfs") {
 		t.Errorf("dwarfs output malformed:\n%s", out)
 	}
 }
 
 func TestCmdObserve(t *testing.T) {
-	out := capture(t, cmdObserve)
+	out := capture(t, func() { mustRender(cubie.NewHarness(), "observe") })
 	if !strings.Contains(out, "O9") || !strings.Contains(out, "Numerical Precision") {
 		t.Error("observe output missing observations or Table 1")
 	}
 }
 
 func TestCmdDatasets(t *testing.T) {
-	out := capture(t, cmdDatasets)
+	out := capture(t, func() { mustRender(cubie.NewHarness(), "datasets") })
 	for _, want := range []string{"mycielskian17", "conf5_4-8x8-10", "1916928", "100245742"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("datasets output missing %q", want)
@@ -73,7 +73,7 @@ func TestCmdDatasets(t *testing.T) {
 }
 
 func TestCmdSuite(t *testing.T) {
-	out := capture(t, cmdSuite)
+	out := capture(t, func() { mustRender(cubie.NewHarness(), "suite") })
 	for _, want := range []string{"GEMM", "PiC", "figure-7 repeats: 6000000"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("suite output missing %q", want)

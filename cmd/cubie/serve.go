@@ -1,0 +1,98 @@
+package main
+
+// The serve and fetch subcommands: `cubie serve` boots the long-lived
+// characterization daemon (internal/server) over the same harness the CLI
+// uses; `cubie fetch` is its thin client. Configuration layers in the
+// documented precedence order (docs/SERVE.md): built-in defaults, then the
+// --config JSON file, then CUBIE_* environment variables, then explicit
+// CLI flags.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/cubie"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// serveFlags carries the serve-related CLI flags plus which of them were
+// explicitly set — only explicit flags override the config file and
+// environment (a flag left at its default must not clobber them).
+type serveFlags struct {
+	addr        string
+	addrFile    string
+	configPath  string
+	maxInflight int
+	set         map[string]bool
+}
+
+// flagsSet reports which flags the user passed explicitly.
+func flagsSet(fs *flag.FlagSet) map[string]bool {
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	return set
+}
+
+func cmdServe(h *cubie.Harness, f serveFlags) {
+	cfg := server.Defaults()
+	if f.configPath != "" {
+		if err := cfg.LoadFile(f.configPath); err != nil {
+			fatal(err)
+		}
+	}
+	if err := cfg.ApplyEnv(); err != nil {
+		fatal(err)
+	}
+	if f.set["addr"] {
+		cfg.Addr = f.addr
+	}
+	if f.set["addr-file"] {
+		cfg.AddrFile = f.addrFile
+	}
+	if f.set["max-inflight"] {
+		cfg.MaxInflightRuns = f.maxInflight
+	}
+
+	s, err := server.New(h, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "cubie: serving on %s (SIGTERM drains; see docs/SERVE.md)\n", cfg.Addr)
+	if err := s.Run(ctx); err != nil {
+		fatal(err)
+	}
+}
+
+// cmdFetch talks to a running daemon: with no argument it lists the
+// figure catalog, with one it prints that figure's bytes — identical to
+// the matching `cubie all` section.
+func cmdFetch(addr string, args []string) {
+	c := client.New(addr)
+	if len(args) == 0 {
+		figs, err := c.Figures()
+		if err != nil {
+			fatal(err)
+		}
+		for _, f := range figs {
+			mark := " "
+			if f.InAll {
+				mark = "*"
+			}
+			fmt.Printf("%s %-14s %s\n", mark, f.Name, f.Title)
+		}
+		fmt.Println("\n(* = rendered by `cubie all`; fetch with: cubie fetch <name> [--addr host:port])")
+		return
+	}
+	data, err := c.Figure(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(data)
+}

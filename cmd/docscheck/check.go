@@ -17,18 +17,35 @@ type facts struct {
 	flags       map[string]bool // CLI flag names, without dashes
 	makeTargets map[string]bool
 	envVars     map[string]bool // CUBIE_* literals in .go files
+
+	// The serve control API surface (internal/server). Routes are the
+	// literal patterns registered through s.handle ("GET /api/v1/figures");
+	// configKeys and serveEnv are the json/env struct tags of
+	// internal/server/config.go. All three are checked in BOTH directions
+	// against docs/SERVE.md: a documented route or key must exist in the
+	// code, and everything the code registers must be documented.
+	routes     map[string]bool
+	configKeys map[string]bool
+	serveEnv   map[string]bool
 }
 
 var (
 	reMakeTarget = regexp.MustCompile(`^([A-Za-z0-9][A-Za-z0-9_.-]*):`)
 	reFlagDef    = regexp.MustCompile(`\.(?:String|Int|Int64|Uint|Bool|Float64|Duration)\("([a-z][a-z0-9-]*)"`)
 	reEnvDef     = regexp.MustCompile(`"(CUBIE_[A-Z][A-Z0-9_]*)"`)
+	reRouteDef   = regexp.MustCompile(`\bhandle\("((?:GET|POST|PUT|DELETE|PATCH|HEAD) /[^"]*)"`)
+	reJSONTag    = regexp.MustCompile("`json:\"([a-z_]+)\" env:\"(CUBIE_[A-Z0-9_]*)\"`")
 
-	reFlagRef = regexp.MustCompile(`--([a-z][a-z0-9-]*)`)
-	reMakeRef = regexp.MustCompile(`\bmake ([a-z][a-z0-9_.-]*)`)
-	reEnvRef  = regexp.MustCompile(`\bCUBIE_[A-Z][A-Z0-9_]*\b`)
-	reSpan    = regexp.MustCompile("`([^`]*)`")
+	reFlagRef   = regexp.MustCompile(`--([a-z][a-z0-9-]*)`)
+	reMakeRef   = regexp.MustCompile(`\bmake ([a-z][a-z0-9_.-]*)`)
+	reEnvRef    = regexp.MustCompile(`\bCUBIE_[A-Z][A-Z0-9_]*\b`)
+	reRouteRef  = regexp.MustCompile(`\b(GET|POST|PUT|DELETE|PATCH|HEAD) (/[A-Za-z0-9_{}./-]*)`)
+	reSpan      = regexp.MustCompile("`([^`]*)`")
+	reConfigKey = regexp.MustCompile("^\\|\\s*`([a-z_]+)`")
 )
+
+// serveDoc is the API reference the serve surface is reconciled against.
+const serveDoc = "docs/SERVE.md"
 
 // gather collects the code-side facts from the repository at root.
 func gather(root string) (*facts, error) {
@@ -36,6 +53,9 @@ func gather(root string) (*facts, error) {
 		flags:       map[string]bool{},
 		makeTargets: map[string]bool{},
 		envVars:     map[string]bool{},
+		routes:      map[string]bool{},
+		configKeys:  map[string]bool{},
+		serveEnv:    map[string]bool{},
 	}
 
 	mk, err := os.ReadFile(filepath.Join(root, "Makefile"))
@@ -70,10 +90,24 @@ func gather(root string) (*facts, error) {
 			f.envVars[m[1]] = true
 		}
 		// Flag definitions live in the command packages.
-		if strings.Contains(filepath.ToSlash(path), "/cmd/") ||
-			strings.HasPrefix(filepath.ToSlash(path), "cmd/") {
+		rel := filepath.ToSlash(path)
+		if strings.Contains(rel, "/cmd/") || strings.HasPrefix(rel, "cmd/") {
 			for _, m := range reFlagDef.FindAllStringSubmatch(string(src), -1) {
 				f.flags[m[1]] = true
+			}
+		}
+		// The serve API surface: route registrations anywhere in
+		// internal/server (tests excluded — they fabricate handlers), and
+		// the tagged Config fields of its config.go.
+		if strings.Contains(rel, "internal/server/") && !strings.HasSuffix(rel, "_test.go") {
+			for _, m := range reRouteDef.FindAllStringSubmatch(string(src), -1) {
+				f.routes[m[1]] = true
+			}
+			if strings.HasSuffix(rel, "internal/server/config.go") {
+				for _, m := range reJSONTag.FindAllStringSubmatch(string(src), -1) {
+					f.configKeys[m[1]] = true
+					f.serveEnv[m[2]] = true
+				}
 			}
 		}
 		return nil
@@ -95,6 +129,13 @@ func docFiles(root string) ([]string, error) {
 	return append(files, more...), nil
 }
 
+// docRefs is what one markdown file claims about the serve surface.
+type docRefs struct {
+	routes     map[string]bool // "METHOD /path" tokens in code regions
+	configKeys map[string]bool // first-column keys of "## Configuration" table rows
+	envVars    map[string]bool // CUBIE_* tokens in code regions
+}
+
 // check verifies every doc reference against the code-side facts and
 // returns one "file:line: message" string per stale reference.
 func check(root string) ([]string, error) {
@@ -107,36 +148,94 @@ func check(root string) ([]string, error) {
 		return nil, err
 	}
 	var out []string
+	serveRefs := docRefs{
+		routes:     map[string]bool{},
+		configKeys: map[string]bool{},
+		envVars:    map[string]bool{},
+	}
 	for _, path := range files {
-		v, err := checkFile(path, f)
+		v, refs, err := checkFile(path, f)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, v...)
+		if filepath.ToSlash(path) == filepath.ToSlash(filepath.Join(root, serveDoc)) {
+			serveRefs = refs
+		}
+	}
+
+	// Reverse direction: the serve surface the code registers must be
+	// documented in docs/SERVE.md — a route, config key, or CUBIE_* config
+	// variable the reference omits fails the gate just like a stale one.
+	doc := filepath.Join(root, serveDoc)
+	for _, r := range sorted(f.routes) {
+		if !serveRefs.routes[r] {
+			out = append(out, fmt.Sprintf("%s: registered route %q is not documented", doc, r))
+		}
+	}
+	for _, k := range sorted(f.configKeys) {
+		if !serveRefs.configKeys[k] {
+			out = append(out, fmt.Sprintf("%s: config key %q (internal/server/config.go) is not in the Configuration table", doc, k))
+		}
+	}
+	for _, e := range sorted(f.serveEnv) {
+		if !serveRefs.envVars[e] {
+			out = append(out, fmt.Sprintf("%s: environment variable %s (internal/server/config.go) is not documented", doc, e))
+		}
 	}
 	return out, nil
 }
 
+func sorted(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // checkFile scans one markdown file. Only code-marked regions are
-// inspected: the interior of ``` fences, and inline backtick spans.
-func checkFile(path string, f *facts) ([]string, error) {
+// inspected: the interior of ``` fences, and inline backtick spans. It
+// returns the violations plus the serve-surface references the file makes
+// (for the reverse checks).
+func checkFile(path string, f *facts) ([]string, docRefs, error) {
+	refs := docRefs{
+		routes:     map[string]bool{},
+		configKeys: map[string]bool{},
+		envVars:    map[string]bool{},
+	}
 	file, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, refs, err
 	}
 	defer file.Close()
 
 	var out []string
 	inFence := false
+	inConfigSection := false
 	lineNo := 0
 	sc := bufio.NewScanner(file)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {
 		lineNo++
 		line := sc.Text()
+		if strings.HasPrefix(line, "## ") && !inFence {
+			inConfigSection = strings.TrimSpace(line) == "## Configuration"
+		}
 		if strings.HasPrefix(strings.TrimSpace(line), "```") {
 			inFence = !inFence
 			continue
+		}
+		// Configuration-table keys: the first backticked column of table
+		// rows under "## Configuration" documents one config-file key.
+		if inConfigSection && !inFence {
+			if m := reConfigKey.FindStringSubmatch(line); m != nil {
+				refs.configKeys[m[1]] = true
+				if len(f.configKeys) > 0 && !f.configKeys[m[1]] {
+					out = append(out, fmt.Sprintf("%s:%d: config key %q is not a field of internal/server/config.go", path, lineNo, m[1]))
+				}
+			}
 		}
 		var region string
 		if inFence {
@@ -160,13 +259,21 @@ func checkFile(path string, f *facts) ([]string, error) {
 			}
 		}
 		for _, m := range reEnvRef.FindAllString(region, -1) {
+			refs.envVars[m] = true
 			if !f.envVars[m] {
 				out = append(out, fmt.Sprintf("%s:%d: environment variable %s is not read by any .go file", path, lineNo, m))
 			}
 		}
+		for _, m := range reRouteRef.FindAllStringSubmatch(region, -1) {
+			route := m[1] + " " + m[2]
+			refs.routes[route] = true
+			if len(f.routes) > 0 && !f.routes[route] {
+				out = append(out, fmt.Sprintf("%s:%d: route %q is not registered by internal/server", path, lineNo, route))
+			}
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, refs, err
 	}
-	return out, nil
+	return out, refs, nil
 }

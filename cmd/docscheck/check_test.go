@@ -125,3 +125,108 @@ func TestGather(t *testing.T) {
 		t.Errorf("envVars = %v", f.envVars)
 	}
 }
+
+const fakeServer = `package server
+
+func routes(s *Server) {
+	s.handle("GET /healthz", nil)
+	s.handle("GET /api/v1/things", nil)
+	s.handle("POST /api/v1/things", nil)
+	s.handle("/", nil)
+}
+`
+
+const fakeServerConfig = "package server\n\ntype Config struct {\n" +
+	"\tAddr string `json:\"addr\" env:\"CUBIE_ADDR\"`\n" +
+	"\tLimit int `json:\"limit\" env:\"CUBIE_LIMIT\"`\n" +
+	"}\n"
+
+const goodServeDoc = "# API\n\n" +
+	"| `GET /healthz` | liveness |\n" +
+	"| `GET /api/v1/things` | list |\n" +
+	"| `POST /api/v1/things` | create |\n\n" +
+	"## Configuration\n\n" +
+	"| key | env | default |\n|---|---|---|\n" +
+	"| `addr` | `CUBIE_ADDR` | `127.0.0.1:1` |\n" +
+	"| `limit` | `CUBIE_LIMIT` | `4` |\n"
+
+// TestServeSurfaceClean: a fully documented serve surface passes in both
+// directions.
+func TestServeSurfaceClean(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"Makefile":                  fakeMakefile,
+		"internal/server/server.go": fakeServer,
+		"internal/server/config.go": fakeServerConfig,
+		"README.md":                 "ok\n",
+		"docs/SERVE.md":             goodServeDoc,
+	})
+	v, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 0 {
+		t.Fatalf("clean serve surface produced violations: %v", v)
+	}
+}
+
+// TestServeSurfaceForward: documented routes and config keys with no code
+// counterpart are violations.
+func TestServeSurfaceForward(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"Makefile":                  fakeMakefile,
+		"internal/server/server.go": fakeServer,
+		"internal/server/config.go": fakeServerConfig,
+		"README.md":                 "ok\n",
+		"docs/SERVE.md": goodServeDoc +
+			"| `DELETE /api/v1/things` | not real |\n\n" +
+			"## Configuration\n\n| `burst` | `CUBIE_LIMIT` | `9` |\n",
+	})
+	v, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(v, "\n")
+	for _, want := range []string{
+		`route "DELETE /api/v1/things" is not registered`,
+		`config key "burst" is not a field`,
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("violations missing %q:\n%s", want, joined)
+		}
+	}
+	if len(v) != 2 {
+		t.Errorf("want exactly 2 violations, got %d:\n%s", len(v), joined)
+	}
+}
+
+// TestServeSurfaceReverse: a registered route, config key, or serve env
+// var missing from docs/SERVE.md is a violation — shipping an undocumented
+// endpoint fails the gate too.
+func TestServeSurfaceReverse(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"Makefile":                  fakeMakefile,
+		"internal/server/server.go": fakeServer,
+		"internal/server/config.go": fakeServerConfig,
+		"README.md":                 "ok\n",
+		"docs/SERVE.md": "# API\n\n| `GET /healthz` | liveness |\n" +
+			"| `GET /api/v1/things` | list |\n\n" +
+			"## Configuration\n\n| `addr` | `CUBIE_ADDR` | `127.0.0.1:1` |\n",
+	})
+	v, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(v, "\n")
+	for _, want := range []string{
+		`registered route "POST /api/v1/things" is not documented`,
+		`config key "limit" (internal/server/config.go) is not in the Configuration table`,
+		"environment variable CUBIE_LIMIT (internal/server/config.go) is not documented",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("violations missing %q:\n%s", want, joined)
+		}
+	}
+	if len(v) != 3 {
+		t.Errorf("want exactly 3 violations, got %d:\n%s", len(v), joined)
+	}
+}

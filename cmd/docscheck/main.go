@@ -6,10 +6,18 @@
 //   - a double-dash CLI flag (--metrics) names a flag cmd/cubie defines,
 //   - a make target (make docs-check) names a target the Makefile defines,
 //   - a CUBIE_* environment variable names one a .go file reads,
+//   - an HTTP route token (GET /api/v1/figures) names a route
+//     internal/server registers,
+//   - a "## Configuration" table key in docs/SERVE.md names a field of
+//     internal/server/config.go,
 //
-// and exits non-zero listing file:line for every stale reference. Run it
-// via `make docs-check`; `make test` includes it, so documentation drift
-// fails the tier-1 gate.
+// and exits non-zero listing file:line for every stale reference. The
+// serve API surface is additionally checked in the REVERSE direction:
+// every route internal/server registers, every config key, and every
+// CUBIE_* variable its config declares must appear in docs/SERVE.md —
+// shipping an endpoint without documenting it fails the same gate as
+// documenting one that does not exist. Run it via `make docs-check`;
+// `make test` includes it, so documentation drift fails the tier-1 gate.
 //
 // The checker is deliberately conservative: it only inspects code-marked
 // regions (fenced blocks and backtick spans), where a token is a concrete

@@ -221,6 +221,61 @@ func (h *Harness) buildPlanAll() []RunKey {
 	return keys
 }
 
+// PlanNames lists the named plans PlanByName resolves, in campaign order.
+// These are the sweep/campaign granularities the serve API exposes.
+func PlanNames() []string {
+	return []string{"all", "figure3", "power", "table6", "figure9", "representative", "sweep"}
+}
+
+// PlanByName resolves a named plan to its run-key set: "all" is the
+// whole-campaign union, "figure3" the full performance grid, "power" the
+// Figure 7/8 runs, "table6" the accuracy runs plus CPU-serial references,
+// "figure9" the roofline runs, "representative" one variant-complete pass
+// over the representative cases, and "sweep" the largest-case TC runs the
+// provisioning sweeps and the counterfactual reuse.
+func (h *Harness) PlanByName(name string) ([]RunKey, error) {
+	switch name {
+	case "all":
+		return h.PlanAll(), nil
+	case "figure3":
+		return h.keysFigure3(), nil
+	case "power":
+		return h.keysPower(), nil
+	case "table6":
+		return h.keysTable6(), nil
+	case "figure9":
+		return h.keysFigure9(), nil
+	case "representative":
+		return h.keysRepresentative(), nil
+	case "sweep":
+		return h.keysTC(), nil
+	}
+	return nil, fmt.Errorf("unknown plan %q (have %v)", name, PlanNames())
+}
+
+// Progress reports how many of keys have completed successfully so far —
+// the serve API's campaign progress counter. Keys whose execution is still
+// in flight, failed, or not yet started do not count.
+func (h *Harness) Progress(keys []RunKey) int {
+	done := 0
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, k := range keys {
+		f, ok := h.cache[k.String()]
+		if !ok {
+			continue
+		}
+		select {
+		case <-f.done:
+			if f.err == nil {
+				done++
+			}
+		default:
+		}
+	}
+	return done
+}
+
 // Prefetch starts executing a plan in the background and returns
 // immediately. Errors are dropped here on purpose: a figure that needs a
 // failed key will retry it (failed runs are evicted) and surface the

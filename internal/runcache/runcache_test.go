@@ -271,3 +271,48 @@ func TestFingerprintStable(t *testing.T) {
 		t.Fatalf("fingerprint must be non-empty and stable: %q vs %q", a, b)
 	}
 }
+
+// TestTruncatedEntrySilentMissAcrossRestart is the mid-write crash
+// scenario the serve daemon makes likely: a process dies (or the disk
+// fills) while an entry file is being written, leaving a truncated JSON
+// envelope on disk. The next startup — a fresh Cache handle over the same
+// directory and fingerprint — must treat it as a silent miss, count it as
+// corrupt, and let a re-Put heal it. Daemons restart into this state;
+// they must never error or serve a partial payload.
+func TestTruncatedEntrySilentMissAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	first := openTest(t, dir, "fp-a")
+	first.PutResult("GEMV", "small", "TC", sampleResult())
+
+	files := entryFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("want exactly 1 entry file, have %v", files)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the envelope mid-payload, as an interrupted write would.
+	if err := os.WriteFile(files[0], data[:len(data)*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a brand-new handle over the same directory.
+	second := openTest(t, dir, "fp-a")
+	corrupt := corruptCount()
+	if _, ok := second.GetResult("GEMV", "small", "TC"); ok {
+		t.Fatal("truncated entry must miss on the next startup")
+	}
+	if corruptCount() != corrupt+1 {
+		t.Fatal("truncated entry must be counted as corrupt")
+	}
+
+	// The daemon re-executes and re-Puts; the following startup hits.
+	second.PutResult("GEMV", "small", "TC", sampleResult())
+	third := openTest(t, dir, "fp-a")
+	if got, ok := third.GetResult("GEMV", "small", "TC"); !ok || got.Work != 12.5 {
+		t.Fatalf("healed entry must hit on the startup after re-Put: %v %+v", ok, got)
+	}
+}
+
+func corruptCount() uint64 { return metCorrupt.Value() }

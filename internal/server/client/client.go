@@ -1,0 +1,180 @@
+// Package client is the thin typed Go client for the cubie serve control
+// API (docs/SERVE.md). It speaks the wire types of internal/server/api
+// over net/http and is what `cubie fetch` uses; scripts that prefer Go
+// over curl can embed it the same way.
+//
+// Every non-2xx response decodes into *api.Error, so callers can switch on
+// the stable code (api.CodeSaturated, api.CodeNotFound, ...) and read the
+// HTTP status from Error.Status.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/server/api"
+)
+
+// Client talks to one daemon.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for a daemon at addr ("host:port" or a full
+// http:// base URL).
+func New(addr string) *Client {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		http: &http.Client{Timeout: 10 * time.Minute},
+	}
+}
+
+// do issues one request and decodes the JSON response into out (skipped
+// when out is nil). Non-2xx responses return *api.Error.
+func (c *Client) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// decodeError turns a non-2xx response into *api.Error, synthesizing an
+// envelope when the body is not one (a proxy's plain-text error, say).
+func decodeError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var env api.ErrorResponse
+	if err := json.Unmarshal(data, &env); err == nil && env.Error.Code != "" {
+		env.Error.Status = resp.StatusCode
+		return &env.Error
+	}
+	return &api.Error{
+		Code:    api.CodeInternal,
+		Message: fmt.Sprintf("HTTP %s: %s", resp.Status, strings.TrimSpace(string(data))),
+		Status:  resp.StatusCode,
+	}
+}
+
+// Health fetches GET /healthz.
+func (c *Client) Health() (api.Health, error) {
+	var out api.Health
+	err := c.do(http.MethodGet, "/healthz", nil, &out)
+	return out, err
+}
+
+// Figures fetches the figure catalog (GET /api/v1/figures).
+func (c *Client) Figures() ([]api.FigureInfo, error) {
+	var out api.FiguresResponse
+	err := c.do(http.MethodGet, "/api/v1/figures", nil, &out)
+	return out.Figures, err
+}
+
+// Figure fetches one rendered figure's bytes — identical to the `cubie all`
+// section for that figure (GET /api/v1/figures/{name}).
+func (c *Client) Figure(name string) ([]byte, error) {
+	resp, err := c.http.Get(c.base + "/api/v1/figures/" + name)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: read figure %q: %w", name, err)
+	}
+	return data, nil
+}
+
+// Run executes one (workload, case, variant) on the daemon
+// (POST /api/v1/runs).
+func (c *Client) Run(req api.RunRequest) (api.RunResponse, error) {
+	var out api.RunResponse
+	err := c.do(http.MethodPost, "/api/v1/runs", req, &out)
+	return out, err
+}
+
+// StartCampaign submits a named plan (POST /api/v1/campaigns) and returns
+// its initial status (ID included).
+func (c *Client) StartCampaign(plan string) (api.CampaignStatus, error) {
+	var out api.CampaignStatus
+	err := c.do(http.MethodPost, "/api/v1/campaigns", api.CampaignRequest{Plan: plan}, &out)
+	return out, err
+}
+
+// Campaign polls one campaign's status (GET /api/v1/campaigns/{id}).
+func (c *Client) Campaign(id string) (api.CampaignStatus, error) {
+	var out api.CampaignStatus
+	err := c.do(http.MethodGet, "/api/v1/campaigns/"+id, nil, &out)
+	return out, err
+}
+
+// Campaigns lists every campaign (GET /api/v1/campaigns).
+func (c *Client) Campaigns() ([]api.CampaignStatus, error) {
+	var out api.CampaignsResponse
+	err := c.do(http.MethodGet, "/api/v1/campaigns", nil, &out)
+	return out.Campaigns, err
+}
+
+// CampaignEvents streams a campaign's NDJSON progress
+// (GET /api/v1/campaigns/{id}/events), calling fn on each status line
+// until the stream ends (campaign finished) or fn returns false.
+func (c *Client) CampaignEvents(id string, fn func(api.CampaignStatus) bool) error {
+	resp, err := c.http.Get(c.base + "/api/v1/campaigns/" + id + "/events")
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var st api.CampaignStatus
+		if err := dec.Decode(&st); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("client: campaign %s events: %w", id, err)
+		}
+		if !fn(st) {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestDefaultsValidate(t *testing.T) {
+	if err := Defaults().Validate(); err != nil {
+		t.Fatalf("defaults must validate: %v", err)
+	}
+}
+
+// TestConfigPrecedence: file overrides defaults, environment overrides the
+// file, and untouched fields keep their earlier layer's value.
+func TestConfigPrecedence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "serve.json")
+	if err := os.WriteFile(path, []byte(`{
+ "addr": "127.0.0.1:9000",
+ "max_inflight_runs": 3,
+ "request_timeout": "90s"
+}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := Defaults()
+	if err := cfg.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Addr != "127.0.0.1:9000" || cfg.MaxInflightRuns != 3 {
+		t.Fatalf("file overlay not applied: %+v", cfg)
+	}
+	if time.Duration(cfg.RequestTimeout) != 90*time.Second {
+		t.Fatalf("request_timeout = %s, want 90s", time.Duration(cfg.RequestTimeout))
+	}
+	if time.Duration(cfg.DrainTimeout) != 30*time.Second {
+		t.Fatalf("untouched drain_timeout lost its default: %+v", cfg)
+	}
+
+	t.Setenv("CUBIE_ADDR", "127.0.0.1:9100")
+	t.Setenv("CUBIE_MAX_INFLIGHT_RUNS", "7")
+	t.Setenv("CUBIE_DRAIN_TIMEOUT", "5s")
+	t.Setenv("CUBIE_REQUEST_TIMEOUT", "") // empty keeps the file's value
+	if err := cfg.ApplyEnv(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Addr != "127.0.0.1:9100" || cfg.MaxInflightRuns != 7 {
+		t.Fatalf("env overlay not applied: %+v", cfg)
+	}
+	if time.Duration(cfg.DrainTimeout) != 5*time.Second {
+		t.Fatalf("CUBIE_DRAIN_TIMEOUT not applied: %+v", cfg)
+	}
+	if time.Duration(cfg.RequestTimeout) != 90*time.Second {
+		t.Fatalf("empty env var clobbered the file value: %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigRejectsUnknownKeyAndBadValues(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "serve.json")
+	if err := os.WriteFile(path, []byte(`{"adr": "oops"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Defaults()
+	if err := cfg.LoadFile(path); err == nil {
+		t.Fatal("LoadFile accepted an unknown key")
+	}
+
+	t.Setenv("CUBIE_MAX_INFLIGHT_RUNS", "many")
+	if err := cfg.ApplyEnv(); err == nil {
+		t.Fatal("ApplyEnv accepted a non-integer CUBIE_MAX_INFLIGHT_RUNS")
+	}
+	t.Setenv("CUBIE_MAX_INFLIGHT_RUNS", "")
+	t.Setenv("CUBIE_RETRY_AFTER", "soon")
+	if err := cfg.ApplyEnv(); err == nil {
+		t.Fatal("ApplyEnv accepted a non-duration CUBIE_RETRY_AFTER")
+	}
+
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.Addr = "" },
+		func(c *Config) { c.MaxInflightRuns = 0 },
+		func(c *Config) { c.RequestTimeout = 0 },
+		func(c *Config) { c.DrainTimeout = 0 },
+		func(c *Config) { c.RetryAfter = 0 },
+	} {
+		c := Defaults()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("Validate accepted %+v", c)
+		}
+	}
+}
+
+func TestRetryAfterSecondsAtLeastOne(t *testing.T) {
+	c := Defaults()
+	c.RetryAfter = Duration(100 * time.Millisecond)
+	if got := c.retryAfterSeconds(); got != "1" {
+		t.Fatalf("retryAfterSeconds() = %q, want %q", got, "1")
+	}
+	c.RetryAfter = Duration(2 * time.Second)
+	if got := c.retryAfterSeconds(); got != "2" {
+		t.Fatalf("retryAfterSeconds() = %q, want %q", got, "2")
+	}
+}

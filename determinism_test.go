@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kernels/spgemm"
 	"repro/internal/mmu"
+	"repro/internal/packcache"
 	"repro/internal/par"
 	"repro/internal/workload"
 )
@@ -120,6 +121,64 @@ func TestSuitePanelDeterminism(t *testing.T) {
 			if math.Float64bits(f[i]) != math.Float64bits(r[i]) {
 				t.Errorf("%s: output[%d] differs bitwise: %v vs %v", key, i, f[i], r[i])
 				break
+			}
+		}
+	}
+}
+
+// TestSuitePackCacheDeterminism is the packed-panel cache's suite-wide
+// bit-identity contract: every workload's representative case, in every
+// variant, must produce the bit-identical Output whether operands come from
+// the hash-validated cache (both cold-miss and warm-hit runs), are staged
+// per call (CUBIE_NO_PACKCACHE), or execute on the tile-at-a-time reference
+// route with the cache on (CUBIE_NO_PANEL). The cache stores exactly the
+// bytes the per-call packers produce, so all routes agree bitwise.
+func TestSuitePackCacheDeterminism(t *testing.T) {
+	runAll := func(cache, panels bool) map[string][]float64 {
+		wasCache := packcache.SetEnabled(cache)
+		wasPanels := mmu.SetPanelEnabled(panels)
+		defer func() {
+			packcache.SetEnabled(wasCache)
+			mmu.SetPanelEnabled(wasPanels)
+		}()
+		out := map[string][]float64{}
+		for _, w := range core.NewSuite().Workloads() {
+			c := w.Representative()
+			for _, v := range w.Variants() {
+				res, err := w.Run(c, v)
+				if err != nil {
+					t.Fatalf("%s/%s (cache=%v panels=%v): %v", w.Name(), v, cache, panels, err)
+				}
+				out[w.Name()+"/"+string(v)] = res.Output
+			}
+		}
+		return out
+	}
+
+	packcache.Flush() // first cached pass starts cold: misses pack and insert
+	cold := runAll(true, true)
+	warm := runAll(true, true) // second pass is served by hash-validated hits
+	staged := runAll(false, true)
+	tileLoop := runAll(true, false)
+
+	for name, other := range map[string]map[string][]float64{
+		"warm-hit": warm, "staging (cache off)": staged, "panels-off": tileLoop,
+	} {
+		if len(cold) == 0 || len(cold) != len(other) {
+			t.Fatalf("%s: run counts differ or empty: %d vs %d", name, len(cold), len(other))
+		}
+		for key, c := range cold {
+			o := other[key]
+			if len(c) != len(o) {
+				t.Errorf("%s %s: output lengths differ: %d vs %d", name, key, len(c), len(o))
+				continue
+			}
+			for i := range c {
+				if math.Float64bits(c[i]) != math.Float64bits(o[i]) {
+					t.Errorf("%s %s: output[%d] differs bitwise: %v vs %v",
+						name, key, i, c[i], o[i])
+					break
+				}
 			}
 		}
 	}

@@ -2,8 +2,10 @@ package graph
 
 import (
 	"math/bits"
+	"slices"
 
 	"repro/internal/mmu"
+	"repro/internal/par"
 )
 
 // BerryBees represents graphs as 8×128 bitmap block slices: the adjacency
@@ -27,15 +29,37 @@ type SliceSet struct {
 	Bits      []mmu.BitFragA
 }
 
+// Pooled arenas for the counted two-pass ToSliceSet: a column-segment stamp
+// directory, the segment → output-slot map, and the per-slice distinct
+// segment list.
+var (
+	sliceStampScratch = par.NewTypedScratch[int32]()
+	sliceSlotScratch  = par.NewTypedScratch[int32]()
+	sliceSegsScratch  = par.NewTypedScratch[int32]()
+)
+
 // ToSliceSet converts a CSR graph into the 8×128 bitmap slice-set format.
 // The restructuring (and its padding) is the data-structure change that Key
 // Observation 1 attributes to MMU adoption.
+//
+// The build is a counted two-pass mirroring sparse.ToMBSR: pass 1 counts
+// distinct column segments per slice against a pooled stamp directory
+// (stamp si+1), sizing SlicePtr and one exact allocation each for ColSegs
+// and Bits; pass 2 re-discovers each slice's segments under the -(si+1)
+// stamp, sorts them, and ORs the adjacency bits straight into the assigned
+// fragments. The map-of-heap-fragments version this replaced allocated a
+// map, a 128-byte fragment, and repeated slice growth per slice.
 func ToSliceSet(g *Graph) *SliceSet {
 	rs := (g.N + 7) / 8
+	segs := (g.N + 127) / 128
 	s := &SliceSet{N: g.N, RowSlices: rs, SlicePtr: make([]int, rs+1)}
+	stamp := sliceStampScratch.Get(segs)
+	defer sliceStampScratch.Put(stamp)
+	clear(stamp)
+	// Pass 1: count distinct column segments per slice.
+	total := 0
 	for si := 0; si < rs; si++ {
-		blocks := map[int32]*mmu.BitFragA{}
-		var order []int32
+		gen := int32(si + 1)
 		for r := 0; r < 8; r++ {
 			v := si*8 + r
 			if v >= g.N {
@@ -43,25 +67,56 @@ func ToSliceSet(g *Graph) *SliceSet {
 			}
 			for _, u := range g.Adj(v) {
 				seg := u / 128
-				blk, ok := blocks[seg]
-				if !ok {
-					blk = new(mmu.BitFragA)
-					blocks[seg] = blk
-					order = append(order, seg)
+				if stamp[seg] != gen {
+					stamp[seg] = gen
+					total++
 				}
-				blk.SetBit(r, int(u%128))
 			}
 		}
-		for a := 1; a < len(order); a++ {
-			for b := a; b > 0 && order[b] < order[b-1]; b-- {
-				order[b], order[b-1] = order[b-1], order[b]
+		s.SlicePtr[si+1] = total
+	}
+	// Pass 2: fill the exactly-sized block arrays (fresh allocations, so the
+	// bit fragments start zeroed).
+	s.ColSegs = make([]int32, total)
+	s.Bits = make([]mmu.BitFragA, total)
+	slot := sliceSlotScratch.Get(segs)
+	defer sliceSlotScratch.Put(slot)
+	list := sliceSegsScratch.Get(segs)
+	defer sliceSegsScratch.Put(list)
+	for si := 0; si < rs; si++ {
+		gen := int32(-(si + 1))
+		base := s.SlicePtr[si]
+		n := 0
+		for r := 0; r < 8; r++ {
+			v := si*8 + r
+			if v >= g.N {
+				break
+			}
+			for _, u := range g.Adj(v) {
+				seg := u / 128
+				if stamp[seg] != gen {
+					stamp[seg] = gen
+					list[n] = seg
+					n++
+				}
 			}
 		}
-		for _, seg := range order {
-			s.ColSegs = append(s.ColSegs, seg)
-			s.Bits = append(s.Bits, *blocks[seg])
+		run := list[:n]
+		slices.Sort(run)
+		for idx, seg := range run {
+			s.ColSegs[base+idx] = seg
+			slot[seg] = int32(idx)
 		}
-		s.SlicePtr[si+1] = len(s.ColSegs)
+		for r := 0; r < 8; r++ {
+			v := si*8 + r
+			if v >= g.N {
+				break
+			}
+			for _, u := range g.Adj(v) {
+				seg := u / 128
+				s.Bits[base+int(slot[seg])].SetBit(r, int(u%128))
+			}
+		}
 	}
 	return s
 }

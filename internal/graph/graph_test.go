@@ -155,3 +155,17 @@ func TestFrontierSegment(t *testing.T) {
 		t.Fatal("out-of-range segment not zero")
 	}
 }
+
+// TestToSliceSetSteadyStateAllocs pins the counted two-pass bitmap build
+// allocation-free beyond its outputs: with the pooled stamp/slot/segment
+// arenas warm, a build costs exactly the SliceSet struct, SlicePtr, and the
+// two exact block arrays (ColSegs, Bits) plus the three pool-return headers.
+// The map-of-heap-fragments builder this replaced allocated per slice.
+func TestToSliceSetSteadyStateAllocs(t *testing.T) {
+	g := Mycielskian(8)
+	ToSliceSet(g) // warm the pooled arenas
+	avg := testing.AllocsPerRun(100, func() { ToSliceSet(g) })
+	if avg > 7 {
+		t.Fatalf("ToSliceSet steady state allocates %.1f objects per build, want ≤ 7 (outputs only)", avg)
+	}
+}

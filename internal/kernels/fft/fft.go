@@ -115,7 +115,8 @@ func fourier(n int) (re, im []float64) {
 // with the k dimension swept in ascending order (first the B_re sweep, then
 // the B_im sweep — a fixed, reproducible accumulation order).
 func matmulComplexMMA(cRe, cIm, aRe, aIm, bRe, bIm []float64, m, k, n int) {
-	negAIm := make([]float64, len(aIm))
+	negAIm := fftPanelScratch.Get(len(aIm))
+	defer fftPanelScratch.Put(negAIm)
 	for i, v := range aIm {
 		negAIm[i] = -v
 	}
@@ -131,26 +132,35 @@ var fftPanelScratch = par.NewSizedScratch()
 
 // realMMA accumulates C += A·B with fused m8n8k4 MMA k-sweeps (zero-padded
 // edges). The operands arrive as raw row-major slices; wrapping them in
-// tensor.Matrix views gives the panel packers their fast interior paths. The
-// A row-panel is packed once per row block and reused across every j0 column
-// (the tile-at-a-time version re-gathered the same 8×4 tiles n/8 times);
-// the per-element FMA chain stays the ascending-k order of the old loop, so
+// tensor.Matrix views gives the panel packers their fast interior paths.
+// Both operands are staged whole, once per call: every B column-panel is
+// packed up front and reused by every row block (the per-tile version
+// re-packed each column panel m/8 times), and the A row-panel once per row
+// block. The four-step intermediates mutate between successive realMMA
+// calls, so this per-call hoisting — not the process-wide packcache, which
+// would hash-miss on every lookup — is the right reuse scope here. The
+// per-element FMA chain stays the ascending-k order of the old loop, so
 // results are bit-identical (CUBIE_NO_PANEL=1 verifies).
 func realMMA(c, a, b []float64, m, k, n int) {
 	av := &tensor.Matrix{Rows: m, Cols: k, Data: a}
 	bv := &tensor.Matrix{Rows: k, Cols: n, Data: b}
 	kTiles := (k + mmu.K - 1) / mmu.K
-	buf := fftPanelScratch.Get(mmu.M*mmu.N + kTiles*(mmu.M*mmu.K+mmu.K*mmu.N))
+	colTiles := (n + mmu.N - 1) / mmu.N
+	bStride := kTiles * mmu.K * mmu.N
+	buf := fftPanelScratch.Get(mmu.M*mmu.N + kTiles*mmu.M*mmu.K + colTiles*bStride)
 	defer fftPanelScratch.Put(buf)
 	cT := buf[0 : mmu.M*mmu.N]
 	aPanel := buf[mmu.M*mmu.N : mmu.M*mmu.N+kTiles*mmu.M*mmu.K]
-	bPanel := buf[mmu.M*mmu.N+kTiles*mmu.M*mmu.K:]
+	bAll := buf[mmu.M*mmu.N+kTiles*mmu.M*mmu.K:]
+	for tj := 0; tj < colTiles; tj++ {
+		bv.PackBPanel(bAll[tj*bStride:(tj+1)*bStride], 0, tj*mmu.N, kTiles)
+	}
 	for i0 := 0; i0 < m; i0 += mmu.M {
 		h := minInt(mmu.M, m-i0)
 		av.PackAPanel(aPanel, i0, 0, kTiles)
-		for j0 := 0; j0 < n; j0 += mmu.N {
+		for j0, tj := 0, 0; j0 < n; j0, tj = j0+mmu.N, tj+1 {
 			w := minInt(mmu.N, n-j0)
-			bv.PackBPanel(bPanel, 0, j0, kTiles)
+			bPanel := bAll[tj*bStride : (tj+1)*bStride]
 			for i := 0; i < h; i++ {
 				for j := 0; j < w; j++ {
 					cT[i*mmu.N+j] = c[(i0+i)*n+j0+j]

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/lcg"
 	"repro/internal/mmu"
+	"repro/internal/packcache"
 	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/tensor"
@@ -149,10 +150,6 @@ func (w *Workload) Reference(c workload.Case) ([]float64, error) {
 // mmaAccScratch pools the per-sweep even/odd C accumulators of multiplyMMA.
 var mmaAccScratch = par.NewScratch(2 * mmu.M * mmu.N)
 
-// mmaPanelScratch pools the packed A/B operand panels, whose length depends
-// on the case's k extent.
-var mmaPanelScratch = par.NewSizedScratch()
-
 // multiplyMMA executes the tiled tensor-core GEMM: 64×64 block tiles, each
 // built from 8×8 MMA accumulator fragments swept over k in steps of 4. Like
 // the software-pipelined cudaSample kernel, it keeps two accumulators (even
@@ -160,37 +157,43 @@ var mmaPanelScratch = par.NewSizedScratch()
 // buffering is what makes the MMA result differ in rounding from the
 // single-accumulator baseline (Table 6: GEMM TC error exceeds baseline).
 //
-// The k-sweep runs on the panel engine: the A row-panel is packed once per
-// row-tile and reused across every j0 column (BLIS-style operand packing —
-// the tile-at-a-time version re-gathered the identical 8×4 tile n/8 times),
-// the B column-panel is packed once per output tile, and
+// The k-sweep runs on the panel engine over packcache-staged operands: both
+// whole operands are packed once per dataset (and on repeat runs — sweep
+// repetitions, TC/CC variant pairs, bench iterations — served straight from
+// the hash-validated cache), where the per-call version re-packed the full
+// B operand once per row tile (m/8 redundant passes over B).
 // mmu.DMMAPanelPair executes the whole sweep with both accumulators
-// register-resident. Accumulation order per element is unchanged, so the
-// result stays bit-identical to the tile loop (CUBIE_NO_PANEL=1 verifies).
+// register-resident. Packed bytes and accumulation order per element are
+// unchanged, so the result stays bit-identical to the per-call staging path
+// and to the tile loop (CUBIE_NO_PACKCACHE=1 / CUBIE_NO_PANEL=1 verify).
 //
 // The output-tile grid is executed on the par worker pool: each 8×8 output
 // tile's FMA chains run whole on one worker in the fixed k order, so the
 // result is bit-identical for every worker count (the tile-independence
-// property the paper's MMA semantics guarantee).
+// property the paper's MMA semantics guarantee). Workers share the packed
+// slabs read-only.
 func multiplyMMA(a, b *tensor.Matrix) *tensor.Matrix {
 	m, k, n := a.Rows, a.Cols, b.Cols
 	out := tensor.NewMatrix(m, n)
 	rowTiles := (m + mmu.M - 1) / mmu.M
 	kTiles := (k + mmu.K - 1) / mmu.K
+	aLease := packcache.PackedA("gemm:A", a, kTiles)
+	bLease := packcache.PackedB("gemm:B", b, kTiles)
+	defer aLease.Release()
+	defer bLease.Release()
+	aAll, bAll := aLease.Data, bLease.Data
+	aStride := kTiles * mmu.M * mmu.K
+	bStride := kTiles * mmu.K * mmu.N
 	par.ForTiles(rowTiles, func(lo, hi int) {
 		acc := mmaAccScratch.Get()
 		defer mmaAccScratch.Put(acc)
-		panels := mmaPanelScratch.Get(kTiles * (mmu.M*mmu.K + mmu.K*mmu.N))
-		defer mmaPanelScratch.Put(panels)
 		cEven := acc[0 : mmu.M*mmu.N]
 		cOdd := acc[mmu.M*mmu.N:]
-		aPanel := panels[0 : kTiles*mmu.M*mmu.K]
-		bPanel := panels[kTiles*mmu.M*mmu.K:]
 		for ti := lo; ti < hi; ti++ {
 			i0 := ti * mmu.M
-			a.PackAPanel(aPanel, i0, 0, kTiles)
-			for j0 := 0; j0 < n; j0 += mmu.N {
-				b.PackBPanel(bPanel, 0, j0, kTiles)
+			aPanel := aAll[ti*aStride : (ti+1)*aStride]
+			for j0, tj := 0, 0; j0 < n; j0, tj = j0+mmu.N, tj+1 {
+				bPanel := bAll[tj*bStride : (tj+1)*bStride]
 				for i := range cEven {
 					cEven[i], cOdd[i] = 0, 0
 				}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/lcg"
 	"repro/internal/mmu"
+	"repro/internal/packcache"
 	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/tensor"
@@ -124,7 +125,7 @@ func (w *Workload) Reference(c workload.Case) ([]float64, error) {
 	return y, nil
 }
 
-// gemvScratch pools the C accumulator plus the packed A/B panels, whose
+// gemvScratch pools the C accumulator plus the broadcast B panel, whose
 // length depends on the case's n extent.
 var gemvScratch = par.NewSizedScratch()
 
@@ -132,18 +133,23 @@ var gemvScratch = par.NewSizedScratch()
 // x broadcast into B, a fused k-sweep per block, first column of C extracted
 // as y. The broadcast B panel depends only on x, so it is built once per call
 // and reused by every row block (the tile-at-a-time version rebuilt the same
-// 4×8 broadcast tile m/8 × n/4 times); the A row-panel packing replaces the
-// per-k-step Tile re-gathers. Per-element FMA order is the same ascending-k
-// chain, so results are bit-identical (CUBIE_NO_PANEL=1 verifies).
+// 4×8 broadcast tile m/8 × n/4 times); the A operand is staged through the
+// packed-panel cache, so repeat runs (sweeps, TC/CC variant pairs) skip the
+// tall-skinny matrix re-pack entirely. Packed bytes and per-element FMA
+// order are unchanged — the same ascending-k chain — so results are
+// bit-identical (CUBIE_NO_PACKCACHE=1 / CUBIE_NO_PANEL=1 verify).
 func computeMMA(a *tensor.Matrix, x []float64) []float64 {
 	m, n := a.Rows, a.Cols
 	y := make([]float64, m)
 	kTiles := (n + mmu.K - 1) / mmu.K
-	buf := gemvScratch.Get(mmu.M*mmu.N + kTiles*(mmu.M*mmu.K+mmu.K*mmu.N))
+	aLease := packcache.PackedA("gemv:A", a, kTiles)
+	defer aLease.Release()
+	aAll := aLease.Data
+	aStride := kTiles * mmu.M * mmu.K
+	buf := gemvScratch.Get(mmu.M*mmu.N + kTiles*mmu.K*mmu.N)
 	defer gemvScratch.Put(buf)
 	cT := buf[0 : mmu.M*mmu.N]
-	aPanel := buf[mmu.M*mmu.N : mmu.M*mmu.N+kTiles*mmu.M*mmu.K]
-	bPanel := buf[mmu.M*mmu.N+kTiles*mmu.M*mmu.K:]
+	bPanel := buf[mmu.M*mmu.N:]
 	for t := 0; t < kTiles; t++ {
 		tile := bPanel[t*mmu.K*mmu.N:]
 		for k := 0; k < mmu.K; k++ {
@@ -156,8 +162,8 @@ func computeMMA(a *tensor.Matrix, x []float64) []float64 {
 			}
 		}
 	}
-	for i0 := 0; i0 < m; i0 += mmu.M {
-		a.PackAPanel(aPanel, i0, 0, kTiles)
+	for i0, ti := 0, 0; i0 < m; i0, ti = i0+mmu.M, ti+1 {
+		aPanel := aAll[ti*aStride : (ti+1)*aStride]
 		for i := range cT {
 			cT[i] = 0
 		}

@@ -8,6 +8,7 @@ package spgemm
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"repro/internal/mmu"
@@ -110,12 +111,22 @@ func symbolic(d *caseData) symbolicStats {
 		func(dst, src *symbolicStats) { dst.flopsNNZ += src.flopsNNZ })
 	blk := par.ReduceTiles(b.BlockRows, symbolicGrain,
 		func(lo, hi int, acc *symbolicStats) {
-			stamp := symStampScratch.Get(b.BlockCols)
-			defer symStampScratch.Put(stamp)
-			for i := range stamp {
-				stamp[i] = -1
-			}
+			// Epoch-stamped block-column directory, pooled through
+			// par.TypedScratch: element 0 carries the buffer's epoch across
+			// pool round-trips (fresh TypedScratch buffers are zeroed, recycled
+			// ones keep their contents), so a stamp is valid iff it equals the
+			// current row's epoch and neither chunks nor rows pay the
+			// O(BlockCols) wipe the pre-arena version did — it only happens on
+			// the (2³¹-row) epoch wrap.
+			buf := symStampScratch.Get(b.BlockCols + 1)
+			defer symStampScratch.Put(buf)
+			epoch, stamp := buf[0], buf[1:]
 			for bi := lo; bi < hi; bi++ {
+				if epoch == math.MaxInt32 {
+					clear(stamp)
+					epoch = 0
+				}
+				epoch++
 				var rowProducts, rowCBlocks float64
 				for p := b.RowPtr[bi]; p < b.RowPtr[bi+1]; p++ {
 					k := int(b.Blocks[p].BlockCol)
@@ -123,8 +134,8 @@ func symbolic(d *caseData) symbolicStats {
 					rowProducts += n
 					for q := b.RowPtr[k]; q < b.RowPtr[k+1]; q++ {
 						j := b.Blocks[q].BlockCol
-						if stamp[j] != int32(bi) {
-							stamp[j] = int32(bi)
+						if stamp[j] != epoch {
+							stamp[j] = epoch
 							rowCBlocks++
 						}
 					}
@@ -133,6 +144,7 @@ func symbolic(d *caseData) symbolicStats {
 				acc.mmas += float64(int(rowProducts+1) / 2)
 				acc.cBlocks += rowCBlocks
 			}
+			buf[0] = epoch
 		},
 		func(dst, src *symbolicStats) {
 			dst.blockProducts += src.blockProducts
@@ -229,9 +241,10 @@ func (w *Workload) Reference(c workload.Case) ([]float64, error) {
 }
 
 // Pools of the scalar (element-wise CSR) sweeps: the dense element
-// accumulator and the touched-column list that Reference and computeBaseline
-// previously allocated per tile range, plus the symbolic pass's stamp
-// directory (one per ReduceTiles chunk before pooling).
+// accumulator and the touched/sort-column list that Reference and
+// computeBaseline previously allocated per tile range, plus the symbolic
+// pass's epoch-stamped directory (one per ReduceTiles chunk before pooling,
+// one full wipe per chunk before the epoch arena).
 var (
 	scalarAccScratch     = par.NewSizedScratch()
 	scalarTouchedScratch = par.NewTypedScratch[int32]()

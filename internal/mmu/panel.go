@@ -33,6 +33,8 @@ import (
 	"os"
 	"sync/atomic"
 	"unsafe"
+
+	"repro/internal/tensor"
 )
 
 // PanelDisableEnv is the environment variable that, when set to "1", disables
@@ -77,6 +79,71 @@ func dmmaTileInto(acc *[M * N]float64, a *[M * K]float64, b *[K * N]float64) {
 	}
 }
 
+// dmmaTilePairInto executes two consecutive 8×8×4 MMA steps with the
+// accumulator loaded and stored once: acc(8×8) += a0(8×4)·b0(4×8) followed by
+// a1(8×4)·b1(4×8). Each output element's update is the 8-FMA chain of
+// dmmaTileInto on (a0,b0) then (a1,b1) — same operations, same order, so the
+// fusion is bit-invisible — but the register-blocked sweep halves the
+// accumulator load/store traffic of calling dmmaTileInto twice.
+func dmmaTilePairInto(acc *[M * N]float64,
+	a0, a1 *[M * K]float64, b0, b1 *[K * N]float64) {
+	for i := 0; i < M; i++ {
+		p0, p1, p2, p3 := a0[i*K], a0[i*K+1], a0[i*K+2], a0[i*K+3]
+		q0, q1, q2, q3 := a1[i*K], a1[i*K+1], a1[i*K+2], a1[i*K+3]
+		for j := 0; j < N; j++ {
+			v := acc[i*N+j]
+			v = math.FMA(p0, b0[j], v)
+			v = math.FMA(p1, b0[N+j], v)
+			v = math.FMA(p2, b0[2*N+j], v)
+			v = math.FMA(p3, b0[3*N+j], v)
+			v = math.FMA(q0, b1[j], v)
+			v = math.FMA(q1, b1[N+j], v)
+			v = math.FMA(q2, b1[2*N+j], v)
+			v = math.FMA(q3, b1[3*N+j], v)
+			acc[i*N+j] = v
+		}
+	}
+}
+
+// dmmaTileQuadInto executes four consecutive k-tiles of a double-buffered
+// sweep in one register-blocked pass: tiles 0 and 2 of the packed quad
+// accumulate into cE, tiles 1 and 3 into cO, exactly the even/odd assignment
+// of the alternating DMMATile loop. Per accumulator element the FMA chain is
+// ascending-k (tile 0 then 2 into cE, tile 1 then 3 into cO), so the fusion
+// is bit-identical to four dmmaTileInto calls while touching each
+// accumulator row once instead of four times.
+func dmmaTileQuadInto(cE, cO *[M * N]float64,
+	a *[4 * M * K]float64, b *[4 * K * N]float64) {
+	for i := 0; i < M; i++ {
+		e0, e1, e2, e3 := a[i*K], a[i*K+1], a[i*K+2], a[i*K+3]
+		o0, o1, o2, o3 := a[M*K+i*K], a[M*K+i*K+1], a[M*K+i*K+2], a[M*K+i*K+3]
+		f0, f1, f2, f3 := a[2*M*K+i*K], a[2*M*K+i*K+1], a[2*M*K+i*K+2], a[2*M*K+i*K+3]
+		g0, g1, g2, g3 := a[3*M*K+i*K], a[3*M*K+i*K+1], a[3*M*K+i*K+2], a[3*M*K+i*K+3]
+		for j := 0; j < N; j++ {
+			ve := cE[i*N+j]
+			ve = math.FMA(e0, b[j], ve)
+			ve = math.FMA(e1, b[N+j], ve)
+			ve = math.FMA(e2, b[2*N+j], ve)
+			ve = math.FMA(e3, b[3*N+j], ve)
+			ve = math.FMA(f0, b[2*K*N+j], ve)
+			ve = math.FMA(f1, b[2*K*N+N+j], ve)
+			ve = math.FMA(f2, b[2*K*N+2*N+j], ve)
+			ve = math.FMA(f3, b[2*K*N+3*N+j], ve)
+			cE[i*N+j] = ve
+			vo := cO[i*N+j]
+			vo = math.FMA(o0, b[K*N+j], vo)
+			vo = math.FMA(o1, b[K*N+N+j], vo)
+			vo = math.FMA(o2, b[K*N+2*N+j], vo)
+			vo = math.FMA(o3, b[K*N+3*N+j], vo)
+			vo = math.FMA(g0, b[3*K*N+j], vo)
+			vo = math.FMA(g1, b[3*K*N+N+j], vo)
+			vo = math.FMA(g2, b[3*K*N+2*N+j], vo)
+			vo = math.FMA(g3, b[3*K*N+3*N+j], vo)
+			cO[i*N+j] = vo
+		}
+	}
+}
+
 // checkPanels panics early (with a clearer message than the raw conversion)
 // when the operand panels cannot cover kTiles tiles.
 func checkPanels(aPanel, bPanel []float64, kTiles int) {
@@ -116,7 +183,15 @@ func DMMAPanel(c, aPanel, bPanel []float64, kTiles int) {
 		dmmaTileInto(cc, (*[M * K]float64)(aPanel), (*[K * N]float64)(bPanel))
 	} else {
 		local := *cc
-		for kt := 0; kt < kTiles; kt++ {
+		kt := 0
+		for ; kt+1 < kTiles; kt += 2 {
+			dmmaTilePairInto(&local,
+				(*[M * K]float64)(aPanel[kt*M*K:]),
+				(*[M * K]float64)(aPanel[(kt+1)*M*K:]),
+				(*[K * N]float64)(bPanel[kt*K*N:]),
+				(*[K * N]float64)(bPanel[(kt+1)*K*N:]))
+		}
+		if kt < kTiles {
 			dmmaTileInto(&local,
 				(*[M * K]float64)(aPanel[kt*M*K:]),
 				(*[K * N]float64)(bPanel[kt*K*N:]))
@@ -155,14 +230,35 @@ func DMMAPanelPair(cEven, cOdd, aPanel, bPanel []float64, kTiles int) {
 	ce := (*[M * N]float64)(cEven)
 	co := (*[M * N]float64)(cOdd)
 	localE, localO := *ce, *co
-	for kt := 0; kt < kTiles; kt++ {
-		dst := &localE
-		if kt%2 == 1 {
-			dst = &localO
-		}
-		dmmaTileInto(dst,
+	kt := 0
+	for ; kt+3 < kTiles; kt += 4 {
+		dmmaTileQuadInto(&localE, &localO,
+			(*[4 * M * K]float64)(aPanel[kt*M*K:]),
+			(*[4 * K * N]float64)(bPanel[kt*K*N:]))
+	}
+	// Remainder tiles keep the even/odd assignment and ascending-k order of
+	// the alternating tile loop: kt→E, kt+1→O, kt+2→E.
+	switch kTiles - kt {
+	case 1:
+		dmmaTileInto(&localE,
 			(*[M * K]float64)(aPanel[kt*M*K:]),
 			(*[K * N]float64)(bPanel[kt*K*N:]))
+	case 2:
+		dmmaTileInto(&localE,
+			(*[M * K]float64)(aPanel[kt*M*K:]),
+			(*[K * N]float64)(bPanel[kt*K*N:]))
+		dmmaTileInto(&localO,
+			(*[M * K]float64)(aPanel[(kt+1)*M*K:]),
+			(*[K * N]float64)(bPanel[(kt+1)*K*N:]))
+	case 3:
+		dmmaTilePairInto(&localE,
+			(*[M * K]float64)(aPanel[kt*M*K:]),
+			(*[M * K]float64)(aPanel[(kt+2)*M*K:]),
+			(*[K * N]float64)(bPanel[kt*K*N:]),
+			(*[K * N]float64)(bPanel[(kt+2)*K*N:]))
+		dmmaTileInto(&localO,
+			(*[M * K]float64)(aPanel[(kt+1)*M*K:]),
+			(*[K * N]float64)(bPanel[(kt+1)*K*N:]))
 	}
 	*ce, *co = localE, localO
 	h := hintOf(unsafe.Pointer(ce))
@@ -207,7 +303,9 @@ func DMMABatch(cPanel, aPanel, bPanel []float64, n int) {
 // consecutive 8×4 MMA A tiles: tile t covers source columns 4t..4t+3. src
 // must have at least M rows of the given stride and 4·kTiles columns. This is
 // the panel-layout shim for operands that are not tensor.Matrix values
-// (stencil line gathers, the 8×8 scan/reduction stages).
+// (stencil line gathers, the 8×8 scan/reduction stages). The pack itself is
+// tensor.PackARows, the single stride-aware bulk helper shared with
+// Matrix.PackAPanel and the packed-panel cache.
 func PackA(dst, src []float64, stride, kTiles int) {
 	if stride < kTiles*K {
 		panic("mmu: PackA stride shorter than packed columns")
@@ -218,12 +316,7 @@ func PackA(dst, src []float64, stride, kTiles int) {
 	if len(src) < (M-1)*stride+kTiles*K {
 		panic("mmu: PackA source too small")
 	}
-	for t := 0; t < kTiles; t++ {
-		tile := dst[t*M*K:]
-		for r := 0; r < M; r++ {
-			copy(tile[r*K:r*K+K], src[r*stride+t*K:r*stride+t*K+K])
-		}
-	}
+	tensor.PackARows(dst, src, stride, kTiles)
 }
 
 // BMMAPanel executes a run of single-bit broadcast-B m8n8k128 AND+POPC MMAs

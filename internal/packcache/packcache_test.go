@@ -1,0 +1,197 @@
+package packcache
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lcg"
+	"repro/internal/mmu"
+	"repro/internal/tensor"
+)
+
+func testMatrix(rows, cols int, seed int64) *tensor.Matrix {
+	m := tensor.NewMatrix(rows, cols)
+	g := lcg.New(seed)
+	g.Fill(m.Data)
+	return m
+}
+
+// reset gives each test a clean, enabled cache with the default capacity.
+func reset(t *testing.T) {
+	t.Helper()
+	was := SetEnabled(true)
+	oldCap := SetByteCap(128 << 20)
+	Flush()
+	t.Cleanup(func() {
+		Flush()
+		SetEnabled(was)
+		SetByteCap(oldCap)
+	})
+}
+
+// packedARef stages the A operand the way the kernels did before the cache:
+// one PackAPanel call per row tile into a caller-owned buffer.
+func packedARef(m *tensor.Matrix, kTiles int) []float64 {
+	rowTiles := (m.Rows + mmu.M - 1) / mmu.M
+	stride := kTiles * mmu.M * mmu.K
+	dst := make([]float64, rowTiles*stride)
+	for ti := 0; ti < rowTiles; ti++ {
+		m.PackAPanel(dst[ti*stride:(ti+1)*stride], ti*mmu.M, 0, kTiles)
+	}
+	return dst
+}
+
+func packedBRef(m *tensor.Matrix, kTiles int) []float64 {
+	colTiles := (m.Cols + mmu.N - 1) / mmu.N
+	stride := kTiles * mmu.K * mmu.N
+	dst := make([]float64, colTiles*stride)
+	for tj := 0; tj < colTiles; tj++ {
+		m.PackBPanel(dst[tj*stride:(tj+1)*stride], 0, tj*mmu.N, kTiles)
+	}
+	return dst
+}
+
+func wantBits(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: [%d] = %v, want %v (bitwise)", name, i, got[i], want[i])
+		}
+	}
+}
+
+// TestPackedMatchesStaging pins cached slabs bit-identical to the per-call
+// staging path, for interior and ragged-edge shapes, on both the cold-miss
+// and warm-hit routes and with the cache disabled.
+func TestPackedMatchesStaging(t *testing.T) {
+	reset(t)
+	shapes := []struct{ rows, cols int }{
+		{64, 64}, {61, 53}, {8, 4}, {5, 3}, {16, 128},
+	}
+	for _, sh := range shapes {
+		m := testMatrix(sh.rows, sh.cols, int64(sh.rows*1000+sh.cols))
+		kTiles := (sh.cols + mmu.K - 1) / mmu.K
+		wantA := packedARef(m, kTiles)
+		wantB := packedBRef(m, kTiles)
+
+		cold := PackedA("t:A", m, kTiles)
+		wantBits(t, "cold A", cold.Data, wantA)
+		warm := PackedA("t:A", m, kTiles)
+		wantBits(t, "warm A", warm.Data, wantA)
+		cold.Release()
+		warm.Release()
+
+		b := PackedB("t:B", m, kTiles)
+		wantBits(t, "B", b.Data, wantB)
+		b.Release()
+
+		SetEnabled(false)
+		off := PackedA("t:A", m, kTiles)
+		wantBits(t, "disabled A", off.Data, wantA)
+		off.Release()
+		SetEnabled(true)
+	}
+}
+
+// TestInvalidationOnMutation is the stale-panel contract: after any
+// mutation of the source matrix, a lookup under the same key must repack —
+// the content hash changes, so the cache can never serve the old slab.
+func TestInvalidationOnMutation(t *testing.T) {
+	reset(t)
+	m := testMatrix(32, 32, 7)
+	kTiles := 8
+
+	l := PackedA("mut:A", m, kTiles)
+	before := append([]float64(nil), l.Data...)
+	l.Release()
+
+	m.Data[5*32+3] += 1.0 // mutate one element
+	want := packedARef(m, kTiles)
+	l = PackedA("mut:A", m, kTiles)
+	wantBits(t, "after mutation", l.Data, want)
+	if math.Float64bits(l.Data[0]) == math.Float64bits(before[0]) &&
+		m.Data[0] != 0 && before[0] != l.Data[0] {
+		t.Fatalf("stale slab served after mutation")
+	}
+	l.Release()
+
+	// Flipping the element back must also be picked up (hash is content, not
+	// a dirty bit).
+	m.Data[5*32+3] -= 1.0
+	want = packedARef(m, kTiles)
+	l = PackedA("mut:A", m, kTiles)
+	wantBits(t, "after revert", l.Data, want)
+	l.Release()
+}
+
+// TestHitMissAccounting checks the cache actually hits: same name, same
+// content, same geometry is one miss then hits; a different kTiles or shape
+// under the same name is a distinct entry.
+func TestHitMissAccounting(t *testing.T) {
+	reset(t)
+	m := testMatrix(16, 16, 3)
+
+	a1 := PackedA("acct:A", m, 4)
+	a2 := PackedA("acct:A", m, 4)
+	if &a1.Data[0] != &a2.Data[0] {
+		t.Fatalf("repeat lookup did not share the cached slab")
+	}
+	lenA := len(a1.Data)
+	a1.Release()
+	a2.Release()
+
+	b1 := PackedA("acct:A", m, 2) // different geometry → different entry
+	if len(b1.Data) == lenA {
+		t.Fatalf("geometry change produced same-size slab unexpectedly")
+	}
+	b1.Release()
+}
+
+// TestEvictionRespectsLeases pins the lease contract: an entry evicted for
+// capacity while leased stays readable until Release, and leased entries are
+// never chosen as victims.
+func TestEvictionRespectsLeases(t *testing.T) {
+	reset(t)
+	m1 := testMatrix(64, 64, 1)
+	m2 := testMatrix(64, 64, 2)
+	m3 := testMatrix(64, 64, 3)
+	kTiles := 16
+	slab := 8 * kTiles * mmu.M * mmu.K * 8 // bytes of one packed-A slab
+
+	SetByteCap(slab + slab/2) // room for one entry only
+
+	l1 := PackedA("ev:1", m1, kTiles)
+	want1 := append([]float64(nil), l1.Data...)
+
+	// Inserting m2 must evict m1's entry (over cap), but l1 is leased — its
+	// slab must stay intact.
+	l2 := PackedA("ev:2", m2, kTiles)
+	wantBits(t, "leased slab after eviction", l1.Data, want1)
+	l2.Release()
+
+	// l1's entry was detached; a fresh lookup repacks rather than crashing.
+	l3 := PackedA("ev:1", m3, kTiles) // note: different content under same name
+	wantBits(t, "repacked after detach", l3.Data, packedARef(m3, kTiles))
+	l3.Release()
+	l1.Release()
+}
+
+// TestPackedASteadyStateAllocs pins the warm lookup allocation-free: a hit
+// is a hash sweep plus a refcount, no packing and no heap growth.
+func TestPackedASteadyStateAllocs(t *testing.T) {
+	reset(t)
+	m := testMatrix(64, 64, 9)
+	kTiles := 16
+	warm := PackedA("allocs:A", m, kTiles) // populate
+	warm.Release()
+	avg := testing.AllocsPerRun(100, func() {
+		l := PackedA("allocs:A", m, kTiles)
+		l.Release()
+	})
+	if avg > 0 {
+		t.Fatalf("warm PackedA allocates %.1f objects per lookup, want 0", avg)
+	}
+}

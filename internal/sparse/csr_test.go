@@ -137,3 +137,38 @@ func TestTransposePreservesNNZProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestToCSRSteadyStateAllocs pins the counted two-pass build allocation-free
+// beyond its outputs: once the pooled row-cursor and sort-key arenas are
+// warm, a build costs exactly the CSR struct, RowPtr, ColIdx, and Vals plus
+// the two pool-return headers — never per-row or per-entry scratch.
+func TestToCSRSteadyStateAllocs(t *testing.T) {
+	g := lcg.New(11)
+	c := NewCOO(64, 64)
+	for k := 0; k < 600; k++ {
+		c.Add(g.Intn(64), g.Intn(64), g.Uniform())
+	}
+	c.ToCSR() // warm the pooled arenas
+	avg := testing.AllocsPerRun(200, func() { c.ToCSR() })
+	if avg > 6 {
+		t.Fatalf("ToCSR steady state allocates %.1f objects per build, want ≤ 6 (outputs only)", avg)
+	}
+}
+
+// TestToMBSRSteadyStateAllocs is the same contract for the blocked format:
+// the stamp/slot/column arenas are pooled, so a warm build is the MBSR
+// struct, RowPtr, and the single exact Blocks slab plus pool-return headers.
+// The map-of-heap-blocks builder this replaced allocated per block row.
+func TestToMBSRSteadyStateAllocs(t *testing.T) {
+	g := lcg.New(13)
+	c := NewCOO(96, 96)
+	for k := 0; k < 900; k++ {
+		c.Add(g.Intn(96), g.Intn(96), g.Uniform())
+	}
+	m := c.ToCSR()
+	ToMBSR(m) // warm the pooled arenas
+	avg := testing.AllocsPerRun(200, func() { ToMBSR(m) })
+	if avg > 6 {
+		t.Fatalf("ToMBSR steady state allocates %.1f objects per build, want ≤ 6 (outputs only)", avg)
+	}
+}

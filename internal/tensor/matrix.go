@@ -144,6 +144,34 @@ const (
 	panelN = 8 // cols of a B tile and a C tile
 )
 
+// PackARows packs the leading 8 rows of a strided row-major source into
+// kTiles consecutive row-major 8×4 MMA A tiles: tile t covers source columns
+// 4t..4t+3. It is the one stride-aware bulk A-pack in the tree — the
+// PackAPanel interior fast path, mmu.PackA, and the packed-panel cache all
+// route through it. The 4-wide array copies compile to register moves rather
+// than runtime.memmove calls (the per-row copy() loops it replaced spent
+// ~11% of the numeric-phase profile in memmove dispatch). src must cover
+// (8-1)·stride + 4·kTiles elements; the array conversions panic otherwise.
+func PackARows(dst, src []float64, stride, kTiles int) {
+	for r := 0; r < panelM; r++ {
+		srow := src[r*stride:]
+		drow := dst[r*panelK:]
+		for t := 0; t < kTiles; t++ {
+			*(*[panelK]float64)(drow[t*panelM*panelK:]) = *(*[panelK]float64)(srow[t*panelK:])
+		}
+	}
+}
+
+// PackBRows packs rows consecutive 8-wide rows of a strided row-major source
+// into dst back to back — the B-operand (and any full-width row panel) bulk
+// pack. rows is typically 4·kTiles. Like PackARows the 8-wide array copies
+// stay out of runtime.memmove. src must cover (rows-1)·stride + 8 elements.
+func PackBRows(dst, src []float64, stride, rows int) {
+	for r := 0; r < rows; r++ {
+		*(*[panelN]float64)(dst[r*panelN:]) = *(*[panelN]float64)(src[r*stride:])
+	}
+}
+
 // PackAPanel packs the 8×(4·kTiles) row-panel whose top-left corner is
 // (r0, c0) into dst as kTiles consecutive row-major 8×4 MMA A tiles: tile t
 // covers columns c0+4t … c0+4t+3. Out-of-range elements are zero-filled,
@@ -155,14 +183,8 @@ func (m *Matrix) PackAPanel(dst []float64, r0, c0, kTiles int) {
 		panic("tensor: PackAPanel destination too small")
 	}
 	if r0 >= 0 && r0+panelM <= m.Rows && c0 >= 0 && c0+kTiles*panelK <= m.Cols {
-		// Fast path: fully interior panel, straight row copies.
-		for t := 0; t < kTiles; t++ {
-			tile := dst[t*panelM*panelK:]
-			src := m.Data[r0*m.Cols+c0+t*panelK:]
-			for r := 0; r < panelM; r++ {
-				copy(tile[r*panelK:r*panelK+panelK], src[r*m.Cols:r*m.Cols+panelK])
-			}
-		}
+		// Fast path: fully interior panel, one bulk stride-aware pack.
+		PackARows(dst, m.Data[r0*m.Cols+c0:], m.Cols, kTiles)
 		return
 	}
 	for t := 0; t < kTiles; t++ {
@@ -178,10 +200,7 @@ func (m *Matrix) PackBPanel(dst []float64, r0, c0, kTiles int) {
 		panic("tensor: PackBPanel destination too small")
 	}
 	if r0 >= 0 && r0+kTiles*panelK <= m.Rows && c0 >= 0 && c0+panelN <= m.Cols {
-		src := m.Data[r0*m.Cols+c0:]
-		for r := 0; r < kTiles*panelK; r++ {
-			copy(dst[r*panelN:r*panelN+panelN], src[r*m.Cols:r*m.Cols+panelN])
-		}
+		PackBRows(dst, m.Data[r0*m.Cols+c0:], m.Cols, kTiles*panelK)
 		return
 	}
 	for t := 0; t < kTiles; t++ {

@@ -32,6 +32,14 @@
 #                        /healthz, fetch a figure, scrape /metrics, then
 #                        SIGTERM and verify a clean drain (runs inside
 #                        make test)
+#   make dist-smoke    - run a small plan through `cubie dist` with two
+#                        forked workers, diff the output bitwise against
+#                        the single-process render, then warm-start a
+#                        fresh worker off the shared store and require
+#                        zero workload executions (runs inside make test)
+#   make bench-dist    - time cold 1-worker vs cold 4-worker `cubie all`
+#                        plus a cross-worker warm pass and archive the
+#                        wall-clocks as benchdata/BENCHALL_<date>.json
 
 GO ?= go
 
@@ -51,7 +59,7 @@ ALLOC_TOLERANCE ?= 0.10
 ROLLING ?=
 
 .PHONY: all build vet test race bench bench-all bench-compare bench-trend \
-	bench-trend-check docs-check serve-smoke clean
+	bench-trend-check docs-check serve-smoke dist-smoke bench-dist clean
 
 all: test
 
@@ -64,7 +72,7 @@ vet:
 docs-check:
 	$(GO) run ./cmd/docscheck
 
-test: vet docs-check bench-trend-check serve-smoke
+test: vet docs-check bench-trend-check serve-smoke dist-smoke
 	$(GO) test ./...
 
 # End-to-end daemon smoke: boot on a random port (the --addr-file
@@ -82,6 +90,34 @@ serve-smoke:
 	curl -sf http://$$addr/metrics | grep -q cubie_http_requests_total; \
 	kill -TERM $$pid; wait $$pid; \
 	echo "serve-smoke: ok ($$addr booted, served, drained)"
+
+# End-to-end distributed-campaign smoke. Phase 1 renders figure9
+# single-process with no cache (the comparator). Phase 2 coordinates the
+# same plan across two cold forked workers publishing into a shared store
+# and requires bitwise-identical stdout. Phase 3 re-coordinates against
+# the warm store with one fresh worker (empty local cache) and requires
+# the worker's own metrics to show zero workload executions — the whole
+# plan arrives over the remote cache tier.
+dist-smoke:
+	@set -e; tmp=$$(mktemp -d); trap "rm -rf $$tmp" EXIT; \
+	$(GO) build -o $$tmp/cubie ./cmd/cubie; \
+	CUBIE_CACHE=off $$tmp/cubie roofline > $$tmp/single.txt; \
+	CUBIE_CACHE=$$tmp/store $$tmp/cubie dist --plan figure9 --figure figure9 \
+	    --workers 2 --lease-timeout 2m > $$tmp/cold.txt 2> $$tmp/cold.log \
+	    || { cat $$tmp/cold.log >&2; exit 1; }; \
+	cmp $$tmp/single.txt $$tmp/cold.txt \
+	    || { echo "dist-smoke: 2-worker output differs from single-process" >&2; exit 1; }; \
+	mkdir -p $$tmp/wm; \
+	CUBIE_CACHE=$$tmp/store $$tmp/cubie dist --plan figure9 --figure figure9 \
+	    --workers 1 --worker-metrics $$tmp/wm --lease-timeout 2m \
+	    > $$tmp/warm.txt 2> $$tmp/warm.log \
+	    || { cat $$tmp/warm.log >&2; exit 1; }; \
+	cmp $$tmp/single.txt $$tmp/warm.txt \
+	    || { echo "dist-smoke: warm worker output differs from single-process" >&2; exit 1; }; \
+	grep -q '^cubie_harness_runs_started_total 0$$' $$tmp/wm/w1.prom \
+	    || { echo "dist-smoke: fresh worker executed runs instead of warm-starting off the store:" >&2; \
+	         grep '^cubie_harness_runs_started_total' $$tmp/wm/w1.prom >&2; exit 1; }; \
+	echo "dist-smoke: ok (cold 2-worker and warm fresh-worker output both bitwise-identical, warm worker ran 0 workloads)"
 
 race:
 	$(GO) test -race ./...
@@ -119,6 +155,20 @@ bench-all:
 	    env CUBIE_CACHE=$$tmp/cache $$tmp/cubie all; \
 	  $(GO) run ./cmd/benchjson -exec BenchmarkCubieAllWarm -- \
 	    env CUBIE_CACHE=$$tmp/cache $$tmp/cubie all; } \
+	| $(GO) run ./cmd/benchjson -o benchdata -prefix BENCHALL_
+
+# Distributed campaign wall-clock: cold `cubie all` on 1 forked worker vs
+# 4, then a cross-worker warm pass (fresh worker, warm shared store).
+# Each pass gets its own fresh store so colds stay cold.
+bench-dist:
+	@set -e; tmp=$$(mktemp -d); trap "rm -rf $$tmp" EXIT; \
+	$(GO) build -o $$tmp/cubie ./cmd/cubie; \
+	{ $(GO) run ./cmd/benchjson -exec BenchmarkCubieAllDist1Cold -- \
+	    env CUBIE_CACHE=$$tmp/store1 $$tmp/cubie all --workers 1; \
+	  $(GO) run ./cmd/benchjson -exec BenchmarkCubieAllDist4Cold -- \
+	    env CUBIE_CACHE=$$tmp/store4 $$tmp/cubie all --workers 4; \
+	  $(GO) run ./cmd/benchjson -exec BenchmarkCubieAllDistWarm -- \
+	    env CUBIE_CACHE=$$tmp/store4 $$tmp/cubie all --workers 1; } \
 	| $(GO) run ./cmd/benchjson -o benchdata -prefix BENCHALL_
 
 clean:

@@ -31,7 +31,9 @@
 //	run        execute workloads through the instrumented harness path
 //	serve      long-lived characterization daemon with an HTTP/JSON API
 //	fetch      fetch a figure from a running daemon (serve's thin client)
-//	all        run everything above in paper order
+//	dist       coordinate a plan across forked work-stealing workers
+//	work       worker loop: lease keys from a coordinator and execute them
+//	all        run everything above in paper order (--workers N distributes)
 //
 // Every command additionally accepts the observability flags --metrics,
 // --trace-host, and --pprof (see docs/OBSERVABILITY.md). Flags come before
@@ -47,6 +49,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/cubie"
 	"repro/internal/advisor"
@@ -75,8 +78,23 @@ func main() {
 	addrFile := fs.String("addr-file", "", "serve: write the bound listen address to this file once ready")
 	configPath := fs.String("config", "", "serve: JSON config file (overridden by CUBIE_* env vars and flags; see docs/SERVE.md)")
 	maxInflight := fs.Int("max-inflight", server.Defaults().MaxInflightRuns, "serve: bound on concurrently admitted run-executing requests")
+	coordinator := fs.String("coordinator", os.Getenv("CUBIE_COORDINATOR"), "work: coordinator base URL (default $CUBIE_COORDINATOR)")
+	workerID := fs.String("worker-id", "", "work: worker identity reported to the coordinator (default hostname-pid)")
+	plan := fs.String("plan", "all", "dist: named run plan to distribute (all, figure3, power, table6, figure9, representative, sweep)")
+	figure := fs.String("figure", "", "dist: figure to render from the warmed cache once the plan completes")
+	workers := fs.Int("workers", 0, "dist (or all): number of forked workers; 0 runs all in-process")
+	leaseTimeout := fs.Duration("lease-timeout", envLeaseTimeout(), "dist: how long a worker may hold a leased key before it is re-issued (default $CUBIE_LEASE_TIMEOUT)")
+	workerMetrics := fs.String("worker-metrics", "", "dist: directory for per-worker Prometheus metric snapshots (w1.prom, ...)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
+	}
+
+	// A worker defaults its remote cache tier to the coordinator's store,
+	// so results it executes are published where the coordinator (and
+	// every peer worker) can reuse them. Set before the harness is built —
+	// FromEnv reads it.
+	if cmd == "work" && *coordinator != "" && os.Getenv(runcache.EnvRemote) == "" {
+		os.Setenv(runcache.EnvRemote, *coordinator)
 	}
 
 	spec, err := cubie.DeviceByName(*gpu)
@@ -234,7 +252,26 @@ func main() {
 		})
 	case "fetch":
 		cmdFetch(*addr, fs.Args())
+	case "work":
+		cmdWork(h, *coordinator, *workerID)
+	case "dist":
+		cmdDist(h, distFlags{
+			plan:          *plan,
+			figure:        *figure,
+			workers:       max(*workers, 1),
+			leaseTimeout:  *leaseTimeout,
+			workerMetrics: *workerMetrics,
+		})
 	case "all":
+		if *workers > 0 {
+			cmdDist(h, distFlags{
+				plan:          "all",
+				workers:       *workers,
+				leaseTimeout:  *leaseTimeout,
+				workerMetrics: *workerMetrics,
+			})
+			break
+		}
 		if err := h.RenderAll(os.Stdout); err != nil {
 			fatal(err)
 		}
@@ -301,7 +338,10 @@ commands:
   run [<workload> [case] [variant]]
   serve [--addr host:port] [--config file] [--addr-file file] [--max-inflight N]
   fetch [figure] [--addr host:port]
-  all
+  dist [--plan name] [--workers N] [--figure name] [--lease-timeout d]
+       [--worker-metrics dir]
+  work --coordinator URL [--worker-id id]
+  all [--workers N]
 
 observability flags (any command; flags precede positional args):
   --metrics <file|->     metrics snapshot after the command (Prometheus
@@ -313,7 +353,22 @@ environment:
   CUBIE_CACHE=<dir|off>  persistent run cache (default: the user cache
                          dir); deterministic results are reused across
                          invocations — a warm "cubie all" executes zero
-                         workload runs`)
+                         workload runs
+  CUBIE_REMOTE_CACHE=<url>  remote cache tier: a peer daemon's store,
+                         consulted on local misses, published on puts
+  CUBIE_COORDINATOR=<url>   default --coordinator for "cubie work"
+  CUBIE_LEASE_TIMEOUT=<dur> default --lease-timeout for "cubie dist"`)
+}
+
+// envLeaseTimeout reads CUBIE_LEASE_TIMEOUT (a Go duration like "2m") as
+// the --lease-timeout default.
+func envLeaseTimeout() time.Duration {
+	if v := os.Getenv("CUBIE_LEASE_TIMEOUT"); v != "" {
+		if d, err := time.ParseDuration(v); err == nil && d > 0 {
+			return d
+		}
+	}
+	return harness.DefaultLeaseTimeout
 }
 
 func fatal(err error) {

@@ -131,6 +131,13 @@ func (h *Harness) AttachCache(c *runcache.Cache) *Harness {
 	return h
 }
 
+// RunCache returns the attached persistent run cache (nil when detached).
+// The serve daemon's cache-store endpoints read and write entries through
+// it.
+func (h *Harness) RunCache() *runcache.Cache {
+	return h.rc
+}
+
 // runSecondsFor returns the cached per-workload histogram, resolving and
 // memoizing it for workloads outside the suite (tests inject those).
 func (h *Harness) runSecondsFor(workloadName string) *metrics.Histogram {

@@ -284,6 +284,42 @@ func (h *Harness) Prefetch(keys []RunKey) {
 	go func() { _ = h.Execute(keys) }()
 }
 
+// resolveKey resolves one run key against the suite.
+func (h *Harness) resolveKey(k RunKey) (workload.Workload, workload.Case, error) {
+	w, err := h.Suite.ByName(k.Workload)
+	if err != nil {
+		return nil, workload.Case{}, fmt.Errorf("plan %s: %w", k, err)
+	}
+	c, err := workload.FindCase(w, k.Case)
+	if err != nil {
+		return nil, workload.Case{}, fmt.Errorf("plan %s: %w", k, err)
+	}
+	return w, c, nil
+}
+
+// ExecuteKey runs one plan key through the harness caches — the unit of
+// work a distributed worker executes. A RefVariant key computes the case's
+// CPU-serial reference; every other key is a workload-variant execution.
+// The result lands in the in-memory singleflight cache and, when a run
+// cache is attached, in its persistent tiers (the local directory, then
+// the remote store) — which is how a `cubie work` worker publishes results
+// back to its coordinator.
+func (h *Harness) ExecuteKey(k RunKey) error {
+	w, c, err := h.resolveKey(k)
+	if err != nil {
+		return err
+	}
+	if k.Variant == RefVariant {
+		_, err = h.reference(w, c)
+	} else {
+		_, err = h.run(w, c, k.Variant)
+	}
+	if err != nil {
+		return fmt.Errorf("%s/%s/%s: %w", k.Workload, k.Case, k.Variant, err)
+	}
+	return nil
+}
+
 // planJob is one resolved plan entry.
 type planJob struct {
 	key RunKey
@@ -362,14 +398,9 @@ func (h *Harness) Execute(keys []RunKey) error {
 	}
 	h.mu.Unlock()
 	for i := range jobs {
-		k := jobs[i].key
-		w, err := h.Suite.ByName(k.Workload)
+		w, c, err := h.resolveKey(jobs[i].key)
 		if err != nil {
-			return fmt.Errorf("plan %s: %w", k, err)
-		}
-		c, err := workload.FindCase(w, k.Case)
-		if err != nil {
-			return fmt.Errorf("plan %s: %w", k, err)
+			return err
 		}
 		jobs[i].w, jobs[i].c = w, c
 	}

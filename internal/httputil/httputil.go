@@ -1,0 +1,133 @@
+// Package httputil is the shared HTTP retry/backoff discipline: every
+// client in this repository that talks to a peer daemon — the runcache
+// remote tier, the serve control-API client, the distributed-campaign
+// workers — retries transient failures through one Policy instead of
+// growing its own ad-hoc loop. The shape follows soci-snapshotter's
+// util/http/retry.go: capped exponential backoff with multiplicative
+// jitter, a bounded attempt budget, and an explicit status-code contract
+// for what is worth retrying.
+//
+// Retryable means "trying again can plausibly succeed without anyone
+// fixing anything": connection-level errors, 429 (the peer shed load and
+// told us when to come back), and 5xx server errors except 501. A 4xx is
+// returned to the caller on the first attempt — a malformed request or a
+// missing entry does not become well-formed by waiting.
+package httputil
+
+import (
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"time"
+)
+
+// Policy bounds one retry loop. The zero value is not useful; start from
+// DefaultPolicy and override fields.
+type Policy struct {
+	// MaxAttempts is the total number of tries (first attempt included).
+	// Values below 1 behave as 1.
+	MaxAttempts int
+
+	// BaseDelay is the backoff before the first retry; each further retry
+	// doubles it, capped at MaxDelay.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+
+	// Jitter is the multiplicative jitter fraction: each delay is scaled
+	// by a uniform factor in [1-Jitter, 1+Jitter], so a fleet of workers
+	// retrying against one coordinator does not thunder in lockstep.
+	Jitter float64
+
+	// Sleep and Rand are test seams; nil means time.Sleep and
+	// math/rand.Float64.
+	Sleep func(time.Duration)
+	Rand  func() float64
+}
+
+// DefaultPolicy is the client-facing default: 5 attempts spanning roughly
+// 100ms + 200ms + 400ms + 800ms (±25%) of backoff before giving up.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxAttempts: 5,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    3 * time.Second,
+		Jitter:      0.25,
+	}
+}
+
+// Backoff returns the jittered delay before retry number retry (0 is the
+// delay after the first failed attempt).
+func (p Policy) Backoff(retry int) time.Duration {
+	d := float64(p.BaseDelay) * math.Pow(2, float64(retry))
+	if max := float64(p.MaxDelay); p.MaxDelay > 0 && d > max {
+		d = max
+	}
+	if p.Jitter > 0 {
+		r := rand.Float64
+		if p.Rand != nil {
+			r = p.Rand
+		}
+		d *= 1 - p.Jitter + 2*p.Jitter*r()
+	}
+	return time.Duration(d)
+}
+
+// RetryableStatus reports whether an HTTP status code signals a transient
+// condition: 429 (load shed; come back later) and the 5xx server errors,
+// except 501 Not Implemented, which no amount of retrying fixes.
+func RetryableStatus(code int) bool {
+	if code == http.StatusTooManyRequests {
+		return true
+	}
+	return code >= 500 && code != http.StatusNotImplemented
+}
+
+// Do runs one request through the retry loop. build is called once per
+// attempt — a request body cannot be replayed after a failed send, so the
+// caller rebuilds the request (and its body reader) each time. Connection
+// errors and RetryableStatus responses are retried with Backoff between
+// attempts; any other response is returned immediately, whatever its
+// status — interpreting a 404 or a 400 is the caller's business. When the
+// budget runs out, Do returns the last response (or the last error if the
+// final attempt never produced one). The caller owns resp.Body.
+func Do(c *http.Client, build func() (*http.Request, error), p Policy) (*http.Response, error) {
+	if c == nil {
+		c = http.DefaultClient
+	}
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	var resp *http.Response
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			sleep(p.Backoff(attempt - 1))
+		}
+		var req *http.Request
+		req, err = build()
+		if err != nil {
+			return nil, err // a request we cannot build will not build next time either
+		}
+		resp, err = c.Do(req)
+		if err != nil {
+			resp = nil
+			continue // connection-level failure: transient by contract
+		}
+		if !RetryableStatus(resp.StatusCode) {
+			return resp, nil
+		}
+		// Drain (bounded) so the connection is reusable, then retry.
+		if attempt+1 < attempts {
+			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
+			resp.Body.Close()
+			resp = nil
+		}
+	}
+	return resp, err
+}

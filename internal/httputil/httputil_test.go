@@ -1,0 +1,202 @@
+package httputil
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// noSleep is the test policy: real backoff math, no real waiting.
+func noSleep(p Policy) (Policy, *[]time.Duration) {
+	var slept []time.Duration
+	p.Sleep = func(d time.Duration) { slept = append(slept, d) }
+	return p, &slept
+}
+
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: 1 * time.Second}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1 * time.Second, // capped
+		1 * time.Second,
+	}
+	for i, w := range want {
+		if got := p.Backoff(i); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: 10 * time.Second, Jitter: 0.25}
+	for _, r := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		r := r
+		p.Rand = func() float64 { return r }
+		for retry := 0; retry < 5; retry++ {
+			base := float64(100*time.Millisecond) * float64(int(1)<<retry)
+			lo := time.Duration(base * (1 - p.Jitter))
+			hi := time.Duration(base * (1 + p.Jitter))
+			got := p.Backoff(retry)
+			if got < lo || got > hi {
+				t.Errorf("Backoff(%d) with rand=%v = %v, outside [%v, %v]", retry, r, got, lo, hi)
+			}
+		}
+	}
+	// Jitter must actually move the value: the extremes of the rand range
+	// land on the extremes of the band.
+	p.Rand = func() float64 { return 0 }
+	if got := p.Backoff(0); got != 75*time.Millisecond {
+		t.Errorf("rand=0 Backoff(0) = %v, want 75ms", got)
+	}
+	p.Rand = func() float64 { return 1 }
+	if got := p.Backoff(0); got != 125*time.Millisecond {
+		t.Errorf("rand=1 Backoff(0) = %v, want 125ms", got)
+	}
+}
+
+func TestRetryableStatus(t *testing.T) {
+	for code, want := range map[int]bool{
+		200: false, 204: false, 301: false,
+		400: false, 404: false, 409: false,
+		429: true,
+		500: true, 501: false, 502: true, 503: true, 504: true,
+	} {
+		if got := RetryableStatus(code); got != want {
+			t.Errorf("RetryableStatus(%d) = %v, want %v", code, got, want)
+		}
+	}
+}
+
+func TestDoRetriesTransientThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "busy", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, "payload")
+	}))
+	defer srv.Close()
+
+	p, slept := noSleep(DefaultPolicy())
+	resp, err := Do(srv.Client(), func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, srv.URL, nil)
+	}, p)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want 3", got)
+	}
+	if len(*slept) != 2 {
+		t.Errorf("slept %d times, want 2 (one backoff per retry)", len(*slept))
+	}
+}
+
+func TestDoStopsAtMaxAttempts(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	p, slept := noSleep(Policy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond})
+	resp, err := Do(srv.Client(), func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, srv.URL, nil)
+	}, p)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want the final 500 surfaced", resp.StatusCode)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Errorf("server saw %d requests, want exactly MaxAttempts=4", got)
+	}
+	if len(*slept) != 3 {
+		t.Errorf("slept %d times, want 3", len(*slept))
+	}
+}
+
+func TestDoNonRetryableShortCircuits(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "no such entry", http.StatusNotFound)
+	}))
+	defer srv.Close()
+
+	p, slept := noSleep(DefaultPolicy())
+	resp, err := Do(srv.Client(), func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, srv.URL, nil)
+	}, p)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d requests, want 1 — a 404 must not be retried", got)
+	}
+	if len(*slept) != 0 {
+		t.Errorf("slept %d times, want 0", len(*slept))
+	}
+}
+
+func TestDoConnectionErrorRetriesThenFails(t *testing.T) {
+	// A listener that is already closed: every attempt is a connection
+	// refusal, so Do must exhaust its budget and return the dial error.
+	srv := httptest.NewServer(http.NotFoundHandler())
+	url := srv.URL
+	srv.Close()
+
+	p, slept := noSleep(Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond})
+	resp, err := Do(nil, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, url, nil)
+	}, p)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("Do succeeded against a closed listener")
+	}
+	if len(*slept) != 2 {
+		t.Errorf("slept %d times, want 2 (MaxAttempts-1)", len(*slept))
+	}
+}
+
+func TestDoRebuildsRequestPerAttempt(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, "busy", http.StatusServiceUnavailable)
+		}
+	}))
+	defer srv.Close()
+
+	var builds atomic.Int64
+	p, _ := noSleep(DefaultPolicy())
+	resp, err := Do(srv.Client(), func() (*http.Request, error) {
+		builds.Add(1)
+		return http.NewRequest(http.MethodGet, srv.URL, nil)
+	}, p)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	resp.Body.Close()
+	if builds.Load() != 2 {
+		t.Errorf("build called %d times, want once per attempt (2)", builds.Load())
+	}
+}

@@ -1,0 +1,154 @@
+package runcache
+
+// The remote tier: a peer daemon's content-addressed cache store, spoken
+// over plain HTTP GET/PUT with the entry file name as the address. The
+// protocol is deliberately dumb — the entry envelope already carries and
+// the reader already verifies fingerprint/kind/key, so the transport adds
+// nothing but bytes. Transient failures retry with jittered backoff
+// (internal/httputil, the soci-snapshotter retry idiom); anything still
+// failing after that is absorbed as a miss (reads) or a dropped publish
+// (writes). The remote store is an accelerator, never a dependency: a
+// worker with an unreachable store behaves exactly like one with no store.
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/httputil"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// RemotePathPrefix is the URL path under which a daemon serves the cache
+// store: GET/PUT RemotePathPrefix+EntryName(...).
+const RemotePathPrefix = "/api/v1/cache/"
+
+// Remote-tier metrics (see docs/OBSERVABILITY.md).
+var (
+	metRemoteHits = metrics.NewCounter("cubie_runcache_remote_hits_total",
+		"Lookups answered by a verified entry from the remote cache store.")
+	metRemoteMisses = metrics.NewCounter("cubie_runcache_remote_misses_total",
+		"Remote store lookups that found no usable entry (404, or bytes that failed verification).")
+	metRemotePuts = metrics.NewCounter("cubie_runcache_remote_puts_total",
+		"Entries successfully published to the remote cache store.")
+	metRemoteErrors = metrics.NewCounter("cubie_runcache_remote_errors_total",
+		"Remote store requests that failed after retries (connection errors or non-2xx, non-404 statuses); absorbed as misses or dropped publishes.")
+	metRemoteBytes = metrics.NewCounter("cubie_runcache_remote_bytes_total",
+		"Bytes transferred to and from the remote cache store (entry bodies, both directions).")
+)
+
+// maxRemoteEntryBytes bounds one remote entry read. The largest real
+// entries (reference outputs of the biggest cases) are tens of megabytes;
+// 1 GiB is a safety net against a misbehaving peer, not a tuning knob.
+const maxRemoteEntryBytes = 1 << 30
+
+// Remote is one cache-store peer.
+type Remote struct {
+	base   string
+	hc     *http.Client
+	policy httputil.Policy
+}
+
+// NewRemote returns a store client for a peer at addr ("host:port" or an
+// http:// base URL), with the default retry policy.
+func NewRemote(addr string) *Remote {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Remote{
+		base:   strings.TrimRight(base, "/"),
+		hc:     &http.Client{Timeout: 2 * time.Minute},
+		policy: httputil.DefaultPolicy(),
+	}
+}
+
+// WithPolicy overrides the retry policy (tests shrink the delays) and
+// returns r.
+func (r *Remote) WithPolicy(p httputil.Policy) *Remote {
+	r.policy = p
+	return r
+}
+
+// AttachRemote binds a remote store as the L2 tier (nil detaches) and
+// returns c.
+func (c *Cache) AttachRemote(r *Remote) *Cache {
+	if c != nil {
+		c.remote = r
+	}
+	return c
+}
+
+// remoteGet fetches one entry's raw bytes from the store. A 404 is a
+// plain miss; connection errors and retryable statuses are retried per
+// the policy and then absorbed as a miss. The returned bytes are NOT yet
+// verified — Get decodes and checks them against (fingerprint, kind, key).
+func (c *Cache) remoteGet(name string) ([]byte, bool) {
+	r := c.remote
+	if r == nil {
+		return nil, false
+	}
+	end := trace.HostSpan("runcache-remote-get", name)
+	defer end()
+	resp, err := httputil.Do(r.hc, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, r.base+RemotePathPrefix+name, nil)
+	}, r.policy)
+	if err != nil {
+		metRemoteErrors.Inc()
+		metRemoteMisses.Inc()
+		return nil, false
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		metRemoteMisses.Inc()
+		return nil, false
+	case resp.StatusCode/100 != 2:
+		metRemoteErrors.Inc()
+		metRemoteMisses.Inc()
+		return nil, false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRemoteEntryBytes))
+	if err != nil {
+		metRemoteErrors.Inc()
+		metRemoteMisses.Inc()
+		return nil, false
+	}
+	metRemoteBytes.Add(uint64(len(data)))
+	return data, true
+}
+
+// remotePut publishes one entry to the store. Failures are counted and
+// dropped — publishing is best-effort; the local tier already has the
+// entry and a peer that needs it will recompute.
+func (c *Cache) remotePut(name string, data []byte) {
+	r := c.remote
+	if r == nil {
+		return
+	}
+	end := trace.HostSpan("runcache-remote-put", name)
+	defer end()
+	resp, err := httputil.Do(r.hc, func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPut, r.base+RemotePathPrefix+name, bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	}, r.policy)
+	if err != nil {
+		metRemoteErrors.Inc()
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		metRemoteErrors.Inc()
+		return
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	metRemotePuts.Inc()
+	metRemoteBytes.Add(uint64(len(data)))
+}

@@ -1,0 +1,359 @@
+package runcache
+
+// Remote-tier tests. The fake store is a bare map behind the same
+// GET/PUT /api/v1/cache/{key} surface the daemon exposes — deliberately
+// not the real server, so tests can serve deliberately corrupt bytes,
+// fail transiently, and count requests without dragging in the harness.
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/httputil"
+)
+
+// fastPolicy retries without real sleeping.
+func fastPolicy() httputil.Policy {
+	return httputil.Policy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    time.Millisecond,
+		Sleep:       func(time.Duration) {},
+	}
+}
+
+type fakeStore struct {
+	mu      sync.Mutex
+	entries map[string][]byte
+	gets    int
+	puts    int
+
+	// corrupt, when non-nil, replaces every GET body.
+	corrupt []byte
+	// failNext makes the next N requests fail with 503.
+	failNext int
+}
+
+func (s *fakeStore) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		name := strings.TrimPrefix(r.URL.Path, RemotePathPrefix)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.failNext > 0 {
+			s.failNext--
+			http.Error(w, "flaky", http.StatusServiceUnavailable)
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			s.gets++
+			data, ok := s.entries[name]
+			if s.corrupt != nil {
+				data, ok = s.corrupt, true
+			}
+			if !ok {
+				http.Error(w, "no entry", http.StatusNotFound)
+				return
+			}
+			_, _ = w.Write(data)
+		case http.MethodPut:
+			s.puts++
+			data, err := io.ReadAll(r.Body)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			s.entries[name] = data
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "method", http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+func newFakeStore(t *testing.T) (*fakeStore, *Remote) {
+	t.Helper()
+	s := &fakeStore{entries: map[string][]byte{}}
+	srv := httptest.NewServer(s.handler())
+	t.Cleanup(srv.Close)
+	return s, NewRemote(srv.URL).WithPolicy(fastPolicy())
+}
+
+// wireEntry renders the valid wire bytes of one sample result entry for
+// fingerprint fp, plus its content-addressed name, via a scratch cache.
+func wireEntry(t *testing.T, fp string) (name string, data []byte) {
+	t.Helper()
+	scratch := openTest(t, t.TempDir(), fp)
+	scratch.PutResult("GEMM", "rep", "TC", sampleResult())
+	files := entryFiles(t, scratch.Dir())
+	if len(files) != 1 {
+		t.Fatalf("want 1 scratch entry, have %v", files)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Base(files[0]), data
+}
+
+func TestRemoteHitWritesThroughToLocal(t *testing.T) {
+	store, remote := newFakeStore(t)
+	name, data := wireEntry(t, "fp-a")
+	store.entries[name] = data
+
+	c := openTest(t, t.TempDir(), "fp-a").AttachRemote(remote)
+	got, ok := c.GetResult("GEMM", "rep", "TC")
+	if !ok || got.Work != 12.5 {
+		t.Fatalf("remote entry must hit: ok=%v got=%+v", ok, got)
+	}
+	if files := entryFiles(t, c.Dir()); len(files) != 1 {
+		t.Fatalf("remote hit must write through to L1, have %v", files)
+	}
+	// The second lookup is served locally: no further store traffic.
+	if _, ok := c.GetResult("GEMM", "rep", "TC"); !ok {
+		t.Fatal("written-through entry must hit locally")
+	}
+	store.mu.Lock()
+	gets := store.gets
+	store.mu.Unlock()
+	if gets != 1 {
+		t.Fatalf("store saw %d GETs, want 1 (second lookup must be local)", gets)
+	}
+}
+
+func TestRemoteAbsentIsSilentMiss(t *testing.T) {
+	_, remote := newFakeStore(t)
+	c := openTest(t, t.TempDir(), "fp-a").AttachRemote(remote)
+	if _, ok := c.GetResult("GEMM", "rep", "TC"); ok {
+		t.Fatal("empty store must miss")
+	}
+}
+
+// TestRemoteBadEntriesAreSilentMisses is the acceptance-criteria matrix:
+// corrupt, truncated, and fingerprint-mismatched remote entries must be
+// silent misses — never a failure, never wrong bytes.
+func TestRemoteBadEntriesAreSilentMisses(t *testing.T) {
+	name, data := wireEntry(t, "fp-a")
+	_, mismatched := wireEntry(t, "fp-other")
+
+	cases := map[string][]byte{
+		"garbage":              []byte("not json at all"),
+		"truncated":            data[:len(data)/2],
+		"empty":                {},
+		"fingerprint-mismatch": mismatched,
+		"wrong-key":            mustWireKey(t, "fp-a", "GEMM", "rep", "CC"),
+	}
+	for label, body := range cases {
+		t.Run(label, func(t *testing.T) {
+			store, remote := newFakeStore(t)
+			store.entries[name] = body
+			c := openTest(t, t.TempDir(), "fp-a").AttachRemote(remote)
+			corrupt := corruptCount()
+			if got, ok := c.GetResult("GEMM", "rep", "TC"); ok {
+				t.Fatalf("%s remote entry must be a silent miss, got %+v", label, got)
+			}
+			if corruptCount() == corrupt && label != "empty" {
+				// empty body fails the envelope decode too; all paths count.
+				t.Fatalf("%s remote entry must be counted corrupt", label)
+			}
+			// The bad bytes must not have been written through.
+			if files := entryFiles(t, c.Dir()); len(files) != 0 {
+				t.Fatalf("unverified remote bytes must not land in L1: %v", files)
+			}
+		})
+	}
+}
+
+// mustWireKey builds a valid envelope for a *different* key, planted at
+// the asked-for key's address (the confused-store scenario).
+func mustWireKey(t *testing.T, fp, w, cs, v string) []byte {
+	t.Helper()
+	scratch := openTest(t, t.TempDir(), fp)
+	scratch.PutResult(w, cs, v, sampleResult())
+	files := entryFiles(t, scratch.Dir())
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestPutPublishesAndWarmsPeer(t *testing.T) {
+	store, remote := newFakeStore(t)
+	writer := openTest(t, t.TempDir(), "fp-a").AttachRemote(remote)
+	writer.PutResult("GEMM", "rep", "TC", sampleResult())
+
+	store.mu.Lock()
+	puts := store.puts
+	store.mu.Unlock()
+	if puts != 1 {
+		t.Fatalf("store saw %d PUTs, want 1", puts)
+	}
+
+	// A peer with an empty local directory and the same fingerprint warms
+	// entirely off the store.
+	peer := openTest(t, t.TempDir(), "fp-a").AttachRemote(remote)
+	if got, ok := peer.GetResult("GEMM", "rep", "TC"); !ok || got.Work != 12.5 {
+		t.Fatalf("peer must hit via the store: ok=%v got=%+v", ok, got)
+	}
+}
+
+// TestTornWriteSilentMissAcrossRestartBothTiers is the satellite
+// regression: a torn write observed across restart must miss at the local
+// tier AND at the remote tier (the same torn bytes served back by a peer),
+// and a re-Put must heal both.
+func TestTornWriteSilentMissAcrossRestartBothTiers(t *testing.T) {
+	store, remote := newFakeStore(t)
+	dir := t.TempDir()
+	first := openTest(t, dir, "fp-a").AttachRemote(remote)
+	first.PutResult("GEMV", "small", "TC", sampleResult())
+
+	files := entryFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("want 1 entry file, have %v", files)
+	}
+	name := filepath.Base(files[0])
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := data[:len(data)*2/3]
+	// Tear the write in both tiers, as one interrupted writer would have.
+	if err := os.WriteFile(files[0], torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store.mu.Lock()
+	store.entries[name] = torn
+	store.mu.Unlock()
+
+	// "Restart": a fresh handle over the same directory and store.
+	second := openTest(t, dir, "fp-a").AttachRemote(remote)
+	if _, ok := second.GetResult("GEMV", "small", "TC"); ok {
+		t.Fatal("torn entry must miss at both tiers across restart")
+	}
+
+	// Re-execution re-publishes; both tiers heal.
+	second.PutResult("GEMV", "small", "TC", sampleResult())
+	third := openTest(t, dir, "fp-a").AttachRemote(remote)
+	if got, ok := third.GetResult("GEMV", "small", "TC"); !ok || got.Work != 12.5 {
+		t.Fatalf("healed entry must hit: ok=%v got=%+v", ok, got)
+	}
+	store.mu.Lock()
+	healed := store.entries[name]
+	store.mu.Unlock()
+	if string(healed) != string(data) {
+		t.Fatal("re-Put must re-publish the full entry to the store")
+	}
+}
+
+func TestRemoteTransientErrorsRetried(t *testing.T) {
+	store, remote := newFakeStore(t)
+	name, data := wireEntry(t, "fp-a")
+	store.entries[name] = data
+	store.failNext = 2 // two 503s, then success — inside the 3-attempt budget
+
+	c := openTest(t, t.TempDir(), "fp-a").AttachRemote(remote)
+	if _, ok := c.GetResult("GEMM", "rep", "TC"); !ok {
+		t.Fatal("retry budget must absorb two transient failures")
+	}
+}
+
+func TestRemoteDownDegradesToLocalOnly(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	url := srv.URL
+	srv.Close()
+	remote := NewRemote(url).WithPolicy(fastPolicy())
+
+	c := openTest(t, t.TempDir(), "fp-a").AttachRemote(remote)
+	if _, ok := c.GetResult("GEMM", "rep", "TC"); ok {
+		t.Fatal("unreachable store must miss, not error")
+	}
+	c.PutResult("GEMM", "rep", "TC", sampleResult()) // must not panic or fail
+	if _, ok := c.GetResult("GEMM", "rep", "TC"); !ok {
+		t.Fatal("local tier must keep working with the store down")
+	}
+}
+
+func TestValidEntryName(t *testing.T) {
+	name, _ := wireEntry(t, "fp-a")
+	if !ValidEntryName(name) {
+		t.Fatalf("real entry name %q must validate", name)
+	}
+	for _, bad := range []string{
+		"", "result.json", "../../etc/passwd", "result-XYZ.json",
+		"result-0123456789abcdef01234567.json.bak",
+		"result-0123456789abcdef0123456.json", // 23 hex chars
+		"Result-0123456789abcdef01234567.json",
+	} {
+		if ValidEntryName(bad) {
+			t.Errorf("ValidEntryName(%q) = true, want false", bad)
+		}
+	}
+}
+
+func TestWriteEntryVerifiesAddress(t *testing.T) {
+	c := openTest(t, t.TempDir(), "fp-store")
+	name, data := wireEntry(t, "fp-a")
+
+	// The store accepts entries for fingerprints other than its own.
+	if err := c.WriteEntry(name, data); err != nil {
+		t.Fatalf("valid foreign-fingerprint entry must store: %v", err)
+	}
+	got, err := c.ReadEntry(name)
+	if err != nil || string(got) != string(data) {
+		t.Fatalf("ReadEntry after WriteEntry: %v", err)
+	}
+
+	// Rejections, all flagged as bad-entry (the daemon's 400 class).
+	otherName := "result-0123456789abcdef01234567.json"
+	for label, err := range map[string]error{
+		"bad name":      c.WriteEntry("../escape.json", data),
+		"not envelope":  c.WriteEntry(otherName, []byte("garbage")),
+		"wrong address": c.WriteEntry(otherName, data),
+	} {
+		if err == nil || !IsBadEntry(err) {
+			t.Errorf("%s: want a bad-entry error, got %v", label, err)
+		}
+	}
+
+	// Reads of invalid names and absent entries fail distinctly.
+	if _, err := c.ReadEntry("../escape.json"); err == nil || !IsBadEntry(err) {
+		t.Errorf("ReadEntry of invalid name: want bad-entry error, got %v", err)
+	}
+	if _, err := c.ReadEntry(otherName); !os.IsNotExist(err) {
+		t.Errorf("ReadEntry of absent entry: want IsNotExist, got %v", err)
+	}
+}
+
+func TestFromEnvAttachesRemote(t *testing.T) {
+	store, _ := newFakeStore(t)
+	srv := httptest.NewServer(store.handler())
+	defer srv.Close()
+	name, data := wireEntry(t, Fingerprint()) // FromEnv binds the real fingerprint
+	store.mu.Lock()
+	store.entries[name] = data
+	store.mu.Unlock()
+
+	t.Setenv(Env, filepath.Join(t.TempDir(), "l1"))
+	t.Setenv(EnvRemote, srv.URL)
+	c := FromEnv()
+	if c == nil {
+		t.Fatal("FromEnv returned nil with a valid directory")
+	}
+	if got, ok := c.GetResult("GEMM", "rep", "TC"); !ok || got.Work != 12.5 {
+		t.Fatalf("CUBIE_REMOTE_CACHE store must serve the entry: ok=%v got=%+v", ok, got)
+	}
+
+	// CUBIE_CACHE=off disables both tiers.
+	t.Setenv(Env, "off")
+	if c := FromEnv(); c != nil {
+		t.Fatal("CUBIE_CACHE=off must disable the cache even with a remote configured")
+	}
+}

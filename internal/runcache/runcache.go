@@ -19,20 +19,41 @@
 // toggling a knob therefore misses cleanly and re-runs. When the
 // executable cannot be read, runtime/debug build info stands in.
 //
+// # Remote tier
+//
+// The cache is two-tiered. The local directory is L1; when a remote store
+// is attached (AttachRemote, or CUBIE_REMOTE_CACHE via FromEnv) a peer
+// daemon's GET/PUT /api/v1/cache/{key} endpoints are L2, addressed by the
+// same content address — the entry file name. An L1 miss falls through to
+// a remote GET; a verified remote hit is written through to L1 so it is
+// served locally from then on. Every Put publishes to the remote store
+// after the local write, so any worker's results warm every peer. The
+// remote tier inherits the robustness contract: a missing, corrupt,
+// truncated, or fingerprint-mismatched remote entry is a silent miss, and
+// transient HTTP failures are retried with jittered backoff
+// (internal/httputil) before being absorbed as misses.
+//
 // # Robustness
 //
-// Entries are written atomically (tmp file + rename into place), so a
-// crashed or concurrent writer never leaves a half-written entry behind. A
-// missing, truncated, corrupt, or fingerprint-mismatched entry is a silent
-// miss — the caller just recomputes; the cache never surfaces an error.
+// Entries are written atomically (tmp file + fsync + rename into place),
+// so a crashed or concurrent writer never leaves a half-written entry
+// behind — the fsync matters: rename is only atomic for data that reached
+// the disk, and a torn write replayed across a power cut must decode as a
+// miss, not as garbage. A missing, truncated, corrupt, or
+// fingerprint-mismatched entry is a silent miss — the caller just
+// recomputes; the cache never surfaces an error.
 //
 // # Configuration
 //
 // The CUBIE_CACHE environment variable controls the cache (FromEnv):
 // unset or empty uses the per-user default directory, "off" (also "0",
 // "false", "no") disables caching entirely, and any other value is used as
-// the cache directory. All Cache methods are nil-receiver safe: a nil
-// *Cache reads nothing and writes nothing, so call sites need no guards.
+// the cache directory. CUBIE_REMOTE_CACHE names a peer daemon
+// ("host:port" or an http:// base URL) to attach as the remote tier; it
+// is ignored when the local cache is off, because L1 is what makes remote
+// hits cheap and remote publishes crash-safe. All Cache methods are
+// nil-receiver safe: a nil *Cache reads nothing and writes nothing, so
+// call sites need no guards.
 //
 // Hits, misses, corrupt entries, writes, and byte volumes are counted in
 // internal/metrics, and every disk access is wrapped in an
@@ -45,11 +66,13 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"os"
 	"path/filepath"
+	"regexp"
 	"runtime/debug"
 	"sort"
 	"strings"
@@ -64,6 +87,11 @@ import (
 // Env is the environment variable that selects the cache directory or
 // disables the cache ("off").
 const Env = "CUBIE_CACHE"
+
+// EnvRemote is the environment variable naming the remote cache store — a
+// peer daemon's base URL or host:port — attached as the L2 tier by
+// FromEnv.
+const EnvRemote = "CUBIE_REMOTE_CACHE"
 
 // KindResult is the entry kind under which the harness stores
 // workload.Result values.
@@ -95,11 +123,13 @@ var (
 		"Bytes written to run-cache entry files.")
 )
 
-// Cache is one cache directory bound to one fingerprint. The zero value is
-// not usable; nil is (as a disabled cache).
+// Cache is one cache directory bound to one fingerprint, with an optional
+// remote store behind it. The zero value is not usable; nil is (as a
+// disabled cache).
 type Cache struct {
-	dir string
-	fp  string
+	dir    string
+	fp     string
+	remote *Remote // L2 tier; nil = local only
 }
 
 // envelope is the on-disk entry format. Fingerprint, kind, and key are
@@ -112,9 +142,10 @@ type envelope struct {
 	Payload     json.RawMessage `json:"payload"`
 }
 
-// FromEnv opens the cache selected by CUBIE_CACHE. It returns nil — a
-// disabled cache — when the variable is "off" (or "0", "false", "no"), or
-// when the directory cannot be created.
+// FromEnv opens the cache selected by CUBIE_CACHE and, when
+// CUBIE_REMOTE_CACHE is set, attaches that peer store as the remote tier.
+// It returns nil — a disabled cache — when the variable is "off" (or "0",
+// "false", "no"), or when the directory cannot be created.
 func FromEnv() *Cache {
 	dir := os.Getenv(Env)
 	switch strings.ToLower(dir) {
@@ -126,6 +157,9 @@ func FromEnv() *Cache {
 	c, err := Open(dir)
 	if err != nil {
 		return nil
+	}
+	if base := os.Getenv(EnvRemote); base != "" {
+		c.AttachRemote(NewRemote(base))
 	}
 	return c
 }
@@ -223,12 +257,29 @@ func writeBuildInfo(w io.Writer) {
 	}
 }
 
-// path returns the entry file for (kind, key): the file name is the
-// content address hash(fingerprint | kind | key), so distinct code
-// versions never collide and a fingerprint change is an automatic miss.
+// EntryName returns the content-addressed entry file name for
+// (fingerprint, kind, key): hash(fingerprint | kind | key), so distinct
+// code versions never collide and a fingerprint change is an automatic
+// miss. The same name addresses the entry in every tier — it is the {key}
+// path element of the daemon's GET/PUT /api/v1/cache/{key} endpoints.
+func EntryName(fp, kind, key string) string {
+	sum := sha256.Sum256([]byte(fp + "\x00" + kind + "\x00" + key))
+	return kind + "-" + hex.EncodeToString(sum[:12]) + ".json"
+}
+
+// entryNameRe is the shape of every name EntryName can produce. The
+// daemon's cache store validates inbound names against it so a request
+// path can never escape the cache directory or name a non-entry file.
+var entryNameRe = regexp.MustCompile(`^[a-z]+-[0-9a-f]{24}\.json$`)
+
+// ValidEntryName reports whether name is a well-formed entry file name.
+func ValidEntryName(name string) bool {
+	return entryNameRe.MatchString(name)
+}
+
+// path returns the local entry file for (kind, key).
 func (c *Cache) path(kind, key string) string {
-	sum := sha256.Sum256([]byte(c.fp + "\x00" + kind + "\x00" + key))
-	return filepath.Join(c.dir, kind+"-"+hex.EncodeToString(sum[:12])+".json")
+	return filepath.Join(c.dir, EntryName(c.fp, kind, key))
 }
 
 // Has reports whether an entry file exists for (kind, key) without reading
@@ -243,41 +294,65 @@ func (c *Cache) Has(kind, key string) bool {
 	return err == nil
 }
 
-// Get looks up (kind, key) and decodes the payload into v (a pointer).
-// Every failure mode — absent file, truncated or corrupt JSON, fingerprint
-// or key mismatch — is a silent miss.
+// Get looks up (kind, key) in the local tier first, then the remote store,
+// and decodes the payload into v (a pointer). Every failure mode — absent
+// file, truncated or corrupt JSON, fingerprint or key mismatch, in either
+// tier — is a silent miss; a verified remote hit is written through to the
+// local tier. cubie_runcache_misses_total counts overall misses (no tier
+// could answer), matching its pre-remote meaning.
 func (c *Cache) Get(kind, key string, v any) bool {
 	if c == nil {
 		return false
 	}
 	end := trace.HostSpan("runcache-get", kind+":"+key)
 	defer end()
-	data, err := os.ReadFile(c.path(kind, key))
-	if err != nil {
-		metMisses.Inc()
-		return false
+	name := EntryName(c.fp, kind, key)
+	if data, err := os.ReadFile(filepath.Join(c.dir, name)); err == nil {
+		metReadBytes.Add(uint64(len(data)))
+		if c.decodeEntry(data, kind, key, v) {
+			metHits.Inc()
+			return true
+		}
+		metCorrupt.Inc()
+		// Fall through: a good peer copy can heal a locally corrupt entry.
 	}
-	metReadBytes.Add(uint64(len(data)))
+	if data, ok := c.remoteGet(name); ok {
+		if c.decodeEntry(data, kind, key, v) {
+			metRemoteHits.Inc()
+			// Write-through so the next lookup is local. The remote bytes
+			// were verified above, so L1 only ever gains valid entries.
+			if err := c.writeEntryFile(name, data); err == nil {
+				metWrites.Inc()
+				metWrittenBytes.Add(uint64(len(data)))
+			} else {
+				metWriteErrors.Inc()
+			}
+			return true
+		}
+		// The store handed us bytes that do not answer (kind, key) for our
+		// fingerprint: corrupt, truncated, or a mismatched entry. Silent miss.
+		metCorrupt.Inc()
+		metRemoteMisses.Inc()
+	}
+	metMisses.Inc()
+	return false
+}
+
+// decodeEntry verifies one wire/disk entry really answers (kind, key) for
+// this cache's fingerprint and decodes its payload into v.
+func (c *Cache) decodeEntry(data []byte, kind, key string, v any) bool {
 	var e envelope
 	if err := json.Unmarshal(data, &e); err != nil ||
 		e.Fingerprint != c.fp || e.Kind != kind || e.Key != key {
-		metCorrupt.Inc()
-		metMisses.Inc()
 		return false
 	}
-	if err := json.Unmarshal(e.Payload, v); err != nil {
-		metCorrupt.Inc()
-		metMisses.Inc()
-		return false
-	}
-	metHits.Inc()
-	return true
+	return json.Unmarshal(e.Payload, v) == nil
 }
 
-// Put stores v under (kind, key), atomically: the entry is marshaled to a
-// temp file in the cache directory and renamed into place, so readers only
-// ever see complete entries. Errors are absorbed (counted, not returned) —
-// a cache that cannot write degrades to a cache that misses.
+// Put stores v under (kind, key), atomically, then publishes the entry to
+// the remote store when one is attached. Errors are absorbed (counted,
+// not returned) — a cache that cannot write degrades to a cache that
+// misses, and an unreachable remote store degrades to a local-only cache.
 func (c *Cache) Put(kind, key string, v any) {
 	if c == nil {
 		return
@@ -299,25 +374,107 @@ func (c *Cache) Put(kind, key string, v any) {
 		metWriteErrors.Inc()
 		return
 	}
-	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
-	if err != nil {
-		metWriteErrors.Inc()
-		return
-	}
-	_, werr := tmp.Write(data)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		metWriteErrors.Inc()
-		return
-	}
-	if err := os.Rename(tmp.Name(), c.path(kind, key)); err != nil {
-		os.Remove(tmp.Name())
+	name := EntryName(c.fp, kind, key)
+	if err := c.writeEntryFile(name, data); err != nil {
 		metWriteErrors.Inc()
 		return
 	}
 	metWrites.Inc()
 	metWrittenBytes.Add(uint64(len(data)))
+	c.remotePut(name, data)
+}
+
+// writeEntryFile lands one complete entry at dir/name atomically: temp
+// file, write, fsync, rename. The fsync before the rename is what makes
+// the rename a real commit point — without it a power cut can replay a
+// renamed-but-torn entry, which would then have to be caught (and is, by
+// decodeEntry) rather than prevented.
+func (c *Cache) writeEntryFile(name string, data []byte) error {
+	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	serr := tmp.Sync()
+	cerr := tmp.Close()
+	if werr != nil || serr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		if serr != nil {
+			return serr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(c.dir, name)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// ReadEntry returns the raw bytes of one locally stored entry by its
+// content-addressed name — the daemon's GET /api/v1/cache/{key} read path.
+// The name is validated; the error is os.IsNotExist-able for absent
+// entries.
+func (c *Cache) ReadEntry(name string) ([]byte, error) {
+	if c == nil {
+		return nil, os.ErrNotExist
+	}
+	if !ValidEntryName(name) {
+		return nil, fmt.Errorf("%w: invalid entry name %q", errBadEntry, name)
+	}
+	data, err := os.ReadFile(filepath.Join(c.dir, name))
+	if err != nil {
+		return nil, err
+	}
+	metReadBytes.Add(uint64(len(data)))
+	return data, nil
+}
+
+// errBadEntry marks WriteEntry/ReadEntry failures caused by the caller's
+// bytes or name, as opposed to local I/O trouble. IsBadEntry exposes it.
+var errBadEntry = fmt.Errorf("runcache: bad entry")
+
+// IsBadEntry reports whether err means the submitted entry itself was
+// invalid (bad name, not an envelope, or body/name address mismatch) —
+// the daemon maps these to 400 and real storage errors to 500.
+func IsBadEntry(err error) bool {
+	return errors.Is(err, errBadEntry)
+}
+
+// WriteEntry stores one wire-format entry under its content-addressed
+// name — the daemon's PUT /api/v1/cache/{key} write path. The body must
+// be a complete envelope whose computed address matches name: the store
+// re-derives EntryName from the envelope's own fingerprint/kind/key and
+// refuses a mismatch, so a confused or malicious writer can never park
+// bytes under someone else's address. The store does NOT require the
+// envelope's fingerprint to match this process's — a daemon serves
+// entries for every code version its peers run; readers verify the
+// fingerprint on Get.
+func (c *Cache) WriteEntry(name string, data []byte) error {
+	if c == nil {
+		return fmt.Errorf("runcache: no cache attached")
+	}
+	if !ValidEntryName(name) {
+		return fmt.Errorf("%w: invalid entry name %q", errBadEntry, name)
+	}
+	var e envelope
+	if err := json.Unmarshal(data, &e); err != nil {
+		return fmt.Errorf("%w: not an entry envelope: %v", errBadEntry, err)
+	}
+	if EntryName(e.Fingerprint, e.Kind, e.Key) != name {
+		return fmt.Errorf("%w: body addresses %s, not %s",
+			errBadEntry, EntryName(e.Fingerprint, e.Kind, e.Key), name)
+	}
+	if err := c.writeEntryFile(name, data); err != nil {
+		metWriteErrors.Inc()
+		return err
+	}
+	metWrites.Inc()
+	metWrittenBytes.Add(uint64(len(data)))
+	return nil
 }
 
 // ResultKey renders the canonical key of one workload execution.

@@ -115,3 +115,55 @@ type CampaignStatus struct {
 type CampaignsResponse struct {
 	Campaigns []CampaignStatus `json:"campaigns"`
 }
+
+// WorkKey identifies one run key on the wire — the distributed-campaign
+// unit of work. Variant may be the "__reference" pseudo-variant.
+type WorkKey struct {
+	Workload string `json:"workload"`
+	Case     string `json:"case"`
+	Variant  string `json:"variant"`
+}
+
+// WorkLeaseRequest asks the coordinator for work
+// (POST /api/v1/work/lease). Worker is a free-form identity used for
+// diagnostics only.
+type WorkLeaseRequest struct {
+	Worker string `json:"worker,omitempty"`
+}
+
+// WorkLeaseResponse is one lease decision. Status "ok" grants Key under
+// Lease; "wait" means everything pending is leased out (poll again);
+// "done" and "failed" are terminal — the worker should exit, Error
+// carrying the failure in the latter case.
+type WorkLeaseResponse struct {
+	Status string   `json:"status"` // "ok", "wait", "done", "failed"
+	Key    *WorkKey `json:"key,omitempty"`
+	Lease  string   `json:"lease,omitempty"`
+	Error  string   `json:"error,omitempty"`
+}
+
+// WorkCompleteRequest reports a leased key's outcome
+// (POST /api/v1/work/complete). Empty Error means success.
+type WorkCompleteRequest struct {
+	Lease string `json:"lease"`
+	Error string `json:"error,omitempty"`
+}
+
+// WorkCompleteResponse acknowledges a completion: "ok", "requeued"
+// (failed, will retry), "failed" (the queue gave up), or "stale" (the
+// lease expired and was re-issued; the report was ignored).
+type WorkCompleteResponse struct {
+	Status string `json:"status"`
+}
+
+// WorkStatusResponse snapshots the coordinator's queue
+// (GET /api/v1/work).
+type WorkStatusResponse struct {
+	State     string `json:"state"` // "running", "done", "failed"
+	Total     int    `json:"total_keys"`
+	Completed int    `json:"completed_keys"`
+	Pending   int    `json:"pending_keys"`
+	Leased    int    `json:"leased_keys"`
+	Reissued  int    `json:"reissued_leases"`
+	Error     string `json:"error,omitempty"`
+}

@@ -6,6 +6,13 @@
 // Every non-2xx response decodes into *api.Error, so callers can switch on
 // the stable code (api.CodeSaturated, api.CodeNotFound, ...) and read the
 // HTTP status from Error.Status.
+//
+// GET requests ride internal/httputil's retry loop (jittered backoff on
+// connection errors and retryable statuses), so a transient daemon blip —
+// a restart, a dropped connection — heals without the caller noticing.
+// POSTs are issued exactly once: runs and campaign starts are not
+// idempotent from the client's view, and the daemon's own semantics
+// (singleflight caches, lease expiry) already cover a lost response.
 package client
 
 import (
@@ -17,13 +24,15 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/httputil"
 	"repro/internal/server/api"
 )
 
 // Client talks to one daemon.
 type Client struct {
-	base string
-	http *http.Client
+	base   string
+	http   *http.Client
+	policy httputil.Policy
 }
 
 // New returns a client for a daemon at addr ("host:port" or a full
@@ -34,30 +43,51 @@ func New(addr string) *Client {
 		base = "http://" + base
 	}
 	return &Client{
-		base: strings.TrimRight(base, "/"),
-		http: &http.Client{Timeout: 10 * time.Minute},
+		base:   strings.TrimRight(base, "/"),
+		http:   &http.Client{Timeout: 10 * time.Minute},
+		policy: httputil.DefaultPolicy(),
 	}
+}
+
+// WithPolicy overrides the GET retry policy (tests shrink the delays).
+func (c *Client) WithPolicy(p httputil.Policy) *Client {
+	c.policy = p
+	return c
+}
+
+// get issues one retried GET (see the package doc for the retry split).
+func (c *Client) get(path string) (*http.Response, error) {
+	return httputil.Do(c.http, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, c.base+path, nil)
+	}, c.policy)
 }
 
 // do issues one request and decodes the JSON response into out (skipped
 // when out is nil). Non-2xx responses return *api.Error.
 func (c *Client) do(method, path string, body, out any) error {
-	var rd io.Reader
-	if body != nil {
-		data, err := json.Marshal(body)
-		if err != nil {
-			return fmt.Errorf("client: encode request: %w", err)
+	var resp *http.Response
+	var err error
+	if method == http.MethodGet && body == nil {
+		resp, err = c.get(path)
+	} else {
+		var rd io.Reader
+		if body != nil {
+			data, merr := json.Marshal(body)
+			if merr != nil {
+				return fmt.Errorf("client: encode request: %w", merr)
+			}
+			rd = bytes.NewReader(data)
 		}
-		rd = bytes.NewReader(data)
+		var req *http.Request
+		req, err = http.NewRequest(method, c.base+path, rd)
+		if err != nil {
+			return fmt.Errorf("client: %w", err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err = c.http.Do(req)
 	}
-	req, err := http.NewRequest(method, c.base+path, rd)
-	if err != nil {
-		return fmt.Errorf("client: %w", err)
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.http.Do(req)
 	if err != nil {
 		return fmt.Errorf("client: %w", err)
 	}
@@ -107,7 +137,7 @@ func (c *Client) Figures() ([]api.FigureInfo, error) {
 // Figure fetches one rendered figure's bytes — identical to the `cubie all`
 // section for that figure (GET /api/v1/figures/{name}).
 func (c *Client) Figure(name string) ([]byte, error) {
-	resp, err := c.http.Get(c.base + "/api/v1/figures/" + name)
+	resp, err := c.get("/api/v1/figures/" + name)
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
@@ -156,7 +186,7 @@ func (c *Client) Campaigns() ([]api.CampaignStatus, error) {
 // (GET /api/v1/campaigns/{id}/events), calling fn on each status line
 // until the stream ends (campaign finished) or fn returns false.
 func (c *Client) CampaignEvents(id string, fn func(api.CampaignStatus) bool) error {
-	resp, err := c.http.Get(c.base + "/api/v1/campaigns/" + id + "/events")
+	resp, err := c.get("/api/v1/campaigns/" + id + "/events")
 	if err != nil {
 		return fmt.Errorf("client: %w", err)
 	}
@@ -177,4 +207,28 @@ func (c *Client) CampaignEvents(id string, fn func(api.CampaignStatus) bool) err
 			return nil
 		}
 	}
+}
+
+// LeaseWork asks a coordinator for one run key
+// (POST /api/v1/work/lease). worker is a free-form identity for
+// diagnostics.
+func (c *Client) LeaseWork(worker string) (api.WorkLeaseResponse, error) {
+	var out api.WorkLeaseResponse
+	err := c.do(http.MethodPost, "/api/v1/work/lease", api.WorkLeaseRequest{Worker: worker}, &out)
+	return out, err
+}
+
+// CompleteWork reports a leased key's outcome (POST /api/v1/work/complete);
+// empty errMsg means success.
+func (c *Client) CompleteWork(lease, errMsg string) (api.WorkCompleteResponse, error) {
+	var out api.WorkCompleteResponse
+	err := c.do(http.MethodPost, "/api/v1/work/complete", api.WorkCompleteRequest{Lease: lease, Error: errMsg}, &out)
+	return out, err
+}
+
+// WorkStatus snapshots a coordinator's queue (GET /api/v1/work).
+func (c *Client) WorkStatus() (api.WorkStatusResponse, error) {
+	var out api.WorkStatusResponse
+	err := c.do(http.MethodGet, "/api/v1/work", nil, &out)
+	return out, err
 }

@@ -97,6 +97,11 @@ type Server struct {
 	campaigns []*campaign
 	campSeq   int
 
+	// queue is the distributed-campaign lease queue this daemon
+	// coordinates (nil unless SetWorkQueue was called — see work.go).
+	queueMu sync.Mutex
+	queue   *harness.WorkQueue
+
 	lnMu sync.Mutex
 	ln   net.Listener
 }
@@ -141,6 +146,11 @@ func (s *Server) routes() {
 	s.handle("POST /api/v1/campaigns", s.handleCampaignStart)
 	s.handle("GET /api/v1/campaigns/{id}", s.handleCampaign)
 	s.handle("GET /api/v1/campaigns/{id}/events", s.handleCampaignEvents)
+	s.handle("GET /api/v1/cache/{key}", s.handleCacheGet)
+	s.handle("PUT /api/v1/cache/{key}", s.handleCachePut)
+	s.handle("POST /api/v1/work/lease", s.handleWorkLease)
+	s.handle("POST /api/v1/work/complete", s.handleWorkComplete)
+	s.handle("GET /api/v1/work", s.handleWorkStatus)
 	s.handle("/", s.handleNotFound)
 }
 

@@ -1,0 +1,276 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/httputil"
+	"repro/internal/runcache"
+	"repro/internal/server/api"
+	"repro/internal/server/client"
+)
+
+// fastClientPolicy keeps client retries instant in tests.
+func fastClientPolicy() httputil.Policy {
+	p := httputil.DefaultPolicy()
+	p.MaxAttempts = 2
+	p.BaseDelay = time.Millisecond
+	p.Sleep = func(time.Duration) {}
+	return p
+}
+
+// wireEntry produces one valid content-addressed entry (name, bytes) by
+// writing a result through a scratch cache and reading the file back.
+func wireEntry(t *testing.T, fp string) (string, []byte) {
+	t.Helper()
+	dir := t.TempDir()
+	c, err := runcache.OpenWithFingerprint(dir, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := harness.New().AttachCache(c)
+	if err := h.ExecuteKey(harness.RunKey{Workload: "GEMV", Case: gemvCase(t), Variant: "TC"}); err != nil {
+		t.Fatal(err)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no entry written (err=%v)", err)
+	}
+	data, err := os.ReadFile(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Base(names[0]), data
+}
+
+func gemvCase(t *testing.T) string {
+	t.Helper()
+	w, err := harness.New().Suite.ByName("GEMV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Cases()[0].Name
+}
+
+func newStoreServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	c, err := runcache.OpenWithFingerprint(t.TempDir(), "srv-fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(harness.New().AttachCache(c), Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func httpGetBytes(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d: %s", url, resp.StatusCode, data)
+	}
+	return data
+}
+
+// TestCacheStoreRoundTrip: a PUT entry is served back byte-identical, and
+// the daemon refuses what the addressing contract forbids.
+func TestCacheStoreRoundTrip(t *testing.T) {
+	_, ts := newStoreServer(t)
+	name, data := wireEntry(t, "peer-fp") // foreign fingerprint: stores must hold it anyway
+
+	put := func(path string, body []byte) *http.Response {
+		req, err := http.NewRequest(http.MethodPut, ts.URL+path, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	// Miss before the PUT.
+	resp := getJSON(t, ts.URL+"/api/v1/cache/"+name, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pre-put GET: HTTP %d, want 404", resp.StatusCode)
+	}
+
+	if resp := put("/api/v1/cache/"+name, data); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT: HTTP %d, want 204", resp.StatusCode)
+	}
+	got := httpGetBytes(t, ts.URL+"/api/v1/cache/"+name)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("served entry differs from stored entry (%d vs %d bytes)", len(got), len(data))
+	}
+
+	// Invalid names are 400 on both verbs.
+	if resp := getJSON(t, ts.URL+"/api/v1/cache/not-an-entry", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("GET bad name: HTTP %d, want 400", resp.StatusCode)
+	}
+	if resp := put("/api/v1/cache/not-an-entry", data); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("PUT bad name: HTTP %d, want 400", resp.StatusCode)
+	}
+	// A valid name that does not match the body's address is refused.
+	other := runcache.EntryName("peer-fp", "result", "no|such|key")
+	if resp := put("/api/v1/cache/"+other, data); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("PUT address mismatch: HTTP %d, want 400", resp.StatusCode)
+	}
+	// Garbage under a valid name is refused too.
+	if resp := put("/api/v1/cache/"+name, []byte("{not json")); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("PUT garbage: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestCacheEndpointsWithoutCache: a cacheless daemon (CUBIE_CACHE=off)
+// answers 404 — peers treat it as a silent miss.
+func TestCacheEndpointsWithoutCache(t *testing.T) {
+	_, ts := newTestServer(t, nil) // harness.New() with no cache attached
+	name := runcache.EntryName("fp", "result", "k")
+	if resp := getJSON(t, ts.URL+"/api/v1/cache/"+name, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET: HTTP %d, want 404", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/api/v1/cache/"+name, bytes.NewReader([]byte("{}")))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("PUT: HTTP %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestWorkEndpointsWithoutQueue: a daemon that coordinates nothing
+// answers 404 on the whole /api/v1/work surface.
+func TestWorkEndpointsWithoutQueue(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	cl := client.New(ts.URL).WithPolicy(fastClientPolicy())
+	if _, err := cl.LeaseWork("w"); !isAPICode(err, api.CodeNotFound) {
+		t.Fatalf("LeaseWork err = %v, want not_found", err)
+	}
+	if _, err := cl.CompleteWork("l1", ""); !isAPICode(err, api.CodeNotFound) {
+		t.Fatalf("CompleteWork err = %v, want not_found", err)
+	}
+	if _, err := cl.WorkStatus(); !isAPICode(err, api.CodeNotFound) {
+		t.Fatalf("WorkStatus err = %v, want not_found", err)
+	}
+}
+
+func isAPICode(err error, code string) bool {
+	ae, ok := err.(*api.Error)
+	return ok && ae.Code == code
+}
+
+// TestWorkQueueOverHTTP drives a two-key campaign through the wire
+// protocol, including the worker-death fault path: worker w1 leases a key
+// and dies (never completes); after the lease timeout the key is
+// re-issued to w2, w2 drains the plan, and w1's late completion is
+// reported stale.
+func TestWorkQueueOverHTTP(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	h := harness.New()
+	small := gemvCase(t)
+	keys := []harness.RunKey{
+		{Workload: "GEMV", Case: small, Variant: "TC"},
+		{Workload: "GEMV", Case: small, Variant: "Baseline"},
+	}
+	q, err := h.NewWorkQueue(keys, 80*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetWorkQueue(q)
+	cl := client.New(ts.URL).WithPolicy(fastClientPolicy())
+
+	st, err := cl.WorkStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "running" || st.Total != 2 {
+		t.Fatalf("status = %+v, want running with 2 keys", st)
+	}
+
+	// w1 leases one key and dies.
+	dead, err := cl.LeaseWork("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dead.Status != "ok" || dead.Key == nil || dead.Key.Workload != "GEMV" {
+		t.Fatalf("w1 lease = %+v, want ok GEMV grant", dead)
+	}
+
+	// w2 gets the other key immediately, then waits out w1's corpse.
+	g2, err := cl.LeaseWork("w2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Status != "ok" {
+		t.Fatalf("w2 first lease = %+v, want ok", g2)
+	}
+	if _, err := cl.CompleteWork(g2.Lease, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	// Poll until the dead worker's lease expires into w2's hands.
+	deadline := time.Now().Add(5 * time.Second)
+	var g3 api.WorkLeaseResponse
+	for {
+		g3, err = cl.LeaseWork("w2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g3.Status == "ok" {
+			break
+		}
+		if g3.Status != "wait" {
+			t.Fatalf("w2 re-lease = %+v, want ok or wait", g3)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dead worker's key was never re-issued")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if *g3.Key != *dead.Key {
+		t.Fatalf("re-issued key = %+v, want %+v", g3.Key, dead.Key)
+	}
+	if ack, err := cl.CompleteWork(g3.Lease, ""); err != nil || ack.Status != "ok" {
+		t.Fatalf("complete re-issued = %+v, %v", ack, err)
+	}
+
+	// The straggler's completion must be ignored.
+	if ack, err := cl.CompleteWork(dead.Lease, ""); err != nil || ack.Status != "stale" {
+		t.Fatalf("stale complete = %+v, %v, want stale", ack, err)
+	}
+
+	if g, err := cl.LeaseWork("w2"); err != nil || g.Status != "done" {
+		t.Fatalf("final lease = %+v, %v, want done", g, err)
+	}
+	st, err = cl.WorkStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" || st.Completed != 2 || st.Reissued != 1 {
+		t.Fatalf("final status = %+v, want done/2 completed/1 reissued", st)
+	}
+}

@@ -9,8 +9,8 @@
 #   make bench-compare - diff two benchmark snapshots and fail on >10%
 #                        ns/op or allocs/op regressions (0 → >0 allocs
 #                        always fails):
-#                        make bench-compare OLD=benchdata/BENCH_pre_packcache.json \
-#                                           NEW=benchdata/BENCH_post_packcache.json
+#                        make bench-compare OLD=benchdata/BENCH_pre_prestage.json \
+#                                           NEW=benchdata/BENCH_post_prestage.json
 #                        Rolling-baseline mode diffs NEW against the best-of
 #                        envelope of the last K committed snapshots instead:
 #                        make bench-compare ROLLING=3 NEW=benchdata/BENCH_new.json
@@ -52,8 +52,8 @@ BENCHTIME ?= 1s
 # fail the gate (0.10 = 10%) on each axis. Setting ROLLING=K switches the
 # baseline from the OLD file to the best-of envelope of the last K committed
 # benchdata/BENCH_*.json snapshots.
-OLD ?= benchdata/BENCH_pre_packcache.json
-NEW ?= benchdata/BENCH_post_packcache.json
+OLD ?= benchdata/BENCH_pre_prestage.json
+NEW ?= benchdata/BENCH_post_prestage.json
 TOLERANCE ?= 0.10
 ALLOC_TOLERANCE ?= 0.10
 ROLLING ?=

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/tune"
+)
+
+// cmdTune runs the panel-geometry calibration on this host, prints the sweep
+// table, and persists the winning geometry where startup loading (and every
+// future cubie invocation on this host) will find it.
+func cmdTune(out string) {
+	fmt.Printf("Calibrating panel geometry for %s (best of timed rounds per candidate;\n", tune.HostFingerprint())
+	fmt.Println("every candidate computes bit-identical results — this sweep is performance-only).")
+	fmt.Println()
+	g, sweeps, err := tune.Calibrate()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-14s %9s %12s %4s\n", "knob", "candidate", "best", "")
+	for _, s := range sweeps {
+		mark := ""
+		if s.Won {
+			mark = "  <-- selected"
+		}
+		fmt.Printf("%-14s %9d %12s%s\n", s.Knob, s.Candidate, s.Best, mark)
+	}
+	path := out
+	if path == "" {
+		path = tunedSavePath()
+	}
+	if err := tune.Save(g, path); err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	fmt.Printf("saved: %s\n", path)
+	fmt.Printf("geometry: spgemm_batch=%d dasp_chunk=%d dmma_block=%d\n",
+		g.SpGEMMBatch, g.DASPChunk, g.DMMABlock)
+}
+
+// tunedSavePath resolves where `cubie tune` writes: a CUBIE_TUNED path
+// override if one is set (off/0 disable loading, not saving), else the
+// per-host default file.
+func tunedSavePath() string {
+	switch v := os.Getenv(tune.EnvVar); v {
+	case "", "off", "0":
+		p, err := tune.DefaultPath()
+		if err != nil {
+			fatal(err)
+		}
+		return p
+	default:
+		return v
+	}
+}

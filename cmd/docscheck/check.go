@@ -17,6 +17,10 @@ type facts struct {
 	flags       map[string]bool // CLI flag names, without dashes
 	makeTargets map[string]bool
 	envVars     map[string]bool // CUBIE_* literals in .go files
+	// codeEnvVars is the subset of envVars found in non-test .go files: the
+	// real knob surface, which the docs must cover in the reverse direction
+	// (tests may mention extra variables without creating a doc obligation).
+	codeEnvVars map[string]bool
 
 	// The serve control API surface (internal/server). Routes are the
 	// literal patterns registered through s.handle ("GET /api/v1/figures");
@@ -53,6 +57,7 @@ func gather(root string) (*facts, error) {
 		flags:       map[string]bool{},
 		makeTargets: map[string]bool{},
 		envVars:     map[string]bool{},
+		codeEnvVars: map[string]bool{},
 		routes:      map[string]bool{},
 		configKeys:  map[string]bool{},
 		serveEnv:    map[string]bool{},
@@ -88,6 +93,9 @@ func gather(root string) (*facts, error) {
 		}
 		for _, m := range reEnvDef.FindAllStringSubmatch(string(src), -1) {
 			f.envVars[m[1]] = true
+			if !strings.HasSuffix(path, "_test.go") {
+				f.codeEnvVars[m[1]] = true
+			}
 		}
 		// Flag definitions live in the command packages.
 		rel := filepath.ToSlash(path)
@@ -153,14 +161,28 @@ func check(root string) ([]string, error) {
 		configKeys: map[string]bool{},
 		envVars:    map[string]bool{},
 	}
+	allEnvRefs := map[string]bool{}
 	for _, path := range files {
 		v, refs, err := checkFile(path, f)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, v...)
+		for e := range refs.envVars {
+			allEnvRefs[e] = true
+		}
 		if filepath.ToSlash(path) == filepath.ToSlash(filepath.Join(root, serveDoc)) {
 			serveRefs = refs
+		}
+	}
+
+	// Reverse direction for the knob surface: every CUBIE_* variable a
+	// non-test .go file reads must be documented somewhere in README.md or
+	// docs/ — an env knob shipped without documentation fails the gate just
+	// like a documented knob the code dropped.
+	for _, e := range sorted(f.codeEnvVars) {
+		if !allEnvRefs[e] {
+			out = append(out, fmt.Sprintf("%s: environment variable %s is read by the code but not documented in README.md or docs/", root, e))
 		}
 	}
 

@@ -69,7 +69,7 @@ func TestCheckViolations(t *testing.T) {
 		"Makefile":          fakeMakefile,
 		"cmd/tool/main.go":  fakeMain,
 		"internal/p/env.go": fakeEnvUser,
-		"README.md":         "ok\n",
+		"README.md":         "Set `CUBIE_WORKERS` to scale out.\n",
 		"docs/BAD.md":       "line one\n`tool --bogus-flag`\n\n```\nmake deploy\nCUBIE_TURBO=1 tool\n```\n",
 	})
 	v, err := check(root)
@@ -207,7 +207,7 @@ func TestServeSurfaceReverse(t *testing.T) {
 		"Makefile":                  fakeMakefile,
 		"internal/server/server.go": fakeServer,
 		"internal/server/config.go": fakeServerConfig,
-		"README.md":                 "ok\n",
+		"README.md":                 "Also honours `CUBIE_LIMIT`.\n",
 		"docs/SERVE.md": "# API\n\n| `GET /healthz` | liveness |\n" +
 			"| `GET /api/v1/things` | list |\n\n" +
 			"## Configuration\n\n| `addr` | `CUBIE_ADDR` | `127.0.0.1:1` |\n",

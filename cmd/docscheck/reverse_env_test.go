@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReverseEnvUndocumented verifies the code→docs direction of the env-var
+// check: a CUBIE_* variable read by a non-test .go file with no doc mention
+// anywhere fails the gate.
+func TestReverseEnvUndocumented(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"Makefile":          fakeMakefile,
+		"cmd/tool/main.go":  fakeMain,
+		"internal/p/env.go": "package p\n\nimport \"os\"\n\nvar v = os.Getenv(\"CUBIE_SECRET_KNOB\")\n",
+		"README.md":         "Nothing to see.\n",
+	})
+	v, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(v, "\n")
+	if !strings.Contains(joined, "CUBIE_SECRET_KNOB is read by the code but not documented") {
+		t.Fatalf("undocumented env knob not reported:\n%s", joined)
+	}
+	if len(v) != 1 {
+		t.Fatalf("want exactly 1 violation, got %d:\n%s", len(v), joined)
+	}
+}
+
+// TestReverseEnvDocumentedAnywhere verifies one code-marked mention in any
+// doc satisfies the reverse check.
+func TestReverseEnvDocumentedAnywhere(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"Makefile":          fakeMakefile,
+		"cmd/tool/main.go":  fakeMain,
+		"internal/p/env.go": "package p\n\nimport \"os\"\n\nvar v = os.Getenv(\"CUBIE_SECRET_KNOB\")\n",
+		"README.md":         "Nothing here.\n",
+		"docs/KNOBS.md":     "Set `CUBIE_SECRET_KNOB=1` to do the thing.\n",
+	})
+	v, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 0 {
+		t.Fatalf("documented knob still flagged: %v", v)
+	}
+}
+
+// TestReverseEnvTestFilesExempt verifies variables that appear only in
+// _test.go files create no documentation obligation (tests may fabricate
+// knobs), while still counting as "read by the code" for the docs→code
+// direction.
+func TestReverseEnvTestFilesExempt(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"Makefile":               fakeMakefile,
+		"cmd/tool/main.go":       fakeMain,
+		"internal/p/env_test.go": "package p\n\nimport \"os\"\n\nvar v = os.Getenv(\"CUBIE_TEST_ONLY\")\n",
+		"README.md":              "Mentions `CUBIE_TEST_ONLY` legitimately.\n",
+	})
+	v, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 0 {
+		t.Fatalf("test-only env var produced violations: %v", v)
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"repro/internal/mmu"
 	"repro/internal/packcache"
 	"repro/internal/par"
+	"repro/internal/prestage"
+	"repro/internal/tune"
 	"repro/internal/workload"
 )
 
@@ -163,6 +165,64 @@ func TestSuitePackCacheDeterminism(t *testing.T) {
 
 	for name, other := range map[string]map[string][]float64{
 		"warm-hit": warm, "staging (cache off)": staged, "panels-off": tileLoop,
+	} {
+		if len(cold) == 0 || len(cold) != len(other) {
+			t.Fatalf("%s: run counts differ or empty: %d vs %d", name, len(cold), len(other))
+		}
+		for key, c := range cold {
+			o := other[key]
+			if len(c) != len(o) {
+				t.Errorf("%s %s: output lengths differ: %d vs %d", name, key, len(c), len(o))
+				continue
+			}
+			for i := range c {
+				if math.Float64bits(c[i]) != math.Float64bits(o[i]) {
+					t.Errorf("%s %s: output[%d] differs bitwise: %v vs %v",
+						name, key, i, c[i], o[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestSuitePrestageDeterminism is the prestaged-operand contract: every
+// workload's representative case, in every variant, must produce the
+// bit-identical Output whether the hot loops consume the prestaged slabs
+// (cold-miss and warm-hit runs), restage operands per call
+// (CUBIE_NO_PRESTAGE=1), or run under a non-default tuned geometry (cubie
+// tune's batch/chunk/block knobs). Slabs store exactly the bytes the staged
+// path produces and the geometry knobs only re-partition loop iterations,
+// so every route agrees bitwise.
+func TestSuitePrestageDeterminism(t *testing.T) {
+	runAll := func(pre bool) map[string][]float64 {
+		was := prestage.SetEnabled(pre)
+		defer prestage.SetEnabled(was)
+		out := map[string][]float64{}
+		for _, w := range core.NewSuite().Workloads() {
+			c := w.Representative()
+			for _, v := range w.Variants() {
+				res, err := w.Run(c, v)
+				if err != nil {
+					t.Fatalf("%s/%s (prestage=%v): %v", w.Name(), v, pre, err)
+				}
+				out[w.Name()+"/"+string(v)] = res.Output
+			}
+		}
+		return out
+	}
+
+	packcache.Flush() // first prestaged pass packs every slab cold
+	cold := runAll(true)
+	warm := runAll(true) // second pass reuses hash-validated slabs
+	restaged := runAll(false)
+
+	prevGeom := tune.Apply(tune.Geometry{SpGEMMBatch: 4, DASPChunk: 8, DMMABlock: 4})
+	tuned := runAll(true)
+	tune.Apply(prevGeom)
+
+	for name, other := range map[string]map[string][]float64{
+		"warm-hit": warm, "restaged (prestage off)": restaged, "tuned geometry": tuned,
 	} {
 		if len(cold) == 0 || len(cold) != len(other) {
 			t.Fatalf("%s: run counts differ or empty: %d vs %d", name, len(cold), len(other))

@@ -241,8 +241,21 @@ func (a *blockAccum) flush(d *caseData, bi int, out []float64) {
 type numericScratch struct {
 	acc   blockAccum
 	queue []pendingProduct
-	// Staging for one DMMABatch call: spgemmBatch consecutive A, B, C tiles.
-	panels [spgemmBatch * (mmu.M*mmu.K + mmu.K*mmu.N + mmu.M*mmu.N)]float64
+	// Staging for one DMMABatch call: batch consecutive A, B, C tiles,
+	// grow-once sized by ensurePanels for the active batch geometry (the
+	// batch was a compile-time constant before `cubie tune` made it a knob).
+	panels []float64
+}
+
+// ensurePanels grow-once sizes the staging panels for a batch of n MMAs.
+// Pooled scratches sized for an older, larger batch keep their capacity.
+func (ns *numericScratch) ensurePanels(n int) {
+	need := n * (mmu.M*mmu.K + mmu.K*mmu.N + mmu.M*mmu.N)
+	if cap(ns.panels) < need {
+		ns.panels = make([]float64, ceilPow2(need))
+		ns.acc.grows++
+	}
+	ns.panels = ns.panels[:cap(ns.panels)]
 }
 
 var numericPool sync.Pool

@@ -1,0 +1,165 @@
+package spgemm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/packcache"
+	"repro/internal/prestage"
+)
+
+// TestComputeMMAPrestageBitIdentical pins the tentpole contract on the
+// SpGEMM side: executing MMAs straight off the prestaged pair slab is
+// bitwise indistinguishable from the per-chunk copy staging, across the
+// prestage × packcache knob grid (the slab rides the packcache, so both
+// routes through it must match too).
+func TestComputeMMAPrestageBitIdentical(t *testing.T) {
+	w := New()
+	d, err := w.data(w.Representative())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevPre := prestage.SetEnabled(false)
+	want := computeMMA(d)
+	prestage.SetEnabled(prevPre)
+	for _, cache := range []bool{true, false} {
+		prevCache := packcache.SetEnabled(cache)
+		packcache.Flush()
+		prestage.SetEnabled(true)
+		got := computeMMA(d)
+		prestage.SetEnabled(prevPre)
+		packcache.SetEnabled(prevCache)
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("cache=%v: differs bitwise at %d: %v vs %v",
+					cache, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestComputeMMABatchSizesBitIdentical pins SetBatch as performance-only:
+// the batch merely chunks the per-row pair queue, never reordering the
+// queue-order accumulation, so every size matches the default bitwise —
+// with and without the prestaged slab.
+func TestComputeMMABatchSizesBitIdentical(t *testing.T) {
+	w := New()
+	d, err := w.data(w.Representative())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := computeMMA(d)
+	for _, pre := range []bool{true, false} {
+		prevPre := prestage.SetEnabled(pre)
+		for _, batch := range []int{1, 2, 7, 16, 64} {
+			prevBatch := SetBatch(batch)
+			got := computeMMA(d)
+			SetBatch(prevBatch)
+			for i := range base {
+				if math.Float64bits(got[i]) != math.Float64bits(base[i]) {
+					t.Fatalf("prestage=%v batch=%d: differs bitwise at %d: %v vs %v",
+						pre, batch, i, got[i], base[i])
+				}
+			}
+		}
+		prestage.SetEnabled(prevPre)
+	}
+}
+
+// TestSetBatch checks the knob round-trips, reports the previous value, and
+// clamps below 1.
+func TestSetBatch(t *testing.T) {
+	orig := Batch()
+	defer SetBatch(orig)
+	if prev := SetBatch(32); prev != orig {
+		t.Fatalf("SetBatch returned %d, want %d", prev, orig)
+	}
+	if Batch() != 32 {
+		t.Fatal("batch not applied")
+	}
+	SetBatch(0)
+	if Batch() != 1 {
+		t.Fatalf("batch clamped to %d, want 1", Batch())
+	}
+}
+
+// TestPairOffMatchesQueue pins the pair-slab index table against the actual
+// queue lengths: pairOff[bi+1]-pairOff[bi] must equal ceil(rowProducts/2)
+// for every block row — the invariant that lets the hot loop address the
+// shared slab by (pairOff[bi] + s/2) with no per-row bookkeeping.
+func TestPairOffMatchesQueue(t *testing.T) {
+	w := New()
+	d, err := w.data(w.Representative())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := d.bsr
+	if len(d.pairOff) != b.BlockRows+1 {
+		t.Fatalf("len(pairOff) = %d, want %d", len(d.pairOff), b.BlockRows+1)
+	}
+	for bi := 0; bi < b.BlockRows; bi++ {
+		want := (rowProducts(b, bi) + 1) / 2
+		if got := int(d.pairOff[bi+1] - d.pairOff[bi]); got != want {
+			t.Fatalf("block row %d: pairOff span %d, want %d", bi, got, want)
+		}
+	}
+}
+
+// TestPairSlabMatchesStaging cross-checks the prestaged slab bytes against
+// the per-call staging loop's packing rules for a few MMAs: A halves are the
+// straight 16-float flatten of the A block, B halves the 4×4 block packed at
+// stride 8 with a half-column offset.
+func TestPairSlabMatchesStaging(t *testing.T) {
+	w := New()
+	d, err := w.data(w.Representative())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := d.bsr
+	lease := d.pairSlab()
+	defer lease.Release()
+	total := int(d.pairOff[b.BlockRows])
+	slabA, slabB := lease.Data[:total*pairTile], lease.Data[total*pairTile:]
+	checked := 0
+	for bi := 0; bi < b.BlockRows && checked < 64; bi++ {
+		mma := int(d.pairOff[bi])
+		idx := 0
+		for p := b.RowPtr[bi]; p < b.RowPtr[bi+1]; p++ {
+			ab := &b.Blocks[p]
+			k := int(ab.BlockCol)
+			for q := b.RowPtr[k]; q < b.RowPtr[k+1]; q++ {
+				bb := &b.Blocks[q]
+				off := (mma + idx/2) * pairTile
+				half := idx % 2
+				for r := 0; r < 4; r++ {
+					for c := 0; c < 4; c++ {
+						if got := slabA[off+half*16+r*4+c]; got != ab.Vals[r*4+c] {
+							t.Fatalf("block row %d product %d: A[%d,%d] = %v, want %v",
+								bi, idx, r, c, got, ab.Vals[r*4+c])
+						}
+						if got := slabB[off+r*8+half*4+c]; got != bb.Vals[r*4+c] {
+							t.Fatalf("block row %d product %d: B[%d,%d] = %v, want %v",
+								bi, idx, r, c, got, bb.Vals[r*4+c])
+						}
+					}
+				}
+				idx++
+				checked++
+			}
+		}
+		// An odd product count leaves the final MMA's second half zeroed.
+		if idx%2 == 1 {
+			off := (mma + idx/2) * pairTile
+			for r := 0; r < 4; r++ {
+				for c := 0; c < 4; c++ {
+					if slabA[off+16+r*4+c] != 0 || slabB[off+r*8+4+c] != 0 {
+						t.Fatalf("block row %d: odd-tail second half not zeroed", bi)
+					}
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("representative produced no block products")
+	}
+}

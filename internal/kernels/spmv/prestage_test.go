@@ -1,0 +1,147 @@
+package spmv
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/prestage"
+	"repro/internal/sparse"
+)
+
+// mixedCSR builds a matrix with short, medium, and long DASP rows so every
+// prestage code path (including the lane-split long-row finish) executes.
+func mixedCSR(t *testing.T) (*sparse.CSR, []float64) {
+	t.Helper()
+	const rows, cols = 48, 160
+	coo := sparse.NewCOO(rows, cols)
+	for i := 0; i < rows; i++ {
+		var nnz int
+		switch {
+		case i%12 == 0:
+			nnz = 90 // long
+		case i%3 == 0:
+			nnz = 24 // medium
+		default:
+			nnz = 1 + i%4 // short
+		}
+		for k := 0; k < nnz; k++ {
+			coo.Add(i, (i*29+k*7)%cols, float64(i+1)+float64(k)*0.0625)
+		}
+	}
+	m := coo.ToCSR()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, cols)
+	for j := range x {
+		x[j] = 1.0 + float64(j)*0.03125
+	}
+	return m, x
+}
+
+func bitEqual(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: differs bitwise at %d: %v vs %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestApplyDASPPrestageBitIdentical pins the tentpole contract: consuming
+// the prestaged APanels/BCols slabs is bitwise indistinguishable from the
+// CUBIE_NO_PRESTAGE per-call staging route, on a matrix covering all three
+// row categories.
+func TestApplyDASPPrestageBitIdentical(t *testing.T) {
+	m, x := mixedCSR(t)
+	dasp := sparse.ToDASP(m)
+	on := ApplyDASP(dasp, x)
+	prev := prestage.SetEnabled(false)
+	off := ApplyDASP(dasp, x)
+	prestage.SetEnabled(prev)
+	bitEqual(t, "prestage on vs off", on, off)
+
+	// Both must also be the true product, not merely mutually consistent.
+	for i := 0; i < m.Rows; i++ {
+		var acc float64
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			acc += m.Vals[k] * x[m.ColIdx[k]]
+		}
+		if d := math.Abs(on[i] - acc); d > 1e-9 {
+			t.Fatalf("row %d: prestaged result %v vs scalar %v", i, on[i], acc)
+		}
+	}
+}
+
+// TestApplyDASPChunkSizesBitIdentical pins SetSegChunk as performance-only:
+// every chunk size runs the same per-element ascending-k FMA chain (the C
+// tile accumulates across chunks), so outputs match the unchunked sweep
+// bitwise.
+func TestApplyDASPChunkSizesBitIdentical(t *testing.T) {
+	m, x := mixedCSR(t)
+	dasp := sparse.ToDASP(m)
+	base := ApplyDASP(dasp, x)
+	for _, chunk := range []int{1, 2, 3, 5, 8, 64} {
+		prev := SetSegChunk(chunk)
+		got := ApplyDASP(dasp, x)
+		SetSegChunk(prev)
+		bitEqual(t, "chunked sweep", got, base)
+	}
+}
+
+// TestSetSegChunk checks the knob round-trips, reports the previous value,
+// and clamps negatives to 0.
+func TestSetSegChunk(t *testing.T) {
+	orig := SegChunk()
+	defer SetSegChunk(orig)
+	if prev := SetSegChunk(7); prev != orig {
+		t.Fatalf("SetSegChunk returned %d, want %d", prev, orig)
+	}
+	if SegChunk() != 7 {
+		t.Fatal("chunk not applied")
+	}
+	SetSegChunk(-3)
+	if SegChunk() != 0 {
+		t.Fatalf("negative chunk clamped to %d, want 0", SegChunk())
+	}
+}
+
+// applyAllocsBudget bounds a warm ApplyDASP call: the output vector plus
+// ForTiles bookkeeping; the staging scratch must come from the pools.
+const applyAllocsBudget = 64
+
+// TestApplyDASPWarmAllocs is the steady-state allocation contract of the
+// prestaged apply: once the pools are warm, no per-block staging allocation
+// remains in either mode.
+func TestApplyDASPWarmAllocs(t *testing.T) {
+	m, x := mixedCSR(t)
+	dasp := sparse.ToDASP(m)
+	for _, pre := range []bool{true, false} {
+		prev := prestage.SetEnabled(pre)
+		ApplyDASP(dasp, x) // warm the pools
+		n := testing.AllocsPerRun(5, func() { ApplyDASP(dasp, x) })
+		prestage.SetEnabled(prev)
+		if n > applyAllocsBudget {
+			t.Errorf("prestage=%v: %v allocs/run, want ≤ %d", pre, n, applyAllocsBudget)
+		}
+	}
+}
+
+// TestPrestageKnob checks prestage.SetEnabled round-trips and reports the
+// previous state, mirroring the CUBIE_NO_PANEL knob idiom.
+func TestPrestageKnob(t *testing.T) {
+	orig := prestage.Enabled()
+	defer prestage.SetEnabled(orig)
+	if was := prestage.SetEnabled(false); was != orig {
+		t.Fatalf("SetEnabled returned %v, want %v", was, orig)
+	}
+	if prestage.Enabled() {
+		t.Fatal("prestage still enabled")
+	}
+	if was := prestage.SetEnabled(true); was != false {
+		t.Fatal("SetEnabled did not report the disabled state")
+	}
+}

@@ -8,12 +8,15 @@ package spmv
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/lcg"
 	"repro/internal/mmu"
 	"repro/internal/par"
+	"repro/internal/prestage"
 	"repro/internal/sim"
 	"repro/internal/sparse"
+	"repro/internal/tensor"
 	"repro/internal/workload"
 )
 
@@ -136,12 +139,49 @@ func computeDASPMMA(d *caseData) []float64 {
 	return ApplyDASP(d.dasp, d.x)
 }
 
+// CalibrationRunner returns a closure executing one DASP apply over the named
+// dataset — the unit of work `cubie tune` times when sweeping SetSegChunk
+// candidates. The layout (and prestaged slabs) are built before the closure
+// is returned, so repeated invocations measure only the apply.
+func (w *Workload) CalibrationRunner(dataset string) (func(), error) {
+	d, err := w.data(workload.Case{Name: dataset, Dataset: dataset})
+	if err != nil {
+		return nil, err
+	}
+	d.dasp.Prestage()
+	return func() { ApplyDASP(d.dasp, d.x) }, nil
+}
+
 // daspScratch pools the per-block C accumulator of ApplyDASP.
 var daspScratch = par.NewScratch(mmu.M * mmu.N)
 
-// daspPanelScratch pools the packed A/B operand panels, sized to the longest
-// block in each worker's range.
+// daspPanelScratch pools the packed operand panels: with the prestaged
+// slabs active only the gathered B panel, on the CUBIE_NO_PRESTAGE fallback
+// both A and B, sized to the layout's longest block (DASP.MaxSegs).
 var daspPanelScratch = par.NewSizedScratch()
+
+// segChunk caps how many segments one DMMAPanel call sweeps (0 = the whole
+// block in one call). Splitting the k-sweep keeps the gathered B panel
+// inside a chosen cache footprint on long blocks; the accumulator carries
+// across chunks, so every chunk size runs the identical ascending-k FMA
+// chain per element and the choice is performance-only — `cubie tune`
+// calibrates it per host.
+var segChunk atomic.Int32
+
+// SetSegChunk sets the DASP segment-chunk size (0 restores the unchunked
+// sweep; negative values clamp to 0) and returns the previous value.
+func SetSegChunk(n int) (prev int) {
+	if n < 0 {
+		n = 0
+	}
+	return int(segChunk.Swap(int32(n)))
+}
+
+// SegChunk reports the active DASP segment-chunk size.
+func SegChunk() int { return int(segChunk.Load()) }
+
+// segTile is the element count of one packed 8×4 (or 4×8) operand tile.
+const segTile = mmu.M * mmu.K
 
 // ApplyDASP computes y = A·x with the DASP tensor-core algorithm: per
 // block, the C tile accumulates over all segments (one MMA each, gathering
@@ -150,23 +190,72 @@ var daspPanelScratch = par.NewSizedScratch()
 // applications (e.g. iterative solvers) can reuse the MMU SpMV as a linear
 // operator.
 //
+// The static A operand comes prepacked from the layout (DASP.APanels, built
+// once on the first prestaged apply via DASP.Prestage), and the B gather
+// runs 4-wide off the flat prestaged index slab — the hot loop stages no A
+// bytes at all and allocates nothing but y. CUBIE_NO_PRESTAGE=1 (prestage.SetEnabled(false)) falls back to
+// packing both operands per call from Segments, bit-identical by
+// construction since the slab holds exactly the bytes that staging packed.
+//
 // Blocks are independent — ToDASP assigns each output row to exactly one
 // block (long rows occupy all eight lanes of a single block) — so the block
 // sweep runs on the par worker pool with bit-identical results for every
 // worker count.
 func ApplyDASP(dasp *sparse.DASP, x []float64) []float64 {
 	y := make([]float64, dasp.Rows)
+	if !prestage.Enabled() {
+		applyDASPStaged(dasp, x, y)
+		return y
+	}
+	dasp.Prestage()
+	chunk := SegChunk()
 	par.ForTiles(len(dasp.Blocks), func(lo, hi int) {
 		cT := daspScratch.Get()
 		defer daspScratch.Put(cT)
-		// Size the operand panels once per worker range: one 8×4 A tile and
-		// one 4×8 B tile per segment of the longest block in the range.
-		maxSegs := 0
-		for bi := lo; bi < hi; bi++ {
-			if s := len(dasp.Blocks[bi].Segments); s > maxSegs {
-				maxSegs = s
-			}
+		maxB := dasp.MaxSegs
+		if chunk > 0 && chunk < maxB {
+			maxB = chunk
 		}
+		bPanel := daspPanelScratch.Get(maxB * segTile)
+		defer daspPanelScratch.Put(bPanel)
+		for bi := lo; bi < hi; bi++ {
+			blk := &dasp.Blocks[bi]
+			for i := range cT {
+				cT[i] = 0
+			}
+			segs := int(dasp.SegOff[bi+1] - dasp.SegOff[bi])
+			base := int(dasp.SegOff[bi]) * segTile
+			// Sweep the prestaged segments in chunks: gather the B panel
+			// 4-wide off the flat index slab, run the chunk fused with the
+			// prepacked A tiles. The C tile accumulates across chunks, so
+			// the per-element FMA chain is the full ascending-k sweep for
+			// every chunk size.
+			for s0 := 0; s0 < segs; {
+				n := segs - s0
+				if chunk > 0 && n > chunk {
+					n = chunk
+				}
+				off := base + s0*segTile
+				tensor.Gather4(bPanel[:n*segTile], x, dasp.BCols[off:])
+				mmu.DMMAPanel(cT, dasp.APanels[off:], bPanel, n)
+				s0 += n
+			}
+			finishDASPBlock(blk, cT, y)
+		}
+	})
+	return y
+}
+
+// applyDASPStaged is the CUBIE_NO_PRESTAGE reference route: the per-call
+// staging loop the kernel ran before the prestaged slabs, packing both the
+// A tiles and the gathered B tiles from Segments on every apply. The panel
+// sizing bound comes from DASP.MaxSegs (computed once in ToDASP) rather
+// than a per-apply rescan of the blocks.
+func applyDASPStaged(dasp *sparse.DASP, x, y []float64) {
+	par.ForTiles(len(dasp.Blocks), func(lo, hi int) {
+		cT := daspScratch.Get()
+		defer daspScratch.Put(cT)
+		maxSegs := dasp.MaxSegs
 		panels := daspPanelScratch.Get(maxSegs * (mmu.M*mmu.K + mmu.K*mmu.N))
 		defer daspPanelScratch.Put(panels)
 		aPanel := panels[0 : maxSegs*mmu.M*mmu.K]
@@ -176,10 +265,6 @@ func ApplyDASP(dasp *sparse.DASP, x []float64) []float64 {
 			for i := range cT {
 				cT[i] = 0
 			}
-			// Pack the block's whole segment sweep, then run it fused: the
-			// accumulator stays resident across all segments and the sweep
-			// costs one metrics update (the tile-at-a-time version staged and
-			// counted every segment separately).
 			for si := range blk.Segments {
 				seg := &blk.Segments[si]
 				aT := aPanel[si*mmu.M*mmu.K:]
@@ -192,27 +277,33 @@ func ApplyDASP(dasp *sparse.DASP, x []float64) []float64 {
 				}
 			}
 			mmu.DMMAPanel(cT, aPanel, bPanel, len(blk.Segments))
-			if blk.Category == sparse.LongRow {
-				r := blk.RowOf[0]
-				var partial [mmu.M]float64
-				for l := 0; l < mmu.M; l++ {
-					partial[l] = cT[l*mmu.N+l]
-				}
-				s01 := partial[0] + partial[1]
-				s23 := partial[2] + partial[3]
-				s45 := partial[4] + partial[5]
-				s67 := partial[6] + partial[7]
-				y[r] += (s01 + s23) + (s45 + s67)
-				continue
-			}
-			for l := 0; l < mmu.M; l++ {
-				if r := blk.RowOf[l]; r >= 0 {
-					y[r] = cT[l*mmu.N+l]
-				}
-			}
+			finishDASPBlock(blk, cT, y)
 		}
 	})
-	return y
+}
+
+// finishDASPBlock extracts the block's diagonal results into y: long-row
+// blocks sum their eight lane partials pairwise in lane order, short/medium
+// blocks write each live lane's diagonal element.
+func finishDASPBlock(blk *sparse.DASPBlock, cT, y []float64) {
+	if blk.Category == sparse.LongRow {
+		r := blk.RowOf[0]
+		var partial [mmu.M]float64
+		for l := 0; l < mmu.M; l++ {
+			partial[l] = cT[l*mmu.N+l]
+		}
+		s01 := partial[0] + partial[1]
+		s23 := partial[2] + partial[3]
+		s45 := partial[4] + partial[5]
+		s67 := partial[6] + partial[7]
+		y[r] += (s01 + s23) + (s45 + s67)
+		return
+	}
+	for l := 0; l < mmu.M; l++ {
+		if r := blk.RowOf[l]; r >= 0 {
+			y[r] = cT[l*mmu.N+l]
+		}
+	}
 }
 
 // Operator wraps a sparse matrix in its DASP layout as a reusable y = A·x

@@ -1,0 +1,53 @@
+package mmu
+
+import (
+	"math"
+	"testing"
+)
+
+// TestDMMAPanelBlockDepths pins the blocking-depth knob bit-invisible: every
+// depth (single-tile, paired, quad) runs the identical per-element
+// ascending-k FMA chain, so DMMAPanel matches the tile-at-a-time loop
+// bitwise for every kTiles in 0..17 at every depth — including sweeps that
+// mix quad, pair, and remainder steps.
+func TestDMMAPanelBlockDepths(t *testing.T) {
+	setPanel(t, true)
+	for _, depth := range []int{1, 2, 4} {
+		prev := SetPanelBlock(depth)
+		for kTiles := 0; kTiles <= 17; kTiles++ {
+			c, aPanel, bPanel := randomPanels(int64(depth*100+kTiles), kTiles)
+			want := append([]float64(nil), c...)
+			for kt := 0; kt < kTiles; kt++ {
+				DMMATile(want, aPanel[kt*M*K:(kt+1)*M*K], bPanel[kt*K*N:(kt+1)*K*N])
+			}
+			got := append([]float64(nil), c...)
+			DMMAPanel(got, aPanel, bPanel, kTiles)
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("depth=%d kTiles=%d: element %d differs: %v != %v",
+						depth, kTiles, i, got[i], want[i])
+				}
+			}
+		}
+		SetPanelBlock(prev)
+	}
+}
+
+// TestSetPanelBlock checks the knob round-trips, reports the previous depth,
+// and snaps out-of-range values to the supported {1, 2, 4} set.
+func TestSetPanelBlock(t *testing.T) {
+	orig := PanelBlock()
+	defer SetPanelBlock(orig)
+	if prev := SetPanelBlock(4); prev != orig {
+		t.Fatalf("SetPanelBlock returned %d, want %d", prev, orig)
+	}
+	if PanelBlock() != 4 {
+		t.Fatal("depth not applied")
+	}
+	for in, want := range map[int]int{-1: 1, 0: 1, 1: 1, 2: 2, 3: 2, 4: 4, 9: 4} {
+		SetPanelBlock(in)
+		if PanelBlock() != want {
+			t.Fatalf("SetPanelBlock(%d) stored %d, want %d", in, PanelBlock(), want)
+		}
+	}
+}

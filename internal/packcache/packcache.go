@@ -131,19 +131,24 @@ func Flush() {
 	metBytes.Set(float64(totalFloats * 8))
 }
 
+// HashOffset is the FNV-1a offset basis; PackedSlab callers seed their
+// content hash with it and fold every source word through HashMix, so all
+// cache entries share one invalidation-hash family.
+const HashOffset uint64 = 14695981039346656037
+
+// HashMix folds one 64-bit word into an FNV-1a hash (IEEE-754 bit patterns
+// for floats, widened integers for coordinates).
+func HashMix(h, word uint64) uint64 { return (h ^ word) * 1099511628211 }
+
 // hashMatrix is FNV-1a over the shape and the IEEE-754 bit patterns of the
 // elements: any single-bit change to the data (or a reshape) changes the
 // hash, which is what makes serving a cached slab invalidation-safe.
 func hashMatrix(m *tensor.Matrix) uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
-	h = (h ^ uint64(m.Rows)) * prime
-	h = (h ^ uint64(m.Cols)) * prime
+	h := HashOffset
+	h = HashMix(h, uint64(m.Rows))
+	h = HashMix(h, uint64(m.Cols))
 	for _, v := range m.Data {
-		h = (h ^ math.Float64bits(v)) * prime
+		h = HashMix(h, math.Float64bits(v))
 	}
 	return h
 }
@@ -185,7 +190,7 @@ func (l *Lease) Release() {
 func PackedA(name string, m *tensor.Matrix, kTiles int) Lease {
 	rowTiles := (m.Rows + mmu.M - 1) / mmu.M
 	size := rowTiles * kTiles * mmu.M * mmu.K
-	return packed(key{name, 'A', m.Rows, m.Cols, kTiles}, m, size, func(dst []float64) {
+	return packed(key{name, 'A', m.Rows, m.Cols, kTiles}, hashMatrix(m), size, func(dst []float64) {
 		stride := kTiles * mmu.M * mmu.K
 		for ti := 0; ti < rowTiles; ti++ {
 			m.PackAPanel(dst[ti*stride:(ti+1)*stride], ti*mmu.M, 0, kTiles)
@@ -199,7 +204,7 @@ func PackedA(name string, m *tensor.Matrix, kTiles int) Lease {
 func PackedB(name string, m *tensor.Matrix, kTiles int) Lease {
 	colTiles := (m.Cols + mmu.N - 1) / mmu.N
 	size := colTiles * kTiles * mmu.K * mmu.N
-	return packed(key{name, 'B', m.Rows, m.Cols, kTiles}, m, size, func(dst []float64) {
+	return packed(key{name, 'B', m.Rows, m.Cols, kTiles}, hashMatrix(m), size, func(dst []float64) {
 		stride := kTiles * mmu.K * mmu.N
 		for tj := 0; tj < colTiles; tj++ {
 			m.PackBPanel(dst[tj*stride:(tj+1)*stride], 0, tj*mmu.N, kTiles)
@@ -207,13 +212,25 @@ func PackedB(name string, m *tensor.Matrix, kTiles int) Lease {
 	})
 }
 
-func packed(k key, m *tensor.Matrix, size int, pack func([]float64)) Lease {
+// PackedSlab is the generalized cache entry point for operands that are not
+// tensor.Matrix values — the SpGEMM prestaged pair slabs pack straight from
+// mBSR blocks. The caller supplies the content hash of whatever source the
+// pack function reads (recomputed on every lookup, same invalidation-safety
+// contract as PackedA/PackedB: a mutated source changes the hash and the
+// stale slab is dropped) plus the slab size in floats; side distinguishes
+// multiple slab kinds under one dataset name, and shape/kTiles key the
+// geometry. With the cache disabled the slab is packed into pooled scratch
+// per call.
+func PackedSlab(name string, side byte, rows, cols, kTiles int, hash uint64, size int, pack func([]float64)) Lease {
+	return packed(key{name, side, rows, cols, kTiles}, hash, size, pack)
+}
+
+func packed(k key, h uint64, size int, pack func([]float64)) Lease {
 	if !Enabled() {
 		buf := slabScratch.Get(size)
 		pack(buf)
 		return Lease{Data: buf, pooled: true}
 	}
-	h := hashMatrix(m)
 	mu.Lock()
 	useClock++
 	if e, ok := entries[k]; ok {

@@ -198,11 +198,12 @@ func (c *Cache) Dir() string {
 
 // knobs are the behavior-changing environment variables folded into the
 // fingerprint. CUBIE_WORKERS and CUBIE_CACHE itself are deliberately
-// absent: neither changes any computed result. CUBIE_SPGEMM_DENSE and
-// CUBIE_NO_PACKCACHE are included on the same conservative policy as
-// CUBIE_NO_PANEL — all routes are proven bit-identical, but execution-path
-// knobs miss cleanly rather than trusting the proof.
-var knobs = []string{"CUBIE_NO_PANEL", "CUBIE_NO_PACKCACHE", "CUBIE_SPGEMM_DENSE"}
+// absent: neither changes any computed result. CUBIE_SPGEMM_DENSE,
+// CUBIE_NO_PACKCACHE, and CUBIE_NO_PRESTAGE are included on the same
+// conservative policy as CUBIE_NO_PANEL — all routes are proven
+// bit-identical, but execution-path knobs miss cleanly rather than trusting
+// the proof.
+var knobs = []string{"CUBIE_NO_PANEL", "CUBIE_NO_PACKCACHE", "CUBIE_NO_PRESTAGE", "CUBIE_SPGEMM_DENSE"}
 
 var (
 	fpOnce sync.Once

@@ -10,9 +10,14 @@
 // GET requests ride internal/httputil's retry loop (jittered backoff on
 // connection errors and retryable statuses), so a transient daemon blip —
 // a restart, a dropped connection — heals without the caller noticing.
-// POSTs are issued exactly once: runs and campaign starts are not
+// Most POSTs are issued exactly once: runs and campaign starts are not
 // idempotent from the client's view, and the daemon's own semantics
-// (singleflight caches, lease expiry) already cover a lost response.
+// (singleflight caches, lease expiry) already cover a lost response. The
+// exception is work completion (CompleteWork), which is retried like a GET:
+// the coordinator treats a stale or duplicate lease completion as a no-op,
+// so the retry is idempotent-safe — and without it a transient 5xx on the
+// publish would fail a worker's completion path and force the whole key to
+// be re-executed under a fresh lease.
 package client
 
 import (
@@ -100,6 +105,38 @@ func (c *Client) do(method, path string, body, out any) error {
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("client: decode %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// doRetryPost issues one POST through the same retry loop as GETs, for the
+// idempotent-safe endpoints (see the package doc). The body is marshaled
+// once and re-wrapped per attempt, so every retry sends identical bytes.
+func (c *Client) doRetryPost(path string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("client: encode request: %w", err)
+	}
+	resp, err := httputil.Do(c.http, func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, c.base+path, bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	}, c.policy)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode POST %s response: %w", path, err)
 	}
 	return nil
 }
@@ -219,10 +256,13 @@ func (c *Client) LeaseWork(worker string) (api.WorkLeaseResponse, error) {
 }
 
 // CompleteWork reports a leased key's outcome (POST /api/v1/work/complete);
-// empty errMsg means success.
+// empty errMsg means success. The POST is retried with backoff — completion
+// is idempotent at the coordinator (a duplicate or expired lease is a
+// no-op), and dropping it over a transient publish error would waste the
+// whole executed run.
 func (c *Client) CompleteWork(lease, errMsg string) (api.WorkCompleteResponse, error) {
 	var out api.WorkCompleteResponse
-	err := c.do(http.MethodPost, "/api/v1/work/complete", api.WorkCompleteRequest{Lease: lease, Error: errMsg}, &out)
+	err := c.doRetryPost("/api/v1/work/complete", api.WorkCompleteRequest{Lease: lease, Error: errMsg}, &out)
 	return out, err
 }
 

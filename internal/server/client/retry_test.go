@@ -1,0 +1,100 @@
+package client
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/httputil"
+	"repro/internal/server/api"
+)
+
+// fastPolicy keeps retry tests quick.
+func fastPolicy() httputil.Policy {
+	return httputil.Policy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+}
+
+// TestCompleteWorkRetriesTransient5xx pins the completion-path satellite: a
+// coordinator answering 503 twice before accepting must still see exactly
+// one effective completion, with every attempt carrying identical bytes.
+func TestCompleteWorkRetriesTransient5xx(t *testing.T) {
+	var attempts atomic.Int32
+	var bodies [][]byte
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/api/v1/work/complete" {
+			t.Errorf("unexpected request: %s %s", r.Method, r.URL.Path)
+		}
+		body, _ := io.ReadAll(r.Body)
+		bodies = append(bodies, body)
+		if attempts.Add(1) <= 2 {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		var req api.WorkCompleteRequest
+		if err := json.Unmarshal(body, &req); err != nil || req.Lease != "lease-1" {
+			t.Errorf("bad completion body %q: %v", body, err)
+		}
+		json.NewEncoder(w).Encode(api.WorkCompleteResponse{})
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL).WithPolicy(fastPolicy())
+	if _, err := c.CompleteWork("lease-1", ""); err != nil {
+		t.Fatalf("CompleteWork after transient 5xx: %v", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("%d attempts, want 3 (two 503s then success)", got)
+	}
+	for i := 1; i < len(bodies); i++ {
+		if string(bodies[i]) != string(bodies[0]) {
+			t.Fatalf("attempt %d sent different bytes: %q vs %q", i, bodies[i], bodies[0])
+		}
+	}
+}
+
+// TestCompleteWorkDoesNotRetryClientErrors pins the other side of the
+// policy: a 4xx (expired lease, malformed request) is terminal — retrying
+// cannot fix it and would hammer the coordinator.
+func TestCompleteWorkDoesNotRetryClientErrors(t *testing.T) {
+	var attempts atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusConflict)
+		json.NewEncoder(w).Encode(api.ErrorResponse{Error: api.Error{Code: api.CodeNotFound, Message: "unknown lease"}})
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL).WithPolicy(fastPolicy())
+	_, err := c.CompleteWork("stale", "")
+	if err == nil {
+		t.Fatal("4xx completion reported success")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("%d attempts on a 4xx, want 1", got)
+	}
+}
+
+// TestRunPostStillSingleShot guards the exactly-once contract of the
+// non-idempotent POSTs: a transient 5xx on /api/v1/runs must surface
+// immediately, not retry.
+func TestRunPostStillSingleShot(t *testing.T) {
+	var attempts atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		http.Error(w, "boom", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL).WithPolicy(fastPolicy())
+	if _, err := c.Run(api.RunRequest{Workload: "SpMV"}); err == nil {
+		t.Fatal("5xx run reported success")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("%d attempts, want 1 (runs are not idempotent)", got)
+	}
+}

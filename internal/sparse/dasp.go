@@ -1,5 +1,11 @@
 package sparse
 
+import (
+	"sync"
+
+	"repro/internal/prestage"
+)
+
 // DASP row-group layout (Lu & Liu, SC '23): rows are classified by nonzero
 // count into long / medium / short categories and packed into 8-row blocks
 // whose nonzeros are organized as 8×4 segments — the A operand of the FP64
@@ -50,6 +56,11 @@ type DASPBlock struct {
 	Segments []DASPSegment
 }
 
+// segFloats is the element count of one packed 8×4 tile — and, because the
+// A tile is M×K and the B tile K×N with M = N = 8, also of one 4×8 tile, so
+// SegOff scales both the APanels and BCols slabs.
+const segFloats = DASPRowsPerBlock * DASPSegWidth
+
 // DASP is the complete packed layout for one sparse matrix.
 type DASP struct {
 	Rows, Cols int
@@ -58,9 +69,33 @@ type DASP struct {
 	// PaddedSlots counts total lane-slot payload positions including padding
 	// (8·4·segments·blocks); NNZ/PaddedSlots is the MMA input utilization.
 	PaddedSlots int
+
+	// MaxSegs is the longest Segments length over all blocks — the per-apply
+	// operand-panel sizing bound, hoisted here so ApplyDASP does not rescan
+	// the blocks on every call.
+	MaxSegs int
+	// SegOff[bi] is the cumulative segment count of blocks before bi
+	// (length len(Blocks)+1): block bi's prestaged tiles live at element
+	// offset 32·SegOff[bi] in both slabs below. Built by Prestage.
+	SegOff []int32
+	// APanels is the prestaged static A operand: every block's segments as
+	// consecutive row-major 8×4 MMA tiles, exactly the bytes the per-call
+	// staging packed from Segments[si].Vals — built once by Prestage (lazily,
+	// on the first prestaged apply) so the SpMV hot loop only gathers the B
+	// side, while layout-only consumers (padding ablations, utilization
+	// metrics) never pay for the slabs.
+	APanels []float64
+	// BCols is the B-side gather index slab in packed B-tile layout:
+	// BCols[32·(SegOff[bi]+si) + k·8 + l] = Segments[si].Cols[l][k], so the
+	// apply-time gather is the flat 4-wide loop bT[i] = x[BCols[i]].
+	BCols []int32
+
+	slabOnce sync.Once
 }
 
-// ToDASP builds the DASP layout from a CSR matrix.
+// ToDASP builds the DASP layout from a CSR matrix. The prestaged operand
+// slabs (APanels/BCols) the SpMV hot loop consumes are materialized on the
+// first Prestage call, not here.
 func ToDASP(m *CSR) *DASP {
 	d := &DASP{Rows: m.Rows, Cols: m.Cols, NNZ: m.NNZ()}
 
@@ -98,10 +133,18 @@ func ToDASP(m *CSR) *DASP {
 			for l, r := range rows[start:end] {
 				lo := m.RowPtr[r]
 				n := m.RowNNZ(int(r))
-				for k := 0; k < n; k++ {
-					seg, slot := k/DASPSegWidth, k%DASPSegWidth
-					blk.Segments[seg].Vals[l][slot] = m.Vals[lo+k]
-					blk.Segments[seg].Cols[l][slot] = m.ColIdx[lo+k]
+				// Full segments move 4-wide: the row's nonzeros are contiguous
+				// in the CSR arrays and land in consecutive slots of lane l, so
+				// the slice→array conversions compile to register moves (the
+				// PackARows idiom) instead of a per-element div/mod loop.
+				full := n / DASPSegWidth
+				for s := 0; s < full; s++ {
+					blk.Segments[s].Vals[l] = [DASPSegWidth]float64(m.Vals[lo+s*DASPSegWidth:])
+					blk.Segments[s].Cols[l] = [DASPSegWidth]int32(m.ColIdx[lo+s*DASPSegWidth:])
+				}
+				for k := full * DASPSegWidth; k < n; k++ {
+					blk.Segments[full].Vals[l][k%DASPSegWidth] = m.Vals[lo+k]
+					blk.Segments[full].Cols[l][k%DASPSegWidth] = m.ColIdx[lo+k]
 				}
 			}
 			d.Blocks = append(d.Blocks, blk)
@@ -119,20 +162,76 @@ func ToDASP(m *CSR) *DASP {
 		blk := DASPBlock{Category: LongRow, Segments: make([]DASPSegment, segs)}
 		for l := 0; l < DASPRowsPerBlock; l++ {
 			blk.RowOf[l] = r
-			for k := 0; k < chunk; k++ {
-				idx := l*chunk + k
-				if idx >= n {
-					break
-				}
-				seg, slot := k/DASPSegWidth, k%DASPSegWidth
-				blk.Segments[seg].Vals[l][slot] = m.Vals[lo+idx]
-				blk.Segments[seg].Cols[l][slot] = m.ColIdx[lo+idx]
+			end := chunk
+			if l*chunk+end > n {
+				end = n - l*chunk
+			}
+			if end <= 0 {
+				continue
+			}
+			base := lo + l*chunk
+			full := end / DASPSegWidth
+			for s := 0; s < full; s++ {
+				blk.Segments[s].Vals[l] = [DASPSegWidth]float64(m.Vals[base+s*DASPSegWidth:])
+				blk.Segments[s].Cols[l] = [DASPSegWidth]int32(m.ColIdx[base+s*DASPSegWidth:])
+			}
+			for k := full * DASPSegWidth; k < end; k++ {
+				blk.Segments[k/DASPSegWidth].Vals[l][k%DASPSegWidth] = m.Vals[base+k]
+				blk.Segments[k/DASPSegWidth].Cols[l][k%DASPSegWidth] = m.ColIdx[base+k]
 			}
 		}
 		d.Blocks = append(d.Blocks, blk)
 		d.PaddedSlots += segs * DASPRowsPerBlock * DASPSegWidth
 	}
+
+	for bi := range d.Blocks {
+		if s := len(d.Blocks[bi].Segments); s > d.MaxSegs {
+			d.MaxSegs = s
+		}
+	}
 	return d
+}
+
+// Prestage materializes the prestaged operand slabs (SegOff, APanels,
+// BCols), once; subsequent calls are free. ApplyDASP invokes it on the
+// prestaged route, so layout-only consumers never allocate the slabs.
+// Safe for concurrent use.
+func (d *DASP) Prestage() { d.slabOnce.Do(d.buildSlabs) }
+
+// buildSlabs emits the prestaged operand slabs from the assembled blocks:
+// the segment offset table, the prepacked A tiles, and the flat B-layout
+// gather indices. The A bytes are exactly what the per-call staging loop
+// packed (aT[l·4+k] = Vals[l][k] is the row-major flatten of the segment),
+// so consuming the slab is bit-invisible; CUBIE_NO_PRESTAGE falls back to
+// packing from Segments and must match bitwise.
+func (d *DASP) buildSlabs() {
+	d.SegOff = make([]int32, len(d.Blocks)+1)
+	total := 0
+	for bi := range d.Blocks {
+		d.SegOff[bi] = int32(total)
+		total += len(d.Blocks[bi].Segments)
+	}
+	d.SegOff[len(d.Blocks)] = int32(total)
+	d.APanels = make([]float64, total*segFloats)
+	d.BCols = make([]int32, total*segFloats)
+	for bi := range d.Blocks {
+		base := int(d.SegOff[bi]) * segFloats
+		for si := range d.Blocks[bi].Segments {
+			seg := &d.Blocks[bi].Segments[si]
+			ap := d.APanels[base+si*segFloats : base+(si+1)*segFloats]
+			bc := d.BCols[base+si*segFloats : base+(si+1)*segFloats]
+			for l := 0; l < DASPRowsPerBlock; l++ {
+				*(*[DASPSegWidth]float64)(ap[l*DASPSegWidth:]) = seg.Vals[l]
+				c := &seg.Cols[l]
+				// Transposed scatter into B-tile layout, 4-wide unrolled.
+				bc[l] = c[0]
+				bc[DASPRowsPerBlock+l] = c[1]
+				bc[2*DASPRowsPerBlock+l] = c[2]
+				bc[3*DASPRowsPerBlock+l] = c[3]
+			}
+		}
+	}
+	prestage.CountSlab(len(d.APanels)*8 + len(d.BCols)*4)
 }
 
 // InputUtilization returns the fraction of MMA A-operand slots carrying real

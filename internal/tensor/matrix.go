@@ -172,6 +172,41 @@ func PackBRows(dst, src []float64, stride, rows int) {
 	}
 }
 
+// Gather4 sets dst[i] = src[idx[i]] for every i, 4-wide unrolled so the
+// compiler hoists the dst/idx bounds checks out of the unrolled body — the
+// SpMV B-operand gather (prestaged flat column indices → packed 4×8 tiles)
+// runs through it on every apply. len(idx) must be at least len(dst); the
+// indices must be valid for src (the DASP builder guarantees both).
+func Gather4(dst, src []float64, idx []int32) {
+	n := len(dst)
+	idx = idx[:n] // one bound, hoisted out of the loop below
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		d := (*[4]float64)(dst[i:])
+		x := (*[4]int32)(idx[i:])
+		d[0] = src[x[0]]
+		d[1] = src[x[1]]
+		d[2] = src[x[2]]
+		d[3] = src[x[3]]
+	}
+	for ; i < n; i++ {
+		dst[i] = src[idx[i]]
+	}
+}
+
+// Pack4Stride copies rows groups of 4 contiguous floats from a strided
+// source into a strided destination: group r moves from src[r·srcStride:]
+// to dst[r·dstStride:]. Like PackARows, the fixed-size array assignments
+// compile to register moves rather than runtime.memmove calls. It is the
+// strided 4-wide staging primitive of the sparse prestage builders (mBSR
+// 4×4 block rows into paired MMA operand slabs, DASP segment lanes into
+// prepacked A panels). Both slices must cover (rows-1)·stride + 4 elements.
+func Pack4Stride(dst []float64, dstStride int, src []float64, srcStride int, rows int) {
+	for r := 0; r < rows; r++ {
+		*(*[panelK]float64)(dst[r*dstStride:]) = *(*[panelK]float64)(src[r*srcStride:])
+	}
+}
+
 // PackAPanel packs the 8×(4·kTiles) row-panel whose top-left corner is
 // (r0, c0) into dst as kTiles consecutive row-major 8×4 MMA A tiles: tile t
 // covers columns c0+4t … c0+4t+3. Out-of-range elements are zero-filled,

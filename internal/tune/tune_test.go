@@ -1,0 +1,207 @@
+package tune
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/kernels/spgemm"
+	"repro/internal/kernels/spmv"
+	"repro/internal/mmu"
+)
+
+func TestDefaultGeometry(t *testing.T) {
+	g := Default()
+	if g.SpGEMMBatch != 16 || g.DASPChunk != 0 || g.DMMABlock != 2 {
+		t.Fatalf("defaults changed: %+v", g)
+	}
+}
+
+func TestNormalizedClamps(t *testing.T) {
+	g := Geometry{SpGEMMBatch: -5, DASPChunk: -1, DMMABlock: 3}.normalized()
+	if g != Default() {
+		t.Fatalf("nonsense geometry normalized to %+v, want defaults", g)
+	}
+	g = Geometry{SpGEMMBatch: 8, DASPChunk: 4, DMMABlock: 4}.normalized()
+	if g.SpGEMMBatch != 8 || g.DASPChunk != 4 || g.DMMABlock != 4 {
+		t.Fatalf("valid geometry mangled: %+v", g)
+	}
+}
+
+func TestApplyRoundTrip(t *testing.T) {
+	saved := Current()
+	defer Apply(saved)
+	g := Geometry{SpGEMMBatch: 8, DASPChunk: 4, DMMABlock: 4}
+	prev := Apply(g)
+	if prev != saved {
+		t.Fatalf("Apply returned %+v, want prior %+v", prev, saved)
+	}
+	if got := Current(); got != g {
+		t.Fatalf("Current() = %+v, want %+v", got, g)
+	}
+	if spgemm.Batch() != 8 || spmv.SegChunk() != 4 || mmu.PanelBlock() != 4 {
+		t.Fatal("knobs not installed")
+	}
+}
+
+func TestSaveLoadFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "tuned.json")
+	want := Geometry{SpGEMMBatch: 32, DASPChunk: 8, DMMABlock: 1}
+	if err := Save(want, path); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := LoadFile(path)
+	if err != nil || !ok {
+		t.Fatalf("LoadFile: ok=%v err=%v", ok, err)
+	}
+	if got != want {
+		t.Fatalf("round trip: %+v, want %+v", got, want)
+	}
+}
+
+func TestLoadFileMissingIsNotError(t *testing.T) {
+	g, ok, err := LoadFile(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil || ok {
+		t.Fatalf("missing file: ok=%v err=%v", ok, err)
+	}
+	if g != Default() {
+		t.Fatalf("missing file returned %+v, want defaults", g)
+	}
+}
+
+func TestLoadFileMalformedIsError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadFile(path); err == nil {
+		t.Fatal("malformed file loaded without error")
+	}
+}
+
+func TestLoadHonorsEnvOff(t *testing.T) {
+	for _, v := range []string{"off", "0"} {
+		t.Setenv(EnvVar, v)
+		g, ok, err := Load()
+		if err != nil || ok {
+			t.Fatalf("%s: ok=%v err=%v", v, ok, err)
+		}
+		if g != Default() {
+			t.Fatalf("%s: returned %+v, want defaults", v, g)
+		}
+	}
+}
+
+func TestLoadHonorsEnvPath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tuned.json")
+	want := Geometry{SpGEMMBatch: 4, DASPChunk: 16, DMMABlock: 2}
+	if err := Save(want, path); err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv(EnvVar, path)
+	g, ok, err := Load()
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if g != want {
+		t.Fatalf("Load() = %+v, want %+v", g, want)
+	}
+}
+
+func TestLoadAndApplyInstalls(t *testing.T) {
+	saved := Current()
+	defer Apply(saved)
+	path := filepath.Join(t.TempDir(), "tuned.json")
+	want := Geometry{SpGEMMBatch: 64, DASPChunk: 32, DMMABlock: 1}
+	if err := Save(want, path); err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv(EnvVar, path)
+	g, ok, err := LoadAndApply()
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if g != want || Current() != want {
+		t.Fatalf("applied %+v / active %+v, want %+v", g, Current(), want)
+	}
+}
+
+func TestHostFingerprintShape(t *testing.T) {
+	fp := HostFingerprint()
+	if !strings.Contains(fp, "-c") || strings.ContainsAny(fp, "/ ") {
+		t.Fatalf("fingerprint %q not filename-safe", fp)
+	}
+}
+
+// TestSweepKnobPicksFastest drives the sweep loop with a deterministic fake
+// runner: the candidate whose installed value minimizes the simulated work
+// must win, and exactly one sweep row is marked as the winner.
+func TestSweepKnobPicksFastest(t *testing.T) {
+	installed := 0
+	set := func(v int) int { prev := installed; installed = v; return prev }
+	run := func() {
+		// Busy-work proportional to the installed value: candidate 1 wins.
+		n := installed * 200_000
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += float64(i)
+		}
+		_ = s
+	}
+	best, sweeps := sweepKnob("fake", []int{4, 1, 8}, set, run)
+	if best != 1 {
+		t.Fatalf("winner = %d, want 1", best)
+	}
+	won := 0
+	for _, s := range sweeps {
+		if s.Won {
+			won++
+			if s.Candidate != best {
+				t.Fatalf("winner flag on %d, want %d", s.Candidate, best)
+			}
+		}
+		if s.Best <= 0 {
+			t.Fatalf("candidate %d has non-positive timing", s.Candidate)
+		}
+	}
+	if len(sweeps) != 3 || won != 1 {
+		t.Fatalf("%d sweeps, %d winners; want 3 and 1", len(sweeps), won)
+	}
+}
+
+// TestCalibrateRestoresKnobs runs the real calibration end to end (small
+// datasets, a few rounds) and checks it sweeps every candidate, returns a
+// geometry drawn from the candidate sets, and leaves the live knobs exactly
+// as it found them.
+func TestCalibrateRestoresKnobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep in -short mode")
+	}
+	before := Current()
+	g, sweeps, err := Calibrate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Current() != before {
+		t.Fatalf("knobs left at %+v, want restored %+v", Current(), before)
+	}
+	wantSweeps := len(SpGEMMBatchCandidates) + len(DASPChunkCandidates) + len(DMMABlockCandidates)
+	if len(sweeps) != wantSweeps {
+		t.Fatalf("%d sweeps recorded, want %d", len(sweeps), wantSweeps)
+	}
+	if !contains(SpGEMMBatchCandidates, g.SpGEMMBatch) ||
+		!contains(DASPChunkCandidates, g.DASPChunk) ||
+		!contains(DMMABlockCandidates, g.DMMABlock) {
+		t.Fatalf("calibrated geometry %+v outside the candidate sets", g)
+	}
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
